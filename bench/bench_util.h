@@ -1,0 +1,53 @@
+#ifndef BELLWETHER_BENCH_BENCH_UTIL_H_
+#define BELLWETHER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bellwether::bench {
+
+/// Minimal flag reader: --name=value. Returns fallback when absent.
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline bool FlagBool(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Prints a header banner for one reproduced figure.
+inline void Banner(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+/// Prints one table row: label followed by columns.
+inline void Row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, const char* fmt = "%.4g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace bellwether::bench
+
+#endif  // BELLWETHER_BENCH_BENCH_UTIL_H_

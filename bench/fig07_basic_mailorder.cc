@@ -1,0 +1,130 @@
+// Reproduces Figure 7 of the paper (basic bellwether analysis of the mail
+// order dataset): (a) bellwether / average / random-sampling RMSE vs budget
+// using 10-fold cross-validation error, (b) the fraction of regions
+// statistically indistinguishable from the bellwether at 95% / 99%
+// confidence, and (c) the same error curves using training-set error.
+//
+// The proprietary 1996 mail-order dataset is replaced by the synthetic
+// generator of src/datagen/mail_order.* (planted bellwether state); see
+// DESIGN.md for the substitution rationale.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/baselines.h"
+#include "core/basic_search.h"
+#include "core/training_data_gen.h"
+#include "datagen/mail_order.h"
+#include "storage/training_data.h"
+
+namespace {
+
+using namespace bellwether;            // NOLINT
+using namespace bellwether::bench;     // NOLINT
+using core::BasicSearchOptions;
+using core::BasicSearchResult;
+
+void PrintErrorTable(const char* caption, const BasicSearchResult& full,
+                     storage::MemoryTrainingData* source,
+                     const core::GeneratedTrainingData& data,
+                     const core::BellwetherSpec& spec,
+                     const std::vector<double>& budgets, bool with_sampling,
+                     uint64_t seed) {
+  std::printf("\n%s\n", caption);
+  Row({"Budget", "BelErr", "AvgErr", with_sampling ? "SmpErr" : "",
+       "Bellwether"});
+  for (double budget : budgets) {
+    auto r = core::SelectUnderBudget(full, source, data.region_costs, budget);
+    if (!r.ok() || !r->found()) {
+      Row({Fmt(budget, "%.0f"), "-", "-", "-", "(none feasible)"});
+      continue;
+    }
+    std::string smp = "";
+    if (with_sampling) {
+      Rng rng(seed);
+      auto s = core::RandomSamplingError(spec, budget, /*trials=*/3, &rng);
+      smp = s.ok() ? Fmt(s->rmse) : std::string("-");
+    }
+    Row({Fmt(budget, "%.0f"), Fmt(r->error.rmse), Fmt(r->AverageError()), smp,
+         spec.space->RegionLabel(r->bellwether)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 1.0);
+  datagen::MailOrderConfig config;
+  config.num_items = static_cast<int32_t>(400 * scale);
+  config.seed = 1996;
+  Banner("Figure 7", "Basic bellwether analysis of the mail order dataset");
+  std::printf("items=%d months=%d (planted bellwether: [1-8, %s])\n",
+              config.num_items, config.num_months, config.planted_state);
+
+  Stopwatch total;
+  datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
+  std::printf("generated %zu transactions in %.1fs\n",
+              dataset.fact.num_rows(), total.ElapsedSeconds());
+
+  const double max_budget = 85.0;
+  const core::BellwetherSpec spec = dataset.MakeSpec(max_budget, 0.5);
+  auto data = core::GenerateTrainingData(spec);
+  if (!data.ok()) {
+    std::fprintf(stderr, "training data generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("feasible regions at budget %.0f: %zu (examined %lld, pruned "
+              "%lld of %lld candidate regions)\n",
+              max_budget, data->sets.size(),
+              static_cast<long long>(data->feasible.regions_examined),
+              static_cast<long long>(data->feasible.regions_pruned),
+              static_cast<long long>(spec.space->NumRegions()));
+
+  storage::MemoryTrainingData source(data->sets);
+  const std::vector<double> budgets{5, 15, 25, 35, 45, 55, 65, 75, 85};
+
+  // ---- (a) Cross-validation error vs budget ----
+  BasicSearchOptions cv_opts;
+  cv_opts.estimate = regression::ErrorEstimate::kCrossValidation;
+  cv_opts.cv_folds = 10;
+  cv_opts.min_examples = 40;
+  auto cv_full = core::RunBasicBellwetherSearch(&source, cv_opts);
+  if (!cv_full.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 cv_full.status().ToString().c_str());
+    return 1;
+  }
+  PrintErrorTable("(a) error vs budget — 10-fold cross-validation RMSE",
+                  *cv_full, &source, *data, spec, budgets,
+                  /*with_sampling=*/true, config.seed);
+
+  // ---- (b) Fraction of indistinguishable regions ----
+  std::printf("\n(b) fraction of regions within the bellwether's confidence "
+              "interval\n");
+  Row({"Budget", "95%", "99%"});
+  for (double budget : budgets) {
+    auto r = core::SelectUnderBudget(*cv_full, &source, data->region_costs,
+                                     budget);
+    if (!r.ok() || !r->found()) {
+      Row({Fmt(budget, "%.0f"), "-", "-"});
+      continue;
+    }
+    Row({Fmt(budget, "%.0f"), Fmt(r->FractionIndistinguishable(0.95)),
+         Fmt(r->FractionIndistinguishable(0.99))});
+  }
+
+  // ---- (c) Training-set error vs budget ----
+  BasicSearchOptions tr_opts = cv_opts;
+  tr_opts.estimate = regression::ErrorEstimate::kTrainingSet;
+  auto tr_full = core::RunBasicBellwetherSearch(&source, tr_opts);
+  if (!tr_full.ok()) return 1;
+  PrintErrorTable("(c) error vs budget — training-set RMSE (cheap estimate)",
+                  *tr_full, &source, *data, spec, budgets,
+                  /*with_sampling=*/false, config.seed);
+
+  std::printf("\ntotal: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Reproduces Figure 9: bellwether analysis of the book store dataset — the
+// negative case. (a) error vs budget, (b) fraction of indistinguishable
+// regions (expected to stay HIGH: no unique bellwether exists in this
+// data), (c) Basic/Tree/Cube prediction errors (no clear winner expected).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/baselines.h"
+#include "core/basic_search.h"
+#include "core/bellwether_cube.h"
+#include "core/item_centric_eval.h"
+#include "core/training_data_gen.h"
+#include "datagen/book_store.h"
+#include "storage/training_data.h"
+
+namespace {
+using namespace bellwether;         // NOLINT
+using namespace bellwether::bench;  // NOLINT
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 1.0);
+  datagen::BookStoreConfig config;
+  config.num_books = static_cast<int32_t>(200 * scale);
+  Banner("Figure 9", "Bellwether analysis of the book store dataset");
+  Stopwatch total;
+  datagen::BookStoreDataset dataset = datagen::GenerateBookStore(config);
+  std::printf("books=%zu transactions=%zu (no planted bellwether; small "
+              "sample)\n",
+              dataset.items.num_rows(), dataset.fact.num_rows());
+
+  const double max_budget = 200.0;
+  const core::BellwetherSpec spec = dataset.MakeSpec(max_budget, 0.4);
+  auto data = core::GenerateTrainingData(spec);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  storage::MemoryTrainingData source(data->sets);
+
+  core::BasicSearchOptions opts;
+  opts.estimate = regression::ErrorEstimate::kCrossValidation;
+  opts.cv_folds = 10;
+  opts.min_examples = 30;
+  auto full = core::RunBasicBellwetherSearch(&source, opts);
+  if (!full.ok()) {
+    std::fprintf(stderr, "%s\n", full.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<double> budgets{25, 50, 75, 100, 125, 150, 175, 200};
+  std::printf("\n(a) error vs budget — 10-fold cross-validation RMSE\n");
+  Row({"Budget", "BelErr", "AvgErr", "SmpErr", "Returned region"});
+  for (double budget : budgets) {
+    auto r =
+        core::SelectUnderBudget(*full, &source, data->region_costs, budget);
+    if (!r.ok() || !r->found()) {
+      Row({Fmt(budget, "%.0f"), "-", "-", "-", "(none feasible)"});
+      continue;
+    }
+    Rng rng(2004);
+    auto smp = core::RandomSamplingError(spec, budget, 3, &rng);
+    Row({Fmt(budget, "%.0f"), Fmt(r->error.rmse), Fmt(r->AverageError()),
+         smp.ok() ? Fmt(smp->rmse) : "-",
+         spec.space->RegionLabel(r->bellwether)});
+  }
+
+  std::printf("\n(b) fraction of indistinguishable regions (expected to stay "
+              "high)\n");
+  Row({"Budget", "95%", "99%"});
+  for (double budget : budgets) {
+    auto r =
+        core::SelectUnderBudget(*full, &source, data->region_costs, budget);
+    if (!r.ok() || !r->found()) {
+      Row({Fmt(budget, "%.0f"), "-", "-"});
+      continue;
+    }
+    Row({Fmt(budget, "%.0f"), Fmt(r->FractionIndistinguishable(0.95)),
+         Fmt(r->FractionIndistinguishable(0.99))});
+  }
+
+  std::printf("\n(c) item-centric prediction — no clear winner expected\n");
+  auto subsets =
+      core::ItemSubsetSpace::Create(dataset.items, dataset.item_hierarchies);
+  if (!subsets.ok()) {
+    std::fprintf(stderr, "%s\n", subsets.status().ToString().c_str());
+    return 1;
+  }
+  core::ItemCentricOptions iopts;
+  iopts.folds = 10;
+  iopts.tree.split_columns = {"Genre", "PriceBand", "ListPrice"};
+  iopts.tree.min_items = 40;
+  iopts.tree.max_depth = 3;
+  iopts.tree.max_numeric_split_points = 8;
+  iopts.tree.min_examples_per_model = 15;
+  iopts.cube.min_subset_size = 25;
+  iopts.cube.min_examples_per_model = 15;
+  iopts.basic.estimate = regression::ErrorEstimate::kTrainingSet;
+  iopts.basic.min_examples = 15;
+  Row({"Budget", "SingleRegion", "Tree", "Cube"});
+  for (double budget : {50.0, 100.0, 150.0, 200.0}) {
+    const auto sets =
+        core::FilterSetsByBudget(data->sets, data->region_costs, budget);
+    if (sets.empty()) {
+      Row({Fmt(budget, "%.0f"), "-", "-", "-"});
+      continue;
+    }
+    core::ItemCentricInput input;
+    input.sets = &sets;
+    input.targets = &data->targets;
+    input.item_table = &dataset.items;
+    input.subsets = *subsets;
+    auto r = core::EvaluateItemCentric(input, iopts);
+    if (!r.ok()) {
+      Row({Fmt(budget, "%.0f"), "-", "-", "-"});
+      continue;
+    }
+    Row({Fmt(budget, "%.0f"), Fmt(r->basic.rmse), Fmt(r->tree.rmse),
+         Fmt(r->cube.rmse)});
+  }
+  std::printf("\ntotal: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Figure 10: prediction error of the cube, basic, and tree
+// methods on simulated data. (a) error as a function of the noise level at
+// a fixed generator complexity of 15 tree nodes; (b) error as a function of
+// the generator tree size at noise 0.5. Each point averages several
+// generated datasets (paper: 10; default here: 5, --datasets=N to change).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/bellwether_cube.h"
+#include "core/item_centric_eval.h"
+#include "datagen/simulation.h"
+
+namespace {
+
+using namespace bellwether;         // NOLINT
+using namespace bellwether::bench;  // NOLINT
+
+struct Point {
+  double basic = 0.0;
+  double tree = 0.0;
+  double cube = 0.0;
+};
+
+Point RunOne(int32_t tree_nodes, double noise, int32_t datasets,
+             int32_t items) {
+  Point acc;
+  for (int32_t d = 0; d < datasets; ++d) {
+    datagen::SimulationConfig config;
+    config.num_items = items;
+    config.generator_tree_nodes = tree_nodes;
+    config.noise = noise;
+    config.num_hierarchies = 6;
+    config.seed = 1000 * (d + 1) + tree_nodes;
+    datagen::SimulationDataset sim = datagen::GenerateSimulation(config);
+    auto subsets =
+        core::ItemSubsetSpace::Create(sim.items, sim.item_hierarchies);
+    if (!subsets.ok()) continue;
+    core::ItemCentricInput input;
+    input.sets = &sim.sets;
+    input.targets = &sim.targets;
+    input.item_table = &sim.items;
+    input.subsets = *subsets;
+    core::ItemCentricOptions opts;
+    opts.folds = 10;
+    opts.tree.split_columns = sim.feature_columns;
+    opts.tree.min_items = 50;
+    opts.tree.max_depth = 5;
+    opts.tree.min_examples_per_model = 10;
+    opts.cube.min_subset_size = 30;
+    opts.cube.min_examples_per_model = 10;
+    opts.cube.compute_cv_stats = true;
+    opts.basic.estimate = regression::ErrorEstimate::kTrainingSet;
+    auto r = core::EvaluateItemCentric(input, opts);
+    if (!r.ok()) continue;
+    acc.basic += r->basic.rmse / datasets;
+    acc.tree += r->tree.rmse / datasets;
+    acc.cube += r->cube.rmse / datasets;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 1.0);
+  const int32_t datasets =
+      static_cast<int32_t>(FlagDouble(argc, argv, "datasets", 5));
+  const int32_t items = static_cast<int32_t>(500 * scale);
+  Banner("Figure 10", "Error of cube, basic and tree on simulated data");
+  std::printf("items=%d datasets_per_point=%d (paper: 1000 items, 10 "
+              "datasets)\n",
+              items, datasets);
+  Stopwatch total;
+
+  std::printf("\n(a) RMSE vs noise level (generator complexity: 15 nodes)\n");
+  Row({"Noise", "cube", "basic", "tree"});
+  for (double noise : {0.05, 0.5, 1.0, 2.0, 4.0}) {
+    const Point p = RunOne(15, noise, datasets, items);
+    Row({Fmt(noise), Fmt(p.cube), Fmt(p.basic), Fmt(p.tree)});
+  }
+
+  std::printf("\n(b) RMSE vs number of generator-tree nodes (noise 0.5)\n");
+  Row({"Nodes", "cube", "basic", "tree"});
+  for (int32_t nodes : {3, 7, 15, 31, 63}) {
+    const Point p = RunOne(nodes, 0.5, datasets, items);
+    Row({Fmt(nodes, "%.0f"), Fmt(p.cube), Fmt(p.basic), Fmt(p.tree)});
+  }
+  std::printf("\ntotal: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Reproduces Figure 11: efficiency and scalability of the bellwether tree
+// and cube algorithms on disk-resident entire training data.
+//   (a) naive algorithms vs the scan-based ones when every request of a
+//       region's training set is a disk read (naive reads the file hundreds
+//       of times; the scan-based algorithms read it once per scan);
+//   (b) single-scan and optimized cube scale linearly in the number of
+//       training examples;
+//   (c) the RF tree scales linearly in the number of training examples.
+// Sizes are scaled down from the paper's 2.5M-10M examples so the default
+// run finishes in minutes; pass --scale=1.0 for paper-sized runs.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/bellwether_cube.h"
+#include "core/bellwether_tree.h"
+#include "datagen/scalability.h"
+#include "storage/training_data.h"
+
+namespace {
+
+using namespace bellwether;         // NOLINT
+using namespace bellwether::bench;  // NOLINT
+
+struct Generated {
+  datagen::ScalabilityDataset meta;
+  std::unique_ptr<storage::SpilledTrainingData> source;
+  std::string path;
+};
+
+// Generates a spilled dataset with ~`target_examples` examples.
+Generated Generate(int64_t target_examples, int32_t items,
+                   const std::vector<int32_t>& dim1,
+                   const std::vector<int32_t>& dim2,
+                   int32_t numeric_features, int32_t hierarchy_fanout) {
+  Generated out;
+  out.path = std::string("/tmp/bw_scal_") + std::to_string(target_examples) +
+             "_" + std::to_string(numeric_features) + "_" +
+             std::to_string(hierarchy_fanout) + ".spill";
+  datagen::ScalabilityConfig config;
+  config.num_items = items;
+  config.dim1_fanouts = dim1;
+  config.dim2_fanouts = dim2;
+  config.num_numeric_item_features = numeric_features;
+  config.item_hierarchy_fanouts = {hierarchy_fanout};
+  auto writer = storage::SpillFileWriter::Create(out.path);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto meta = datagen::GenerateScalability(config, writer->get(), nullptr);
+  if (!meta.ok() || !(*writer)->Finish().ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    std::exit(1);
+  }
+  out.meta = std::move(meta).value();
+  auto src = storage::SpilledTrainingData::Open(out.path);
+  if (!src.ok()) {
+    std::fprintf(stderr, "%s\n", src.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.source = std::move(src).value();
+  return out;
+}
+
+core::TreeBuildConfig TreeConfig(const datagen::ScalabilityDataset& meta,
+                                 int32_t max_depth, int32_t min_items = 200) {
+  core::TreeBuildConfig config;
+  config.split_columns = meta.numeric_feature_columns;
+  config.min_items = min_items;
+  config.max_depth = max_depth;
+  config.max_numeric_split_points = 4;
+  config.min_examples_per_model = 10;
+  return config;
+}
+
+core::CubeBuildConfig CubeConfig() {
+  core::CubeBuildConfig config;
+  config.min_subset_size = 50;
+  config.min_examples_per_model = 10;
+  config.compute_cv_stats = false;
+  return config;
+}
+
+double TimeIt(const std::function<void()>& fn) {
+  Stopwatch sw;
+  fn();
+  return sw.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 0.1);
+  Banner("Figure 11", "Scalability of the algorithms (disk-resident data)");
+  std::printf("scale=%.2f of the paper's sizes (use --scale=1.0 for 2.5M-10M "
+              "examples)\n", scale);
+
+  // ---- (a) naive vs scan-based, every request hits the disk ----
+  std::printf("\n(a) naive vs scan-based algorithms, time (s) vs examples\n");
+  Row({"Examples", "naive-tree", "RF-tree", "naive-cube", "single-scan",
+       "optimized"},
+      14);
+  for (int64_t target : {100000, 200000, 300000}) {
+    const int64_t examples = static_cast<int64_t>(target * scale * 3.0);
+    // 169 regions (two {3,3} trees, 13 nodes each).
+    const int32_t items = static_cast<int32_t>(examples / 169);
+    Generated g = Generate(examples, items, {3, 3}, {3, 3},
+                           /*numeric_features=*/2, /*hierarchy_fanout=*/2);
+    // The paper's simulation: every request of a region's training set is a
+    // disk read; emulate a device with a fixed per-request latency so the
+    // OS page cache does not mask the random-read penalty.
+    g.source->set_simulated_read_latency_micros(500);
+    auto subsets =
+        core::ItemSubsetSpace::Create(g.meta.items, g.meta.item_hierarchies);
+    if (!subsets.ok()) return 1;
+    const auto tree_cfg = TreeConfig(g.meta, /*max_depth=*/2,
+                                     /*min_items=*/50);
+    const auto cube_cfg = CubeConfig();
+    const double t_naive_tree = TimeIt([&] {
+      auto r = core::BuildBellwetherTreeNaive(g.source.get(), g.meta.items,
+                                              tree_cfg);
+      if (!r.ok()) std::exit(1);
+    });
+    const double t_rf_tree = TimeIt([&] {
+      auto r = core::BuildBellwetherTreeRainForest(g.source.get(),
+                                                   g.meta.items, tree_cfg);
+      if (!r.ok()) std::exit(1);
+    });
+    const double t_naive_cube = TimeIt([&] {
+      auto r = core::BuildBellwetherCubeNaive(g.source.get(), *subsets,
+                                              cube_cfg);
+      if (!r.ok()) std::exit(1);
+    });
+    const double t_scan_cube = TimeIt([&] {
+      auto r = core::BuildBellwetherCubeSingleScan(g.source.get(), *subsets,
+                                                   cube_cfg);
+      if (!r.ok()) std::exit(1);
+    });
+    const double t_opt_cube = TimeIt([&] {
+      auto r = core::BuildBellwetherCubeOptimized(g.source.get(), *subsets,
+                                                  cube_cfg);
+      if (!r.ok()) std::exit(1);
+    });
+    Row({Fmt(static_cast<double>(g.meta.total_examples), "%.3g"),
+         Fmt(t_naive_tree, "%.2f"), Fmt(t_rf_tree, "%.2f"),
+         Fmt(t_naive_cube, "%.2f"), Fmt(t_scan_cube, "%.2f"),
+         Fmt(t_opt_cube, "%.2f")});
+    std::remove(g.path.c_str());
+  }
+
+  // ---- (b) cube algorithms scale linearly ----
+  std::printf("\n(b) cube construction, time (s) vs examples\n");
+  Row({"Examples", "single-scan", "optimized"});
+  const std::vector<std::pair<std::vector<int32_t>, std::vector<int32_t>>>
+      region_shapes{{{9}, {9}}, {{9}, {19}}, {{14}, {19}}, {{19}, {19}}};
+  for (size_t k = 0; k < region_shapes.size(); ++k) {
+    const int64_t paper_examples = 2500000 * static_cast<int64_t>(k + 1);
+    const int32_t items =
+        static_cast<int32_t>(2500 * scale * 10.0);  // paper: 2500 items
+    Generated g = Generate(static_cast<int64_t>(paper_examples * scale),
+                           items, region_shapes[k].first,
+                           region_shapes[k].second, 4, 3);
+    auto subsets =
+        core::ItemSubsetSpace::Create(g.meta.items, g.meta.item_hierarchies);
+    if (!subsets.ok()) return 1;
+    const auto cube_cfg = CubeConfig();
+    const double t_scan = TimeIt([&] {
+      auto r = core::BuildBellwetherCubeSingleScan(g.source.get(), *subsets,
+                                                   cube_cfg);
+      if (!r.ok()) std::exit(1);
+    });
+    const double t_opt = TimeIt([&] {
+      auto r = core::BuildBellwetherCubeOptimized(g.source.get(), *subsets,
+                                                  cube_cfg);
+      if (!r.ok()) std::exit(1);
+    });
+    Row({Fmt(static_cast<double>(g.meta.total_examples), "%.3g"),
+         Fmt(t_scan, "%.2f"), Fmt(t_opt, "%.2f")});
+    std::remove(g.path.c_str());
+  }
+
+  // ---- (c) RF tree scales linearly ----
+  std::printf("\n(c) RF tree construction, time (s) vs examples\n");
+  Row({"Examples", "RF-tree"});
+  for (size_t k = 0; k < region_shapes.size(); ++k) {
+    const int64_t paper_examples = 2500000 * static_cast<int64_t>(k + 1);
+    const int32_t items = static_cast<int32_t>(2500 * scale * 10.0);
+    Generated g = Generate(static_cast<int64_t>(paper_examples * scale),
+                           items, region_shapes[k].first,
+                           region_shapes[k].second, 4, 3);
+    const auto tree_cfg = TreeConfig(g.meta, /*max_depth=*/3);
+    const double t = TimeIt([&] {
+      auto r = core::BuildBellwetherTreeRainForest(g.source.get(),
+                                                   g.meta.items, tree_cfg);
+      if (!r.ok()) std::exit(1);
+    });
+    Row({Fmt(static_cast<double>(g.meta.total_examples), "%.3g"),
+         Fmt(t, "%.2f")});
+    std::remove(g.path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure 12: characteristics of the optimized cube and the RF
+// tree. (a) optimized-cube construction time scales linearly in the number
+// of significant item subsets (fixed example count); (b) RF-tree
+// construction time scales linearly in the number of item-table features
+// (fixed example count). Sizes are scaled down from the paper (2.5M / 1M
+// examples); pass --scale=1.0 for paper-sized runs.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/bellwether_cube.h"
+#include "core/bellwether_tree.h"
+#include "datagen/scalability.h"
+#include "storage/training_data.h"
+
+namespace {
+using namespace bellwether;         // NOLINT
+using namespace bellwether::bench;  // NOLINT
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 0.1);
+  Banner("Figure 12", "Characteristics of the optimized cube and RF tree");
+
+  // ---- (a) optimized cube vs number of significant subsets ----
+  // Paper: 2.5M examples, subsets varied via the item hierarchies.
+  std::printf("\n(a) optimized cube, time (s) vs significant subsets "
+              "(%.3g examples)\n", 2.5e6 * scale);
+  Row({"Subsets", "Time(s)"});
+  for (int32_t fanout : {2, 3, 4, 5, 6}) {
+    datagen::ScalabilityConfig config;
+    config.num_items = static_cast<int32_t>(2500 * scale * 10.0);
+    config.dim1_fanouts = {9};
+    config.dim2_fanouts = {9};  // 100 regions
+    config.item_hierarchy_fanouts = {fanout, fanout};
+    std::vector<storage::RegionTrainingSet> sets;
+    auto meta = datagen::GenerateScalability(config, nullptr, &sets);
+    if (!meta.ok()) return 1;
+    storage::MemoryTrainingData source(std::move(sets));
+    auto subsets =
+        core::ItemSubsetSpace::Create(meta->items, meta->item_hierarchies);
+    if (!subsets.ok()) return 1;
+    core::CubeBuildConfig cube_cfg;
+    cube_cfg.min_subset_size = 1;  // every non-empty subset is significant
+    cube_cfg.min_examples_per_model = 10;
+    cube_cfg.compute_cv_stats = false;
+    Stopwatch sw;
+    auto cube =
+        core::BuildBellwetherCubeOptimized(&source, *subsets, cube_cfg);
+    if (!cube.ok()) return 1;
+    Row({Fmt(static_cast<double>(cube->cells().size()), "%.0f"),
+         Fmt(sw.ElapsedSeconds(), "%.2f")});
+  }
+
+  // ---- (b) RF tree vs number of item-table features ----
+  std::printf("\n(b) RF tree, time (s) vs item-table features "
+              "(%.3g examples)\n", 1e6 * scale);
+  Row({"Features", "Time(s)"});
+  for (int32_t features : {5, 10, 20, 40}) {
+    datagen::ScalabilityConfig config;
+    config.num_items = static_cast<int32_t>(2500 * scale * 4.0);
+    config.dim1_fanouts = {9};
+    config.dim2_fanouts = {9};
+    config.num_numeric_item_features = features;
+    std::vector<storage::RegionTrainingSet> sets;
+    auto meta = datagen::GenerateScalability(config, nullptr, &sets);
+    if (!meta.ok()) return 1;
+    storage::MemoryTrainingData source(std::move(sets));
+    core::TreeBuildConfig tree_cfg;
+    tree_cfg.split_columns = meta->numeric_feature_columns;
+    tree_cfg.min_items = 100;
+    tree_cfg.max_depth = 3;
+    tree_cfg.max_numeric_split_points = 4;
+    tree_cfg.min_examples_per_model = 10;
+    Stopwatch sw;
+    auto tree = core::BuildBellwetherTreeRainForest(&source, meta->items,
+                                                    tree_cfg);
+    if (!tree.ok()) return 1;
+    Row({Fmt(features, "%.0f"), Fmt(sw.ElapsedSeconds(), "%.2f")});
+  }
+  return 0;
+}

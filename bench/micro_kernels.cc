@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) of the kernels the bellwether
+// algorithms are built from: regression sufficient-statistics accumulation
+// and merging (Theorem 1's g and q), WLS solves, CUBE rollup, region
+// enumeration, and the iceberg feasible-region search.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "datagen/hierarchy_util.h"
+#include "olap/cost.h"
+#include "olap/cube.h"
+#include "olap/iceberg.h"
+#include "olap/region.h"
+#include "regression/linear_model.h"
+
+namespace {
+
+using namespace bellwether;  // NOLINT
+
+void BM_SuffStatsAdd(benchmark::State& state) {
+  const size_t p = state.range(0);
+  Rng rng(1);
+  std::vector<double> x(p);
+  for (auto& v : x) v = rng.NextDouble(-1, 1);
+  regression::RegressionSuffStats stats(p);
+  for (auto _ : state) {
+    stats.Add(x.data(), 1.5);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SuffStatsAdd)->Arg(3)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_SuffStatsMerge(benchmark::State& state) {
+  const size_t p = state.range(0);
+  Rng rng(2);
+  regression::RegressionSuffStats a(p), b(p);
+  std::vector<double> x(p);
+  for (int i = 0; i < 16; ++i) {
+    for (auto& v : x) v = rng.NextDouble(-1, 1);
+    a.Add(x.data(), rng.NextDouble());
+    b.Add(x.data(), rng.NextDouble());
+  }
+  for (auto _ : state) {
+    regression::RegressionSuffStats c = a;
+    c.Merge(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SuffStatsMerge)->Arg(3)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_WlsFit(benchmark::State& state) {
+  const size_t p = state.range(0);
+  Rng rng(3);
+  regression::RegressionSuffStats stats(p);
+  std::vector<double> x(p);
+  for (size_t i = 0; i < 8 * p; ++i) {
+    x[0] = 1.0;
+    for (size_t j = 1; j < p; ++j) x[j] = rng.NextDouble(-1, 1);
+    stats.Add(x.data(), rng.NextDouble(), rng.NextDouble(0.5, 1.5));
+  }
+  for (auto _ : state) {
+    auto model = stats.Fit();
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_WlsFit)->Arg(3)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_TrainingSseFromStats(benchmark::State& state) {
+  const size_t p = 6;
+  Rng rng(4);
+  regression::RegressionSuffStats stats(p);
+  std::vector<double> x(p);
+  for (int i = 0; i < 200; ++i) {
+    x[0] = 1.0;
+    for (size_t j = 1; j < p; ++j) x[j] = rng.NextDouble(-1, 1);
+    stats.Add(x.data(), rng.NextDouble());
+  }
+  for (auto _ : state) {
+    auto sse = stats.TrainingSse();
+    benchmark::DoNotOptimize(sse);
+  }
+}
+BENCHMARK(BM_TrainingSseFromStats);
+
+olap::RegionSpace MakeSpace(int32_t months, int32_t fanout) {
+  std::vector<olap::Dimension> dims;
+  dims.emplace_back(olap::IntervalDimension("Time", months));
+  dims.emplace_back(datagen::BuildBalancedHierarchy("Loc", "All",
+                                                    {fanout, fanout}, "L"));
+  return olap::RegionSpace(std::move(dims));
+}
+
+void BM_CubeRollup(benchmark::State& state) {
+  const int32_t items = state.range(0);
+  olap::RegionSpace space = MakeSpace(10, 5);
+  Rng rng(5);
+  const auto& loc = std::get<olap::HierarchicalDimension>(space.dim(1));
+  const auto& leaves = loc.leaves();
+  for (auto _ : state) {
+    state.PauseTiming();
+    olap::RegionItemCube<olap::NumericAgg> cube(&space, items);
+    for (int32_t i = 0; i < items; ++i) {
+      for (int k = 0; k < 10; ++k) {
+        cube.BaseCell({static_cast<int32_t>(1 + rng.NextUint64(10)),
+                       leaves[rng.NextUint64(leaves.size())]},
+                      i)
+            .Add(rng.NextDouble());
+      }
+    }
+    state.ResumeTiming();
+    cube.Rollup();
+    benchmark::DoNotOptimize(cube);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_CubeRollup)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_ForEachContainingRegion(benchmark::State& state) {
+  olap::RegionSpace space = MakeSpace(10, 5);
+  const auto& loc = std::get<olap::HierarchicalDimension>(space.dim(1));
+  const olap::PointCoords point{3, loc.leaves()[7]};
+  for (auto _ : state) {
+    int64_t count = 0;
+    space.ForEachContainingRegion(point, [&](olap::RegionId) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_ForEachContainingRegion);
+
+void BM_IcebergSearch(benchmark::State& state) {
+  const bool pruned = state.range(0) == 1;
+  olap::RegionSpace space = MakeSpace(10, 6);
+  Rng rng(6);
+  std::vector<double> cell_costs(space.NumFinestCells());
+  for (auto& c : cell_costs) c = rng.NextDouble(0.5, 2.0);
+  auto cost = olap::CostModel::Create(&space, cell_costs);
+  std::vector<double> coverage(space.NumRegions());
+  // Monotone synthetic coverage: proportional to region size.
+  for (olap::RegionId r = 0; r < space.NumRegions(); ++r) {
+    coverage[r] = std::min(
+        1.0, static_cast<double>(space.FinestCellsIn(r).size()) / 40.0);
+  }
+  for (auto _ : state) {
+    auto result = pruned
+                      ? olap::FindFeasibleRegionsPruned(
+                            space, cost->region_costs(), coverage, 30.0, 0.3)
+                      : olap::FindFeasibleRegionsBruteForce(
+                            space, cost->region_costs(), coverage, 30.0, 0.3);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_IcebergSearch)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

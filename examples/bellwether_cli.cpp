@@ -1,0 +1,289 @@
+// bellwether_cli — run a basic bellwether analysis from CSV files.
+//
+//   bellwether_cli --fact=orders.csv --items=items.csv ...
+//       --hierarchy=location.txt --costs=costs.csv --time-max=10
+//       --budget=50 --coverage=0.5
+//
+// File formats:
+//   orders.csv     header: Time,Location,ItemID,Profit — Time is a 1-based
+//                  integer period, Location a leaf label of the hierarchy.
+//   items.csv      header: ItemID,<numeric feature columns...>
+//   location.txt   one node per line as "child<TAB>parent"; the first line
+//                  names the root alone.
+//   costs.csv      header: Time,Location,Cost — cost of observing one
+//                  (period, leaf) cell.
+//
+// With no --fact flag the tool generates a demo dataset into /tmp, writes
+// the four files, and analyses them — a full round trip through the CSV
+// layer.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "core/basic_search.h"
+#include "core/training_data_gen.h"
+#include "datagen/mail_order.h"
+#include "olap/cost.h"
+#include "storage/training_data.h"
+#include "table/csv.h"
+
+using namespace bellwether;  // NOLINT: example brevity
+
+namespace {
+
+std::string FlagString(int argc, char** argv, const char* name,
+                       const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], prefix)) return argv[i] + prefix.size();
+  }
+  return fallback;
+}
+
+// Reads "child<TAB>parent" lines into a hierarchy; first line is the root.
+Result<olap::HierarchicalDimension> ReadHierarchy(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open hierarchy file: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty hierarchy file: " + path);
+  }
+  olap::HierarchicalDimension dim(
+      "Location", std::string(StripAsciiWhitespace(line)));
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    const auto parts = SplitString(stripped, '\t');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected 'child<TAB>parent'");
+    }
+    BW_ASSIGN_OR_RETURN(olap::NodeId parent, dim.FindNode(parts[1]));
+    dim.AddNode(parts[0], parent);
+  }
+  return dim;
+}
+
+// Remaps a string Location column to leaf NodeIds.
+Result<table::Table> RemapLocations(const table::Table& fact,
+                                    const olap::HierarchicalDimension& dim) {
+  const auto loc_idx = fact.schema().FindField("Location");
+  if (!loc_idx.has_value()) {
+    return Status::NotFound("fact table needs a Location column");
+  }
+  table::Schema schema;
+  for (size_t c = 0; c < fact.schema().num_fields(); ++c) {
+    table::Field f = fact.schema().field(c);
+    if (c == *loc_idx) f.type = table::DataType::kInt64;
+    schema.AddField(f);
+  }
+  table::Table out(schema);
+  std::vector<table::Value> row;
+  for (size_t r = 0; r < fact.num_rows(); ++r) {
+    row = fact.RowAt(r);
+    if (!row[*loc_idx].is_null()) {
+      BW_ASSIGN_OR_RETURN(olap::NodeId n, dim.FindNode(row[*loc_idx].str()));
+      if (!dim.IsLeaf(n)) {
+        return Status::InvalidArgument("Location is not a leaf: " +
+                                       row[*loc_idx].str());
+      }
+      row[*loc_idx] = table::Value(static_cast<int64_t>(n));
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+// Writes the demo dataset (mail-order generator exported to CSV).
+Status WriteDemoFiles(const std::string& dir, std::string* fact_path,
+                      std::string* items_path, std::string* hier_path,
+                      std::string* costs_path) {
+  datagen::MailOrderConfig config;
+  config.num_items = 150;
+  config.seed = 41;
+  const datagen::MailOrderDataset data = datagen::GenerateMailOrder(config);
+  const auto& loc =
+      std::get<olap::HierarchicalDimension>(data.space->dim(1));
+
+  // Fact with Location exported as leaf labels.
+  table::Table fact(table::Schema({{"Time", table::DataType::kInt64},
+                                   {"Location", table::DataType::kString},
+                                   {"ItemID", table::DataType::kInt64},
+                                   {"Profit", table::DataType::kDouble}}));
+  for (size_t r = 0; r < data.fact.num_rows(); ++r) {
+    fact.AppendRow({data.fact.ValueAt(r, 0),
+                    table::Value(loc.label(static_cast<olap::NodeId>(
+                        data.fact.ValueAt(r, 1).int64()))),
+                    data.fact.ValueAt(r, 2), data.fact.ValueAt(r, 5)});
+  }
+  *fact_path = dir + "/demo_orders.csv";
+  BW_RETURN_IF_ERROR(table::WriteCsv(fact, *fact_path));
+
+  // Items: id + RDExpense.
+  table::Table items(table::Schema({{"ItemID", table::DataType::kInt64},
+                                    {"RDExpense", table::DataType::kDouble}}));
+  for (size_t r = 0; r < data.items.num_rows(); ++r) {
+    items.AppendRow({data.items.ValueAt(r, 0), data.items.ValueAt(r, 3)});
+  }
+  *items_path = dir + "/demo_items.csv";
+  BW_RETURN_IF_ERROR(table::WriteCsv(items, *items_path));
+
+  // Hierarchy file.
+  *hier_path = dir + "/demo_location.txt";
+  {
+    std::ofstream out(*hier_path);
+    out << loc.label(loc.root()) << "\n";
+    for (olap::NodeId n = 1; n < loc.num_nodes(); ++n) {
+      out << loc.label(n) << "\t" << loc.label(loc.parent(n)) << "\n";
+    }
+    if (!out) return Status::IoError("cannot write " + *hier_path);
+  }
+
+  // Costs per finest cell.
+  table::Table costs(table::Schema({{"Time", table::DataType::kInt64},
+                                    {"Location", table::DataType::kString},
+                                    {"Cost", table::DataType::kDouble}}));
+  const auto& cell_costs = data.cost->finest_cell_costs();
+  olap::PointCoords p(2);
+  for (int32_t t = 1; t <= config.num_months; ++t) {
+    for (olap::NodeId leaf : loc.leaves()) {
+      p[0] = t;
+      p[1] = leaf;
+      costs.AppendRow(
+          {table::Value(static_cast<int64_t>(t)),
+           table::Value(loc.label(leaf)),
+           table::Value(cell_costs[data.space->FinestCellOf(p)])});
+    }
+  }
+  *costs_path = dir + "/demo_costs.csv";
+  return table::WriteCsv(costs, *costs_path);
+}
+
+Status Run(int argc, char** argv) {
+  std::string fact_path = FlagString(argc, argv, "fact", "");
+  std::string items_path = FlagString(argc, argv, "items", "");
+  std::string hier_path = FlagString(argc, argv, "hierarchy", "");
+  std::string costs_path = FlagString(argc, argv, "costs", "");
+  if (fact_path.empty()) {
+    std::printf("no --fact given: generating a demo dataset under /tmp\n");
+    BW_RETURN_IF_ERROR(WriteDemoFiles("/tmp", &fact_path, &items_path,
+                                      &hier_path, &costs_path));
+  }
+  const int32_t time_max = static_cast<int32_t>(
+      bench::FlagDouble(argc, argv, "time-max", 10));
+  const double budget = bench::FlagDouble(argc, argv, "budget", 50.0);
+  const double coverage = bench::FlagDouble(argc, argv, "coverage", 0.5);
+
+  // ---- Load ----
+  BW_ASSIGN_OR_RETURN(olap::HierarchicalDimension location,
+                      ReadHierarchy(hier_path));
+  BW_ASSIGN_OR_RETURN(
+      table::Table fact_raw,
+      table::ReadCsv(fact_path,
+                     table::Schema({{"Time", table::DataType::kInt64},
+                                    {"Location", table::DataType::kString},
+                                    {"ItemID", table::DataType::kInt64},
+                                    {"Profit", table::DataType::kDouble}})));
+  BW_ASSIGN_OR_RETURN(table::Table fact, RemapLocations(fact_raw, location));
+  BW_ASSIGN_OR_RETURN(
+      table::Table items,
+      table::ReadCsv(items_path,
+                     table::Schema({{"ItemID", table::DataType::kInt64},
+                                    {"RDExpense", table::DataType::kDouble}})));
+  BW_ASSIGN_OR_RETURN(
+      table::Table costs_tbl,
+      table::ReadCsv(costs_path,
+                     table::Schema({{"Time", table::DataType::kInt64},
+                                    {"Location", table::DataType::kString},
+                                    {"Cost", table::DataType::kDouble}})));
+  std::printf("loaded %zu orders, %zu items, %d locations\n",
+              fact.num_rows(), items.num_rows(), location.num_nodes());
+
+  // ---- Region space + cost model ----
+  std::vector<olap::Dimension> dims;
+  dims.emplace_back(olap::IntervalDimension("Time", time_max));
+  dims.emplace_back(location);
+  olap::RegionSpace space(std::move(dims));
+  const auto& loc = std::get<olap::HierarchicalDimension>(space.dim(1));
+  std::vector<double> cell_costs(space.NumFinestCells(), 0.0);
+  olap::PointCoords p(2);
+  for (size_t r = 0; r < costs_tbl.num_rows(); ++r) {
+    BW_ASSIGN_OR_RETURN(olap::NodeId n,
+                        loc.FindNode(costs_tbl.ValueAt(r, 1).str()));
+    p[0] = static_cast<int32_t>(costs_tbl.ValueAt(r, 0).int64());
+    p[1] = n;
+    if (p[0] < 1 || p[0] > time_max) {
+      return Status::OutOfRange("cost row outside the time range");
+    }
+    cell_costs[space.FinestCellOf(p)] = costs_tbl.ValueAt(r, 2).AsDouble();
+  }
+  BW_ASSIGN_OR_RETURN(olap::CostModel cost,
+                      olap::CostModel::Create(&space, cell_costs));
+
+  // ---- Spec + search ----
+  core::BellwetherSpec spec;
+  spec.space = &space;
+  spec.fact = &fact;
+  spec.item_id_column = "ItemID";
+  spec.dimension_columns = {"Time", "Location"};
+  spec.item_table = &items;
+  spec.item_table_id_column = "ItemID";
+  spec.item_feature_columns = {"RDExpense"};
+  spec.regional_features = {
+      {core::FeatureQuery::Kind::kFactMeasure, table::AggFn::kSum,
+       "RegionalProfit", "Profit", "", ""},
+      {core::FeatureQuery::Kind::kFactMeasure, table::AggFn::kCount,
+       "RegionalOrders", "Profit", "", ""},
+  };
+  spec.target_fn = table::AggFn::kSum;
+  spec.target_column = "Profit";
+  spec.cost = &cost;
+  spec.budget = budget;
+  spec.min_coverage = coverage;
+
+  BW_ASSIGN_OR_RETURN(core::GeneratedTrainingData data,
+                      core::GenerateTrainingData(spec));
+  std::printf("%zu feasible regions under budget %.1f (coverage >= %.2f)\n",
+              data.sets.size(), budget, coverage);
+  storage::MemoryTrainingData source(data.sets);
+  core::BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kCrossValidation;
+  options.min_examples = 25;
+  BW_ASSIGN_OR_RETURN(core::BasicSearchResult result,
+                      core::RunBasicBellwetherSearch(&source, options));
+  if (!result.found()) {
+    return Status::NotFound("no usable bellwether region under the budget");
+  }
+  std::printf("\nbellwether region: %s\n",
+              space.RegionLabel(result.bellwether).c_str());
+  std::printf("  cost:          %.2f\n", cost.RegionCost(result.bellwether));
+  std::printf("  cv rmse:       %.2f (avg region: %.2f)\n",
+              result.error.rmse, result.AverageError());
+  std::printf("  95%% interval:  [%.2f, %.2f]\n",
+              result.error.LowerConfidenceBound(0.95),
+              result.error.UpperConfidenceBound(0.95));
+  std::printf("  unique at 95%%: %s\n",
+              result.FractionIndistinguishable(0.95) < 0.05 ? "yes" : "no");
+  std::printf("\nmodel coefficients:\n");
+  for (size_t j = 0; j < result.model.beta().size(); ++j) {
+    std::printf("  %-20s %+.6g\n", data.feature_names[j].c_str(),
+                result.model.beta()[j]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Status st = Run(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

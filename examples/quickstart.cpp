@@ -1,0 +1,129 @@
+// Quickstart: the smallest end-to-end bellwether analysis.
+//
+// Builds a tiny star schema by hand (orders + items + a region space of
+// weekly windows x a 2-level location tree), generates the training sets of
+// every feasible region with one CUBE pass, runs the basic bellwether
+// search, and uses the bellwether model to predict the season-total profit
+// of an item from its first-week regional sales.
+
+#include <cstdio>
+
+#include "core/basic_search.h"
+#include "core/eval_util.h"
+#include "core/training_data_gen.h"
+#include "common/random.h"
+#include "olap/cost.h"
+#include "olap/dimension.h"
+#include "olap/region.h"
+#include "storage/training_data.h"
+#include "table/table.h"
+
+using namespace bellwether;  // NOLINT: example brevity
+
+int main() {
+  // ---- 1. The historical database ----------------------------------------
+  // Fact table: one row per order. Dimension coordinates are int64: the
+  // 1-based week for the interval dimension, the leaf NodeId for the tree.
+  olap::HierarchicalDimension location("Location", "All");
+  const olap::NodeId us = location.AddNode("US", location.root());
+  const olap::NodeId wi = location.AddNode("WI", us);
+  const olap::NodeId md = location.AddNode("MD", us);
+  const olap::NodeId kr = location.AddNode("KR", location.root());
+
+  std::vector<olap::Dimension> dims;
+  dims.emplace_back(olap::IntervalDimension("Week", 4));
+  dims.emplace_back(location);
+  olap::RegionSpace space(std::move(dims));
+
+  table::Table fact(table::Schema({{"Week", table::DataType::kInt64},
+                                   {"Location", table::DataType::kInt64},
+                                   {"ItemID", table::DataType::kInt64},
+                                   {"Profit", table::DataType::kDouble}}));
+  table::Table items(table::Schema({{"ItemID", table::DataType::kInt64},
+                                    {"RDExpense", table::DataType::kDouble}}));
+
+  // Synthesize 40 items: WI's first-week sales are an unbiased 10% preview
+  // of the season total; MD and KR previews are biased per item.
+  Rng rng(7);
+  for (int64_t id = 1; id <= 40; ++id) {
+    const double season_total = rng.NextDouble(50, 500);
+    items.AppendRow({table::Value(id), table::Value(rng.NextDouble(1, 9))});
+    for (int week = 1; week <= 4; ++week) {
+      const double weight = week == 1 ? 0.1 : 0.3;
+      struct StateGen {
+        olap::NodeId node;
+        double bias;
+      };
+      for (const StateGen& sg :
+           {StateGen{wi, 1.0}, StateGen{md, rng.NextDouble(0.4, 1.6)},
+            StateGen{kr, rng.NextDouble(0.4, 1.6)}}) {
+        const double profit = season_total * weight * sg.bias / 3.0 *
+                              (1.0 + 0.02 * rng.NextGaussian());
+        fact.AppendRow({table::Value(static_cast<int64_t>(week)),
+                        table::Value(static_cast<int64_t>(sg.node)),
+                        table::Value(id), table::Value(profit)});
+      }
+    }
+  }
+
+  // Cost: observing one (week, state) cell costs 1; KR costs 4.
+  std::vector<double> cell_costs(space.NumFinestCells(), 1.0);
+  {
+    olap::PointCoords p{1, kr};
+    for (int week = 1; week <= 4; ++week) {
+      p[0] = week;
+      cell_costs[space.FinestCellOf(p)] = 4.0;
+    }
+  }
+  auto cost = olap::CostModel::Create(&space, cell_costs);
+  if (!cost.ok()) return 1;
+
+  // ---- 2. The bellwether problem ------------------------------------------
+  core::BellwetherSpec spec;
+  spec.space = &space;
+  spec.fact = &fact;
+  spec.item_id_column = "ItemID";
+  spec.dimension_columns = {"Week", "Location"};
+  spec.item_table = &items;
+  spec.item_table_id_column = "ItemID";
+  spec.item_feature_columns = {"RDExpense"};
+  spec.regional_features = {
+      {core::FeatureQuery::Kind::kFactMeasure, table::AggFn::kSum,
+       "RegionalProfit", "Profit", "", ""},
+  };
+  spec.target_fn = table::AggFn::kSum;  // season-total worldwide profit
+  spec.target_column = "Profit";
+  spec.cost = &*cost;
+  spec.budget = 2.0;        // we can afford two cheap cells
+  spec.min_coverage = 0.9;  // the region must cover 90% of the items
+
+  auto data = core::GenerateTrainingData(spec);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("feasible regions under budget %.0f: %zu\n", spec.budget,
+              data->sets.size());
+
+  // ---- 3. The basic bellwether search -------------------------------------
+  storage::MemoryTrainingData source(data->sets);
+  core::BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kCrossValidation;
+  auto result = core::RunBasicBellwetherSearch(&source, options);
+  if (!result.ok() || !result->found()) {
+    std::fprintf(stderr, "no bellwether found\n");
+    return 1;
+  }
+  std::printf("bellwether region: %s  (cv rmse %.2f, avg region rmse %.2f)\n",
+              space.RegionLabel(result->bellwether).c_str(),
+              result->error.rmse, result->AverageError());
+
+  // ---- 4. Predict a "new" item from its bellwether-region data ------------
+  const core::RegionFeatureLookup lookup(&data->sets);
+  const int32_t item = data->items.Find(40);
+  const double* x = lookup.Find(result->bellwether, item);
+  if (x == nullptr) return 1;
+  std::printf("item 40: predicted season total %.1f, actual %.1f\n",
+              result->model.Predict(x), data->targets[item]);
+  return 0;
+}

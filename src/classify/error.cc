@@ -1,0 +1,71 @@
+#include "classify/error.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bellwether::classify {
+
+Result<regression::ErrorStats> CrossValidateNb(const LabeledDataset& data,
+                                               int32_t num_classes,
+                                               int32_t folds, Rng* rng) {
+  BW_CHECK(rng != nullptr);
+  if (folds < 2) return Status::InvalidArgument("need >= 2 folds");
+  const size_t n = data.num_examples();
+  if (n < 2) return Status::FailedPrecondition("need >= 2 examples");
+  const int32_t k = std::min<int32_t>(folds, static_cast<int32_t>(n));
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  std::vector<double> fold_errors;
+  for (int32_t f = 0; f < k; ++f) {
+    NbSuffStats stats(data.num_features, num_classes);
+    LabeledDataset test;
+    test.num_features = data.num_features;
+    std::vector<double> row(data.num_features);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t idx = order[i];
+      row.assign(data.row(idx), data.row(idx) + data.num_features);
+      if (static_cast<int32_t>(i % k) == f) {
+        test.Add(row, data.y[idx]);
+      } else {
+        stats.Add(row.data(), data.y[idx]);
+      }
+    }
+    auto model = stats.Fit();
+    if (!model.ok() || test.num_examples() == 0) continue;
+    fold_errors.push_back(MisclassificationRate(*model, test));
+  }
+  if (fold_errors.empty()) {
+    return Status::NumericError("no usable cross-validation fold");
+  }
+  double mean = 0.0;
+  for (double e : fold_errors) mean += e;
+  mean /= static_cast<double>(fold_errors.size());
+  double var = 0.0;
+  for (double e : fold_errors) var += (e - mean) * (e - mean);
+  regression::ErrorStats out;
+  out.rmse = mean;
+  out.stddev = fold_errors.size() > 1
+                   ? std::sqrt(var /
+                               static_cast<double>(fold_errors.size() - 1))
+                   : 0.0;
+  out.num_folds = static_cast<int32_t>(fold_errors.size());
+  return out;
+}
+
+Result<regression::ErrorStats> TrainingErrorNb(const LabeledDataset& data,
+                                               int32_t num_classes) {
+  NbSuffStats stats(data.num_features, num_classes);
+  for (size_t i = 0; i < data.num_examples(); ++i) {
+    stats.Add(data.row(i), data.y[i]);
+  }
+  BW_ASSIGN_OR_RETURN(GaussianNbModel model, stats.Fit());
+  regression::ErrorStats out;
+  out.rmse = MisclassificationRate(model, data);
+  out.num_folds = 1;
+  return out;
+}
+
+}  // namespace bellwether::classify

@@ -1,0 +1,27 @@
+#ifndef BELLWETHER_CLASSIFY_ERROR_H_
+#define BELLWETHER_CLASSIFY_ERROR_H_
+
+#include <cstdint>
+
+#include "classify/gaussian_nb.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "regression/error.h"
+
+namespace bellwether::classify {
+
+/// k-fold cross-validated misclassification rate of a Gaussian NB model
+/// (the classification error measure of §2). Deterministic given *rng.
+/// Returns fold-level spread in the ErrorStats for confidence bounds, with
+/// `rmse` holding the mean misclassification rate.
+Result<regression::ErrorStats> CrossValidateNb(const LabeledDataset& data,
+                                               int32_t num_classes,
+                                               int32_t folds, Rng* rng);
+
+/// Training-set misclassification rate (fit on data, test on data).
+Result<regression::ErrorStats> TrainingErrorNb(const LabeledDataset& data,
+                                               int32_t num_classes);
+
+}  // namespace bellwether::classify
+
+#endif  // BELLWETHER_CLASSIFY_ERROR_H_

@@ -1,0 +1,36 @@
+#ifndef BELLWETHER_COMMON_CHECK_H_
+#define BELLWETHER_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bellwether::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "BW_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace bellwether::internal_check
+
+/// Invariant check, enabled in all build modes. Use for programmer errors
+/// (violated preconditions inside the library), not for user-input validation
+/// — user input errors must be reported through Status.
+#define BW_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::bellwether::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                      \
+  } while (false)
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define BW_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#else
+#define BW_DCHECK(expr) BW_CHECK(expr)
+#endif
+
+#endif  // BELLWETHER_COMMON_CHECK_H_

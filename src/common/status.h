@@ -1,0 +1,127 @@
+#ifndef BELLWETHER_COMMON_STATUS_H_
+#define BELLWETHER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bellwether {
+
+/// Error categories used across the library. The library does not use C++
+/// exceptions; every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kNumericError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT: implicit
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Status of the result; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok(). Accessing the value of an error result aborts.
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from an expression.
+#define BW_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::bellwether::Status _bw_st = (expr);        \
+    if (!_bw_st.ok()) return _bw_st;             \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define BW_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  BW_ASSIGN_OR_RETURN_IMPL_(                     \
+      BW_CONCAT_(_bw_result_, __LINE__), lhs, rexpr)
+
+#define BW_CONCAT_INNER_(x, y) x##y
+#define BW_CONCAT_(x, y) BW_CONCAT_INNER_(x, y)
+#define BW_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+}  // namespace bellwether
+
+#endif  // BELLWETHER_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef BELLWETHER_COMMON_STRING_UTIL_H_
+#define BELLWETHER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bellwether {
+
+/// Splits `s` on `delim`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins `parts` with `delim` between elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Formats a double compactly for table output (up to 6 significant digits,
+/// no trailing zeros).
+std::string FormatDouble(double v);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace bellwether
+
+#endif  // BELLWETHER_COMMON_STRING_UTIL_H_

@@ -1,0 +1,24 @@
+#ifndef BELLWETHER_CORE_BASELINES_H_
+#define BELLWETHER_CORE_BASELINES_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/spec.h"
+#include "regression/error.h"
+
+namespace bellwether::core {
+
+/// The random-sampling baseline of Fig. 7 ("Smp Err"): repeatedly draws a
+/// random collection of finest-grained cells whose total cost stays within
+/// the budget (such a collection generally does not correspond to any
+/// OLAP-style region), builds a training set over the collection, and
+/// estimates the model error. Returns the mean RMSE over `trials` draws.
+Result<regression::ErrorStats> RandomSamplingError(const BellwetherSpec& spec,
+                                                   double budget,
+                                                   int32_t trials, Rng* rng);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_BASELINES_H_

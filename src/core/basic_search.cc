@@ -1,0 +1,167 @@
+#include "core/basic_search.h"
+
+#include <limits>
+
+#include "common/random.h"
+#include "core/eval_util.h"
+
+namespace bellwether::core {
+
+double BasicSearchResult::AverageError() const {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const auto& s : scores) {
+    if (!s.usable) continue;
+    sum += s.error.rmse;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double BasicSearchResult::FractionIndistinguishable(double confidence) const {
+  if (!found()) return 0.0;
+  const double bound = error.UpperConfidenceBound(confidence);
+  int64_t total = 0;
+  int64_t within = 0;
+  for (const auto& s : scores) {
+    if (!s.usable) continue;
+    ++total;
+    if (s.error.rmse <= bound) ++within;
+  }
+  return total > 0 ? static_cast<double>(within) / static_cast<double>(total)
+                   : 0.0;
+}
+
+namespace {
+
+// Scores one region's training set; sets `score->usable`.
+void ScoreRegion(const storage::RegionTrainingSet& set,
+                 const BasicSearchOptions& options,
+                 const std::vector<uint8_t>* item_mask, RegionScore* score) {
+  score->region = set.region;
+  score->usable = false;
+  const regression::Dataset data = ToDataset(set, item_mask);
+  score->num_examples = data.num_examples();
+  if (data.num_examples() <
+      static_cast<size_t>(std::max<int32_t>(options.min_examples, 2))) {
+    return;
+  }
+  Rng rng(RegionSeed(options.seed, set.region));
+  auto err = regression::EstimateError(data, options.estimate,
+                                       options.cv_folds, &rng);
+  if (!err.ok()) return;
+  score->error = *err;
+  score->usable = true;
+}
+
+// Refits the winning model from its training set.
+Result<regression::LinearModel> RefitModel(
+    storage::TrainingDataSource* source, size_t index,
+    const std::vector<uint8_t>* item_mask) {
+  BW_ASSIGN_OR_RETURN(storage::RegionTrainingSet set, source->Read(index));
+  return regression::FitLeastSquares(ToDataset(set, item_mask));
+}
+
+}  // namespace
+
+Result<BasicSearchResult> RunBasicBellwetherSearch(
+    storage::TrainingDataSource* source, const BasicSearchOptions& options,
+    const std::vector<uint8_t>* item_mask) {
+  BasicSearchResult result;
+  result.scores.reserve(source->num_region_sets());
+  size_t index = 0;
+  BW_RETURN_IF_ERROR(
+      source->Scan([&](const storage::RegionTrainingSet& set) -> Status {
+        RegionScore score;
+        score.source_index = index++;
+        ScoreRegion(set, options, item_mask, &score);
+        result.scores.push_back(score);
+        return Status::OK();
+      }));
+
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < result.scores.size(); ++i) {
+    const auto& s = result.scores[i];
+    if (s.usable && s.error.rmse < best) {
+      best = s.error.rmse;
+      result.bellwether = s.region;
+      result.bellwether_index = i;
+      result.error = s.error;
+    }
+  }
+  if (result.found()) {
+    BW_ASSIGN_OR_RETURN(
+        result.model,
+        RefitModel(source, result.scores[result.bellwether_index].source_index,
+                   item_mask));
+  }
+  return result;
+}
+
+Result<BasicSearchResult> SelectUnderBudget(
+    const BasicSearchResult& full, storage::TrainingDataSource* source,
+    const std::vector<double>& region_costs, double budget,
+    const std::vector<uint8_t>* item_mask) {
+  BasicSearchResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& s : full.scores) {
+    if (s.region < 0 ||
+        static_cast<size_t>(s.region) >= region_costs.size()) {
+      return Status::OutOfRange("score region outside cost table");
+    }
+    if (region_costs[s.region] > budget) continue;
+    result.scores.push_back(s);
+    if (s.usable && s.error.rmse < best) {
+      best = s.error.rmse;
+      result.bellwether = s.region;
+      result.bellwether_index = result.scores.size() - 1;
+      result.error = s.error;
+    }
+  }
+  if (result.found()) {
+    BW_ASSIGN_OR_RETURN(
+        result.model,
+        RefitModel(source, result.scores[result.bellwether_index].source_index,
+                   item_mask));
+  }
+  return result;
+}
+
+Result<BasicSearchResult> SelectLinearCriterion(
+    const BasicSearchResult& full, storage::TrainingDataSource* source,
+    const std::vector<double>& region_costs,
+    const std::vector<double>& region_coverage, double cost_weight,
+    double coverage_weight, const std::vector<uint8_t>* item_mask) {
+  if (region_costs.size() != region_coverage.size()) {
+    return Status::InvalidArgument("cost/coverage table size mismatch");
+  }
+  BasicSearchResult result;
+  result.scores = full.scores;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < result.scores.size(); ++i) {
+    const auto& s = result.scores[i];
+    if (!s.usable) continue;
+    if (s.region < 0 ||
+        static_cast<size_t>(s.region) >= region_costs.size()) {
+      return Status::OutOfRange("score region outside cost table");
+    }
+    const double objective = s.error.rmse +
+                             cost_weight * region_costs[s.region] -
+                             coverage_weight * region_coverage[s.region];
+    if (objective < best) {
+      best = objective;
+      result.bellwether = s.region;
+      result.bellwether_index = i;
+      result.error = s.error;
+    }
+  }
+  if (result.found()) {
+    BW_ASSIGN_OR_RETURN(
+        result.model,
+        RefitModel(source, result.scores[result.bellwether_index].source_index,
+                   item_mask));
+  }
+  return result;
+}
+
+}  // namespace bellwether::core

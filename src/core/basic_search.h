@@ -1,0 +1,85 @@
+#ifndef BELLWETHER_CORE_BASIC_SEARCH_H_
+#define BELLWETHER_CORE_BASIC_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "olap/region.h"
+#include "regression/error.h"
+#include "regression/linear_model.h"
+#include "storage/training_data.h"
+
+namespace bellwether::core {
+
+/// Error of the model built on one feasible region.
+struct RegionScore {
+  olap::RegionId region = olap::kInvalidRegion;
+  size_t source_index = 0;  // index within the TrainingDataSource
+  regression::ErrorStats error;
+  size_t num_examples = 0;
+  bool usable = false;  // model fit / error estimation succeeded
+};
+
+/// Output of the basic bellwether search (Definition 1 with the constrained
+/// optimization criterion): the minimum-error feasible region, its model,
+/// and — for analysis — the score of every feasible region.
+struct BasicSearchResult {
+  olap::RegionId bellwether = olap::kInvalidRegion;
+  size_t bellwether_index = 0;  // index into `scores`
+  regression::ErrorStats error;
+  regression::LinearModel model;
+  std::vector<RegionScore> scores;
+
+  bool found() const { return bellwether != olap::kInvalidRegion; }
+
+  /// Mean error over the usable regions ("Avg Err" curve of Fig. 7).
+  double AverageError() const;
+
+  /// Fraction of usable regions whose error lies within the `confidence`
+  /// interval of the bellwether model's error (Fig. 7(b)): regions that are
+  /// statistically indistinguishable from the chosen bellwether.
+  double FractionIndistinguishable(double confidence) const;
+};
+
+/// Options controlling model scoring.
+struct BasicSearchOptions {
+  regression::ErrorEstimate estimate =
+      regression::ErrorEstimate::kCrossValidation;
+  int32_t cv_folds = 10;
+  uint64_t seed = 17;
+  /// A (region, subset) model needs at least this many training examples to
+  /// be eligible; guards against trivially interpolating fits.
+  int32_t min_examples = 5;
+};
+
+/// Scores every region training set in `source` (one sequential scan) and
+/// returns the minimum-error region. When `item_mask` is non-null, rows are
+/// restricted to the masked items (used by item-centric evaluation).
+Result<BasicSearchResult> RunBasicBellwetherSearch(
+    storage::TrainingDataSource* source, const BasicSearchOptions& options,
+    const std::vector<uint8_t>* item_mask = nullptr);
+
+/// Re-selects the bellwether among already-computed scores under a tighter
+/// budget, using per-region costs indexed by RegionId. Scores whose region
+/// exceeds the budget are skipped. Enables budget sweeps without rescoring.
+/// The model is refit from `source`.
+Result<BasicSearchResult> SelectUnderBudget(
+    const BasicSearchResult& full, storage::TrainingDataSource* source,
+    const std::vector<double>& region_costs, double budget,
+    const std::vector<uint8_t>* item_mask = nullptr);
+
+/// The paper's alternative *linear optimization criterion* (§3.2): instead
+/// of hard constraints, minimize
+///   Error(h_r) + cost_weight * cost(r) - coverage_weight * coverage(r)
+/// over the scored regions. Returns the minimizing region (model refit from
+/// `source`); its `error` field still holds the raw error estimate.
+Result<BasicSearchResult> SelectLinearCriterion(
+    const BasicSearchResult& full, storage::TrainingDataSource* source,
+    const std::vector<double>& region_costs,
+    const std::vector<double>& region_coverage, double cost_weight,
+    double coverage_weight, const std::vector<uint8_t>* item_mask = nullptr);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_BASIC_SEARCH_H_

@@ -1,0 +1,418 @@
+#include "core/bellwether_cube.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace bellwether::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using olap::HierarchicalDimension;
+using olap::NodeId;
+using regression::RegressionSuffStats;
+using storage::RegionTrainingSet;
+
+// Best region tracked across regions for one subset.
+struct Pick {
+  double error = kInf;
+  olap::RegionId region = olap::kInvalidRegion;
+  RegressionSuffStats stats;
+
+  void Offer(double err, olap::RegionId r, const RegressionSuffStats& s) {
+    if (err < error) {
+      error = err;
+      region = r;
+      stats = s;
+    }
+  }
+};
+
+// Sizes |S| of all cube subsets, counting masked items only.
+std::vector<int32_t> SubsetSizes(const ItemSubsetSpace& subsets,
+                                 const std::vector<uint8_t>* item_mask) {
+  std::vector<int32_t> sizes(subsets.NumSubsets(), 0);
+  for (int32_t i = 0; i < subsets.num_items(); ++i) {
+    if (item_mask != nullptr && (static_cast<size_t>(i) >= item_mask->size() ||
+                                 (*item_mask)[i] == 0)) {
+      continue;
+    }
+    subsets.ForEachContainingSubset(i, [&](SubsetId s) { ++sizes[s]; });
+  }
+  return sizes;
+}
+
+// Significant subsets (|S| >= K), ascending SubsetId — the iceberg cube
+// query over the item table (§6.3).
+std::vector<SubsetId> SignificantSubsets(const std::vector<int32_t>& sizes,
+                                         int32_t min_size) {
+  std::vector<SubsetId> out;
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    if (sizes[s] >= std::max(min_size, 1)) {
+      out.push_back(static_cast<SubsetId>(s));
+    }
+  }
+  return out;
+}
+
+bool ItemMasked(const std::vector<uint8_t>* item_mask, int32_t item) {
+  return item_mask != nullptr &&
+         (static_cast<size_t>(item) >= item_mask->size() ||
+          (*item_mask)[item] == 0);
+}
+
+// Converts per-subset picks into the final cube, optionally attaching
+// cross-validated error statistics for the confidence-bound prediction rule.
+Result<BellwetherCube> FinalizeCube(
+    storage::TrainingDataSource* source,
+    std::shared_ptr<const ItemSubsetSpace> subsets,
+    const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask,
+    const std::vector<int32_t>& sizes,
+    const std::vector<SubsetId>& significant, std::vector<Pick> picks) {
+  std::vector<int64_t> cell_of(subsets->NumSubsets(), -1);
+  std::vector<CubeCell> cells;
+  cells.reserve(significant.size());
+
+  // region -> source index, for the CV post-pass.
+  std::vector<std::pair<olap::RegionId, size_t>> region_index;
+  if (config.compute_cv_stats) {
+    const auto ids = source->RegionIds();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      region_index.emplace_back(ids[i], i);
+    }
+    std::sort(region_index.begin(), region_index.end());
+  }
+
+  for (size_t k = 0; k < significant.size(); ++k) {
+    const SubsetId sid = significant[k];
+    CubeCell cell;
+    cell.subset = sid;
+    cell.subset_size = sizes[sid];
+    Pick& pick = picks[k];
+    if (pick.region != olap::kInvalidRegion && pick.error < kInf) {
+      auto model = pick.stats.Fit();
+      if (model.ok()) {
+        cell.has_model = true;
+        cell.region = pick.region;
+        cell.error = pick.error;
+        cell.model = std::move(model).value();
+      }
+    }
+    if (cell.has_model && config.compute_cv_stats) {
+      auto it = std::lower_bound(region_index.begin(), region_index.end(),
+                                 std::make_pair(cell.region, size_t{0}));
+      if (it != region_index.end() && it->first == cell.region) {
+        BW_ASSIGN_OR_RETURN(RegionTrainingSet set, source->Read(it->second));
+        regression::Dataset data(set.num_features);
+        std::vector<double> row(set.num_features);
+        for (size_t r = 0; r < set.num_examples(); ++r) {
+          const int32_t item = set.items[r];
+          if (ItemMasked(item_mask, item)) continue;
+          if (!subsets->SubsetContainsItem(sid, item)) continue;
+          row.assign(set.row(r), set.row(r) + set.num_features);
+          if (set.weighted()) {
+            data.AddWeighted(row, set.targets[r], set.weight(r));
+          } else {
+            data.Add(row, set.targets[r]);
+          }
+        }
+        Rng rng(RegionSeed(config.seed ^ static_cast<uint64_t>(sid),
+                           cell.region));
+        auto cv = regression::CrossValidationError(data, config.cv_folds, &rng);
+        if (cv.ok()) {
+          cell.cv = *cv;
+          cell.has_cv = true;
+        }
+      }
+    }
+    cell_of[sid] = static_cast<int64_t>(cells.size());
+    cells.push_back(std::move(cell));
+  }
+  return BellwetherCube(std::move(subsets), std::move(cell_of),
+                        std::move(cells));
+}
+
+// In-place lattice rollup of per-subset sufficient statistics: child node
+// merges into parent, one hierarchy at a time (the data-cube computation of
+// Observation 1 / Theorem 1).
+void RollupSubsetStats(const olap::RegionSpace& space,
+                       std::vector<RegressionSuffStats>* stats) {
+  const size_t nd = space.num_dims();
+  std::vector<int32_t> cards(nd);
+  std::vector<int64_t> strides(nd, 1);
+  for (size_t d = 0; d < nd; ++d) {
+    cards[d] = olap::DimensionCardinality(space.dim(d));
+  }
+  for (size_t d = nd - 1; d-- > 0;) strides[d] = strides[d + 1] * cards[d + 1];
+  const int64_t total = space.NumRegions();
+  for (size_t d = 0; d < nd; ++d) {
+    const auto& h = std::get<HierarchicalDimension>(space.dim(d));
+    const int64_t stride = strides[d];
+    const int64_t block = stride * cards[d];
+    for (NodeId n : h.NodesBottomUp()) {
+      if (n == h.root()) continue;
+      const NodeId parent = h.parent(n);
+      for (int64_t hi = 0; hi < total; hi += block) {
+        for (int64_t lo = 0; lo < stride; ++lo) {
+          RegressionSuffStats& src = (*stats)[hi + n * stride + lo];
+          if (src.empty()) continue;
+          (*stats)[hi + parent * stride + lo].Merge(src);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<ItemSubsetSpace>> ItemSubsetSpace::Create(
+    const table::Table& item_table, std::vector<ItemHierarchy> hierarchies) {
+  if (hierarchies.empty()) {
+    return Status::InvalidArgument("need at least one item hierarchy");
+  }
+  auto out = std::shared_ptr<ItemSubsetSpace>(new ItemSubsetSpace());
+  std::vector<olap::Dimension> dims;
+  std::vector<size_t> cols;
+  for (const auto& ih : hierarchies) {
+    auto idx = item_table.schema().FindField(ih.column);
+    if (!idx.has_value()) {
+      return Status::NotFound("item hierarchy column missing: " + ih.column);
+    }
+    if (item_table.schema().field(*idx).type != table::DataType::kString) {
+      return Status::InvalidArgument(
+          "item hierarchy column must be string labels: " + ih.column);
+    }
+    cols.push_back(*idx);
+    dims.emplace_back(ih.dim);
+  }
+  out->hierarchies_ = std::move(hierarchies);
+  out->space_ = std::make_unique<olap::RegionSpace>(std::move(dims));
+  out->coords_.resize(item_table.num_rows());
+  for (size_t r = 0; r < item_table.num_rows(); ++r) {
+    olap::PointCoords& pc = out->coords_[r];
+    pc.resize(cols.size());
+    for (size_t h = 0; h < cols.size(); ++h) {
+      const auto& col = item_table.column(cols[h]);
+      if (col.IsNull(r)) {
+        return Status::InvalidArgument("null item hierarchy label (item " +
+                                       std::to_string(r) + ")");
+      }
+      BW_ASSIGN_OR_RETURN(NodeId n,
+                          out->hierarchies_[h].dim.FindNode(col.StringAt(r)));
+      if (!out->hierarchies_[h].dim.IsLeaf(n)) {
+        return Status::InvalidArgument(
+            "item hierarchy label is not a leaf: " + col.StringAt(r));
+      }
+      pc[h] = n;
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> ItemSubsetSpace::SubsetDepths(SubsetId subset) const {
+  const olap::RegionCoords coords = space_->Decode(subset);
+  std::vector<int32_t> depths(coords.size());
+  for (size_t h = 0; h < coords.size(); ++h) {
+    depths[h] = hierarchies_[h].dim.depth(coords[h]);
+  }
+  return depths;
+}
+
+Result<CubePrediction> BellwetherCube::PredictItem(
+    int32_t item, const RegionFeatureLookup& lookup,
+    double confidence) const {
+  // Candidate cells: significant subsets containing the item, ordered by
+  // their models' upper confidence bound of error.
+  struct Candidate {
+    double bound;
+    SubsetId subset;
+    const CubeCell* cell;
+  };
+  std::vector<Candidate> candidates;
+  subsets_->ForEachContainingSubset(item, [&](SubsetId s) {
+    const CubeCell* cell = FindCell(s);
+    if (cell == nullptr || !cell->has_model) return;
+    const double bound = cell->has_cv
+                             ? cell->cv.UpperConfidenceBound(confidence)
+                             : cell->error;
+    candidates.push_back({bound, s, cell});
+  });
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.bound != b.bound) return a.bound < b.bound;
+              return a.subset < b.subset;
+            });
+  for (const Candidate& c : candidates) {
+    const double* x = lookup.Find(c.cell->region, item);
+    if (x == nullptr) continue;  // no data for the item in that region
+    CubePrediction out;
+    out.value = c.cell->model.Predict(x);
+    out.subset = c.subset;
+    out.region = c.cell->region;
+    out.upper_confidence_bound = c.bound;
+    return out;
+  }
+  return Status::NotFound(
+      "no candidate bellwether region has data for the item");
+}
+
+std::vector<CrossTabRow> BellwetherCube::CrossTab(
+    const std::vector<int32_t>& level_depths,
+    const olap::RegionSpace* region_space) const {
+  std::vector<CrossTabRow> rows;
+  for (const CubeCell& cell : cells_) {
+    if (subsets_->SubsetDepths(cell.subset) != level_depths) continue;
+    CrossTabRow row;
+    row.subset_label = subsets_->SubsetLabel(cell.subset);
+    row.subset_size = cell.subset_size;
+    if (cell.has_model) {
+      row.error = cell.error;
+      row.region_label = region_space != nullptr
+                             ? region_space->RegionLabel(cell.region)
+                             : std::to_string(cell.region);
+    } else {
+      row.error = kInf;
+      row.region_label = "(none)";
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<BellwetherCube> BuildBellwetherCubeNaive(
+    storage::TrainingDataSource* source,
+    std::shared_ptr<const ItemSubsetSpace> subsets,
+    const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
+  const std::vector<int32_t> sizes = SubsetSizes(*subsets, item_mask);
+  const std::vector<SubsetId> significant =
+      SignificantSubsets(sizes, config.min_subset_size);
+  std::vector<Pick> picks(significant.size());
+  const size_t num_sets = source->num_region_sets();
+
+  std::vector<uint8_t> member(subsets->num_items(), 0);
+  for (size_t k = 0; k < significant.size(); ++k) {
+    const SubsetId sid = significant[k];
+    for (int32_t i = 0; i < subsets->num_items(); ++i) {
+      member[i] = !ItemMasked(item_mask, i) &&
+                  subsets->SubsetContainsItem(sid, i);
+    }
+    // One basic bellwether search for this subset: read every region.
+    for (size_t s = 0; s < num_sets; ++s) {
+      BW_ASSIGN_OR_RETURN(RegionTrainingSet set, source->Read(s));
+      RegressionSuffStats stats(set.num_features);
+      for (size_t row = 0; row < set.num_examples(); ++row) {
+        if (member[set.items[row]]) {
+          stats.Add(set.row(row), set.targets[row], set.weight(row));
+        }
+      }
+      picks[k].Offer(
+          TrainingErrorOfStats(stats, config.min_examples_per_model),
+          set.region, stats);
+    }
+  }
+  return FinalizeCube(source, std::move(subsets), config, item_mask, sizes,
+                      significant, std::move(picks));
+}
+
+Result<BellwetherCube> BuildBellwetherCubeSingleScan(
+    storage::TrainingDataSource* source,
+    std::shared_ptr<const ItemSubsetSpace> subsets,
+    const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
+  const std::vector<int32_t> sizes = SubsetSizes(*subsets, item_mask);
+  const std::vector<SubsetId> significant =
+      SignificantSubsets(sizes, config.min_subset_size);
+  std::vector<Pick> picks(significant.size());
+
+  // Dense SubsetId -> significant index (or -1).
+  std::vector<int64_t> sig_index(subsets->NumSubsets(), -1);
+  for (size_t k = 0; k < significant.size(); ++k) {
+    sig_index[significant[k]] = static_cast<int64_t>(k);
+  }
+  // Per item: the significant subsets containing it, ascending.
+  std::vector<std::vector<int32_t>> containing(subsets->num_items());
+  for (int32_t i = 0; i < subsets->num_items(); ++i) {
+    if (ItemMasked(item_mask, i)) continue;
+    subsets->ForEachContainingSubset(i, [&](SubsetId s) {
+      if (sig_index[s] >= 0) {
+        containing[i].push_back(static_cast<int32_t>(sig_index[s]));
+      }
+    });
+    std::sort(containing[i].begin(), containing[i].end());
+  }
+
+  std::vector<RegressionSuffStats> stats;
+  BW_RETURN_IF_ERROR(source->Scan([&](const RegionTrainingSet& set)
+                                      -> Status {
+    if (stats.empty()) {
+      stats.assign(significant.size(), RegressionSuffStats(set.num_features));
+    } else {
+      for (auto& s : stats) s.Reset();
+    }
+    // "Build a model h_r on r for S" for every significant subset S: each
+    // row contributes to every containing subset's statistics directly.
+    for (size_t row = 0; row < set.num_examples(); ++row) {
+      for (int32_t k : containing[set.items[row]]) {
+        stats[k].Add(set.row(row), set.targets[row], set.weight(row));
+      }
+    }
+    for (size_t k = 0; k < significant.size(); ++k) {
+      picks[k].Offer(
+          TrainingErrorOfStats(stats[k], config.min_examples_per_model),
+          set.region, stats[k]);
+    }
+    return Status::OK();
+  }));
+  return FinalizeCube(source, std::move(subsets), config, item_mask, sizes,
+                      significant, std::move(picks));
+}
+
+Result<BellwetherCube> BuildBellwetherCubeOptimized(
+    storage::TrainingDataSource* source,
+    std::shared_ptr<const ItemSubsetSpace> subsets,
+    const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
+  const std::vector<int32_t> sizes = SubsetSizes(*subsets, item_mask);
+  const std::vector<SubsetId> significant =
+      SignificantSubsets(sizes, config.min_subset_size);
+  std::vector<Pick> picks(significant.size());
+
+  // Per item: its base subset (leaf coordinate combination).
+  std::vector<SubsetId> base_of(subsets->num_items());
+  for (int32_t i = 0; i < subsets->num_items(); ++i) {
+    base_of[i] = subsets->BaseSubsetOf(i);
+  }
+
+  const size_t num_subsets = static_cast<size_t>(subsets->NumSubsets());
+  std::vector<RegressionSuffStats> lattice(num_subsets);
+  BW_RETURN_IF_ERROR(source->Scan([&](const RegionTrainingSet& set)
+                                      -> Status {
+    for (auto& s : lattice) {
+      if (!s.empty()) s.Reset();
+    }
+    // Theorem 1: accumulate g(.) at the base subsets only...
+    for (size_t row = 0; row < set.num_examples(); ++row) {
+      const int32_t item = set.items[row];
+      if (ItemMasked(item_mask, item)) continue;
+      RegressionSuffStats& s = lattice[base_of[item]];
+      if (s.num_features() == 0) {
+        s = RegressionSuffStats(set.num_features);
+      }
+      s.Add(set.row(row), set.targets[row], set.weight(row));
+    }
+    // ...then combine with q(.) (element-wise sums) up the lattice.
+    RollupSubsetStats(subsets->space(), &lattice);
+    for (size_t k = 0; k < significant.size(); ++k) {
+      picks[k].Offer(TrainingErrorOfStats(lattice[significant[k]],
+                                          config.min_examples_per_model),
+                     set.region, lattice[significant[k]]);
+    }
+    return Status::OK();
+  }));
+  return FinalizeCube(source, std::move(subsets), config, item_mask, sizes,
+                      significant, std::move(picks));
+}
+
+}  // namespace bellwether::core

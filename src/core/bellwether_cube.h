@@ -1,0 +1,197 @@
+#ifndef BELLWETHER_CORE_BELLWETHER_CUBE_H_
+#define BELLWETHER_CORE_BELLWETHER_CUBE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/eval_util.h"
+#include "olap/region.h"
+#include "regression/error.h"
+#include "regression/linear_model.h"
+#include "storage/training_data.h"
+#include "table/table.h"
+
+namespace bellwether::core {
+
+/// Identifier of a cube subset of items (a combination of item-hierarchy
+/// nodes, paper §6.1). Encoded by an all-hierarchical RegionSpace over the
+/// item hierarchies.
+using SubsetId = olap::RegionId;
+
+/// One item hierarchy: a categorical item-table column whose values are the
+/// leaf labels of a tree (e.g. Category: All -> Hardware -> Desktop).
+struct ItemHierarchy {
+  std::string column;
+  olap::HierarchicalDimension dim;
+};
+
+/// The lattice of cube subsets induced by the item hierarchies, with the
+/// leaf coordinates of every item.
+class ItemSubsetSpace {
+ public:
+  /// Items are the rows of `item_table` (dense index = row). Every value of
+  /// a hierarchy column must be a leaf label of that hierarchy.
+  static Result<std::shared_ptr<ItemSubsetSpace>> Create(
+      const table::Table& item_table, std::vector<ItemHierarchy> hierarchies);
+
+  const olap::RegionSpace& space() const { return *space_; }
+  size_t num_hierarchies() const { return hierarchies_.size(); }
+  const ItemHierarchy& hierarchy(size_t h) const { return hierarchies_[h]; }
+  int32_t num_items() const { return static_cast<int32_t>(coords_.size()); }
+  int64_t NumSubsets() const { return space_->NumRegions(); }
+
+  /// Leaf coordinates of an item (one leaf NodeId per hierarchy).
+  const olap::PointCoords& ItemCoords(int32_t item) const {
+    return coords_[item];
+  }
+
+  bool SubsetContainsItem(SubsetId subset, int32_t item) const {
+    return space_->RegionContainsPoint(subset, coords_[item]);
+  }
+
+  /// Invokes fn for every cube subset containing the item (the cross
+  /// product of per-hierarchy ancestor chains).
+  void ForEachContainingSubset(int32_t item,
+                               const std::function<void(SubsetId)>& fn) const {
+    space_->ForEachContainingRegion(coords_[item], fn);
+  }
+
+  /// The base subset of an item (its leaf combination).
+  SubsetId BaseSubsetOf(int32_t item) const {
+    return space_->Encode(space_->BaseCellOf(coords_[item]));
+  }
+
+  std::string SubsetLabel(SubsetId subset) const {
+    return space_->RegionLabel(subset);
+  }
+
+  /// Per-hierarchy node depth of a subset's coordinates.
+  std::vector<int32_t> SubsetDepths(SubsetId subset) const;
+
+ private:
+  ItemSubsetSpace() = default;
+  std::vector<ItemHierarchy> hierarchies_;
+  std::unique_ptr<olap::RegionSpace> space_;
+  std::vector<olap::PointCoords> coords_;
+};
+
+/// One cell of a bellwether cube: a significant cube subset with its
+/// bellwether region and model.
+struct CubeCell {
+  SubsetId subset = olap::kInvalidRegion;
+  int32_t subset_size = 0;  // |S|, number of items
+  bool has_model = false;
+  olap::RegionId region = olap::kInvalidRegion;
+  double error = 0.0;  // training-set RMSE (construction-time measure, §6.4)
+  regression::LinearModel model;
+  /// Cross-validated error of the bellwether model, for the confidence-bound
+  /// prediction rule (filled when CubeBuildConfig::compute_cv_stats).
+  regression::ErrorStats cv;
+  bool has_cv = false;
+};
+
+/// Construction parameters.
+struct CubeBuildConfig {
+  /// Size threshold K: only subsets with at least this many items get a
+  /// cell ("significant subsets", §6.2).
+  int32_t min_subset_size = 30;
+  int32_t min_examples_per_model = 5;
+  /// Post-pass: compute k-fold CV error stats of each cell's model.
+  bool compute_cv_stats = true;
+  int32_t cv_folds = 10;
+  uint64_t seed = 17;
+};
+
+/// A prediction made through the cube.
+struct CubePrediction {
+  double value = 0.0;
+  SubsetId subset = olap::kInvalidRegion;
+  olap::RegionId region = olap::kInvalidRegion;
+  double upper_confidence_bound = 0.0;
+};
+
+/// A row of the rollup/drilldown cross-tabulation (§6.2).
+struct CrossTabRow {
+  std::string subset_label;
+  std::string region_label;
+  double error = 0.0;
+  int32_t subset_size = 0;
+};
+
+/// The bellwether cube: {<S, r_S>} for every significant cube subset S.
+class BellwetherCube {
+ public:
+  BellwetherCube(std::shared_ptr<const ItemSubsetSpace> subsets,
+                 std::vector<int64_t> cell_of, std::vector<CubeCell> cells)
+      : subsets_(std::move(subsets)),
+        cell_of_(std::move(cell_of)),
+        cells_(std::move(cells)) {}
+
+  const ItemSubsetSpace& subsets() const { return *subsets_; }
+  const std::vector<CubeCell>& cells() const { return cells_; }
+  std::vector<CubeCell>& mutable_cells() { return cells_; }
+
+  /// Cell of a subset, or nullptr when the subset is not significant.
+  const CubeCell* FindCell(SubsetId subset) const {
+    if (subset < 0 || static_cast<size_t>(subset) >= cell_of_.size() ||
+        cell_of_[subset] < 0) {
+      return nullptr;
+    }
+    return &cells_[cell_of_[subset]];
+  }
+
+  /// Predicts the target of an item: among the cells of the cube subsets
+  /// containing the item, pick the model with the lowest upper `confidence`
+  /// bound of error (§6.2), fetch the item's features from its bellwether
+  /// region, apply the model. Cells whose region lacks data for the item are
+  /// skipped in bound order.
+  Result<CubePrediction> PredictItem(int32_t item,
+                                     const RegionFeatureLookup& lookup,
+                                     double confidence = 0.95) const;
+
+  /// Cross-tab rows of all significant subsets at the given per-hierarchy
+  /// depths (rollup/drilldown view).
+  std::vector<CrossTabRow> CrossTab(
+      const std::vector<int32_t>& level_depths,
+      const olap::RegionSpace* region_space) const;
+
+ private:
+  std::shared_ptr<const ItemSubsetSpace> subsets_;
+  std::vector<int64_t> cell_of_;  // SubsetId -> index into cells_, or -1
+  std::vector<CubeCell> cells_;
+};
+
+/// Naive algorithm (§6.2): one basic bellwether search per significant
+/// subset, each issuing per-region reads against the source.
+Result<BellwetherCube> BuildBellwetherCubeNaive(
+    storage::TrainingDataSource* source,
+    std::shared_ptr<const ItemSubsetSpace> subsets,
+    const CubeBuildConfig& config,
+    const std::vector<uint8_t>* item_mask = nullptr);
+
+/// Single-scan algorithm (§6.3, Fig. 7): one sequential scan; per region,
+/// builds a model for each significant subset independently. Identical
+/// output to the naive algorithm (Lemma 2).
+Result<BellwetherCube> BuildBellwetherCubeSingleScan(
+    storage::TrainingDataSource* source,
+    std::shared_ptr<const ItemSubsetSpace> subsets,
+    const CubeBuildConfig& config,
+    const std::vector<uint8_t>* item_mask = nullptr);
+
+/// Optimized algorithm (§6.4, Theorem 1): one sequential scan; per region,
+/// accumulates the regression sufficient statistics only at the *base*
+/// subsets and rolls them up through the item-hierarchy lattice (the
+/// algebraic-aggregate data-cube computation). Identical output again.
+Result<BellwetherCube> BuildBellwetherCubeOptimized(
+    storage::TrainingDataSource* source,
+    std::shared_ptr<const ItemSubsetSpace> subsets,
+    const CubeBuildConfig& config,
+    const std::vector<uint8_t>* item_mask = nullptr);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_BELLWETHER_CUBE_H_

@@ -1,0 +1,605 @@
+#include "core/bellwether_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <set>
+
+#include "common/check.h"
+
+namespace bellwether::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using regression::RegressionSuffStats;
+using storage::RegionTrainingSet;
+
+// Error(.) both builders optimize: TrainingErrorOfStats from eval_util,
+// deterministic so that Lemma 1 holds exactly (cross-validated errors would
+// depend on fold RNG consumption order).
+double ErrorOfStats(const RegressionSuffStats& stats, int32_t min_examples) {
+  return TrainingErrorOfStats(stats, min_examples);
+}
+
+// Best (minimum-error) region for an item subset, tracked across a scan.
+struct BellwetherPick {
+  double error = kInf;
+  olap::RegionId region = olap::kInvalidRegion;
+  RegressionSuffStats stats;  // statistics of the winning region
+
+  bool found() const { return region != olap::kInvalidRegion; }
+
+  void Offer(double err, olap::RegionId r, const RegressionSuffStats& s) {
+    if (err < error) {
+      error = err;
+      region = r;
+      stats = s;
+    }
+  }
+};
+
+// Candidate splitting criteria of a node, a deterministic function of the
+// node's item subset (so both builders produce identical candidates).
+std::vector<SplitCriterion> GenerateCandidates(
+    const ItemSplitFeatures& feats, const std::vector<int32_t>& items,
+    const TreeBuildConfig& config) {
+  std::vector<SplitCriterion> out;
+  for (size_t col = 0; col < feats.num_columns(); ++col) {
+    if (feats.IsNumeric(col)) {
+      std::set<double> distinct;
+      for (int32_t i : items) distinct.insert(feats.NumericValue(col, i));
+      if (distinct.size() < 2) continue;
+      std::vector<double> sorted(distinct.begin(), distinct.end());
+      std::vector<double> thresholds;
+      thresholds.reserve(sorted.size() - 1);
+      for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+        thresholds.push_back((sorted[k] + sorted[k + 1]) / 2.0);
+      }
+      if (static_cast<int32_t>(thresholds.size()) >
+          config.max_numeric_split_points) {
+        // Keep thresholds at evenly spaced percentiles (paper §5.1).
+        std::vector<double> picked;
+        const size_t m = thresholds.size();
+        const int32_t cap = config.max_numeric_split_points;
+        for (int32_t k = 0; k < cap; ++k) {
+          const size_t idx = static_cast<size_t>(
+              (static_cast<double>(k) + 0.5) * static_cast<double>(m) / cap);
+          picked.push_back(thresholds[std::min(idx, m - 1)]);
+        }
+        picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+        thresholds = std::move(picked);
+      }
+      for (double b : thresholds) {
+        SplitCriterion c;
+        c.column = static_cast<int32_t>(col);
+        c.is_numeric = true;
+        c.threshold = b;
+        c.num_partitions = 2;
+        out.push_back(c);
+      }
+    } else {
+      // One criterion per categorical column; useless when the subset holds
+      // fewer than two distinct categories.
+      std::set<int32_t> seen;
+      for (int32_t i : items) {
+        const int32_t cat = feats.CategoryOf(col, i);
+        if (cat >= 0) seen.insert(cat);
+        if (seen.size() >= 2) break;
+      }
+      if (seen.size() < 2) continue;
+      SplitCriterion c;
+      c.column = static_cast<int32_t>(col);
+      c.is_numeric = false;
+      c.num_partitions = feats.NumCategories(col);
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Goodness(c) = |S| Error(h_r|S) - sum_p |S_p| Error(h_rp|S_p), with -inf
+// when some non-empty partition has no trainable model in any region.
+double ComputeGoodness(double node_error, int64_t node_size,
+                       const std::vector<double>& partition_min_error,
+                       const std::vector<int64_t>& partition_sizes) {
+  double split_term = 0.0;
+  for (size_t p = 0; p < partition_sizes.size(); ++p) {
+    if (partition_sizes[p] == 0) continue;
+    if (partition_min_error[p] == kInf) return -kInf;
+    split_term +=
+        static_cast<double>(partition_sizes[p]) * partition_min_error[p];
+  }
+  return static_cast<double>(node_size) * node_error - split_term;
+}
+
+// Work item during construction.
+struct PendingNode {
+  int32_t node_index;
+  std::vector<int32_t> items;
+};
+
+// Shared post-scan logic: finalize a node's payload and decide the split.
+// Returns the chosen candidate index or -1 (leaf).
+int32_t FinalizeNode(const ItemSplitFeatures& feats,
+                     const TreeBuildConfig& config, const PendingNode& work,
+                     const BellwetherPick& self,
+                     const std::vector<SplitCriterion>& candidates,
+                     const std::vector<std::vector<double>>& min_error,
+                     TreeNode* node) {
+  node->num_items = static_cast<int32_t>(work.items.size());
+  if (self.found() && self.error < kInf) {
+    auto model = self.stats.Fit();
+    if (model.ok()) {
+      node->has_model = true;
+      node->region = self.region;
+      node->error = self.error;
+      node->model = std::move(model).value();
+    }
+  }
+  if (!node->has_model) return -1;
+  if (candidates.empty()) return -1;
+
+  double best_goodness = -kInf;
+  int32_t best = -1;
+  std::vector<int64_t> sizes;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    sizes.assign(candidates[c].num_partitions, 0);
+    for (int32_t i : work.items) {
+      const int32_t p = candidates[c].PartitionOf(feats, i);
+      if (p >= 0) ++sizes[p];
+    }
+    const double g = ComputeGoodness(node->error, node->num_items,
+                                     min_error[c], sizes);
+    if (g > best_goodness) {
+      best_goodness = g;
+      best = static_cast<int32_t>(c);
+    }
+  }
+  if (best < 0) return -1;
+  if (config.require_positive_goodness && !(best_goodness > 0.0)) return -1;
+  node->split = candidates[best];
+  node->goodness = best_goodness;
+  return best;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<ItemSplitFeatures>> ItemSplitFeatures::Create(
+    const table::Table& item_table,
+    const std::vector<std::string>& split_columns) {
+  auto out = std::shared_ptr<ItemSplitFeatures>(new ItemSplitFeatures());
+  out->num_items_ = static_cast<int32_t>(item_table.num_rows());
+  for (const auto& name : split_columns) {
+    auto idx = item_table.schema().FindField(name);
+    if (!idx.has_value()) {
+      return Status::NotFound("split column not found: " + name);
+    }
+    const auto& col = item_table.column(*idx);
+    out->names_.push_back(name);
+    const bool numeric = col.type() != table::DataType::kString;
+    out->is_numeric_.push_back(numeric);
+    out->numeric_.emplace_back();
+    out->category_.emplace_back();
+    out->categories_.emplace_back();
+    if (numeric) {
+      auto& vals = out->numeric_.back();
+      vals.resize(item_table.num_rows(), 0.0);
+      for (size_t r = 0; r < item_table.num_rows(); ++r) {
+        vals[r] = col.IsNull(r) ? 0.0 : col.NumericAt(r);
+      }
+    } else {
+      auto& cats = out->categories_.back();
+      auto& of = out->category_.back();
+      of.resize(item_table.num_rows(), -1);
+      for (size_t r = 0; r < item_table.num_rows(); ++r) {
+        if (col.IsNull(r)) continue;
+        const std::string& s = col.StringAt(r);
+        auto it = std::find(cats.begin(), cats.end(), s);
+        if (it == cats.end()) {
+          of[r] = static_cast<int32_t>(cats.size());
+          cats.push_back(s);
+        } else {
+          of[r] = static_cast<int32_t>(it - cats.begin());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+int32_t BellwetherTree::NumLevels() const {
+  // Count only nodes reachable from the root: pruning detaches subtrees
+  // without compacting the node vector.
+  int32_t levels = 0;
+  std::vector<int32_t> stack{0};
+  while (!stack.empty()) {
+    const TreeNode& n = nodes_[stack.back()];
+    stack.pop_back();
+    levels = std::max(levels, n.depth + 1);
+    for (int32_t c : n.children) stack.push_back(c);
+  }
+  return levels;
+}
+
+int32_t BellwetherTree::NumLeaves() const {
+  int32_t leaves = 0;
+  std::vector<int32_t> stack{0};
+  while (!stack.empty()) {
+    const TreeNode& n = nodes_[stack.back()];
+    stack.pop_back();
+    if (n.is_leaf()) {
+      ++leaves;
+    } else {
+      for (int32_t c : n.children) stack.push_back(c);
+    }
+  }
+  return leaves;
+}
+
+int32_t BellwetherTree::RouteItem(int32_t item) const {
+  int32_t cur = 0;
+  int32_t best_with_model = nodes_[0].has_model ? 0 : -1;
+  while (!nodes_[cur].is_leaf()) {
+    const int32_t p = nodes_[cur].split.PartitionOf(*features_, item);
+    if (p < 0 || p >= static_cast<int32_t>(nodes_[cur].children.size())) {
+      break;
+    }
+    cur = nodes_[cur].children[p];
+    if (nodes_[cur].has_model) best_with_model = cur;
+  }
+  // Fall back to the deepest ancestor carrying a model (covers empty-child
+  // partitions and model-less leaves).
+  if (!nodes_[cur].has_model) return best_with_model;
+  return cur;
+}
+
+Result<double> BellwetherTree::PredictItem(
+    int32_t item, const RegionFeatureLookup& lookup) const {
+  const int32_t node = RouteItem(item);
+  if (node < 0) {
+    return Status::FailedPrecondition("no node on the path has a model");
+  }
+  const TreeNode& n = nodes_[node];
+  const double* x = lookup.Find(n.region, item);
+  if (x == nullptr) {
+    return Status::NotFound("item has no data in the bellwether region");
+  }
+  return n.model.Predict(x);
+}
+
+std::string BellwetherTree::ToString(const olap::RegionSpace* space) const {
+  std::string out;
+  // DFS with indentation.
+  struct Frame {
+    int32_t node;
+    int32_t indent;
+    std::string edge;
+  };
+  std::vector<Frame> stack{{0, 0, ""}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes_[f.node];
+    out.append(2 * f.indent, ' ');
+    if (!f.edge.empty()) out += f.edge + " -> ";
+    if (n.has_model) {
+      out += "region=" + (space != nullptr ? space->RegionLabel(n.region)
+                                           : std::to_string(n.region)) +
+             " err=" + std::to_string(n.error) +
+             " items=" + std::to_string(n.num_items);
+    } else {
+      out += "(no model) items=" + std::to_string(n.num_items);
+    }
+    if (!n.is_leaf()) {
+      out += " split on " + features_->ColumnName(n.split.column);
+      if (n.split.is_numeric) {
+        out += " < " + std::to_string(n.split.threshold);
+      }
+    }
+    out += "\n";
+    if (!n.is_leaf()) {
+      for (size_t p = n.children.size(); p-- > 0;) {
+        std::string edge;
+        if (n.split.is_numeric) {
+          edge = p == 0 ? "yes" : "no";
+        } else {
+          edge = features_->CategoryLabel(n.split.column,
+                                          static_cast<int32_t>(p));
+        }
+        stack.push_back(
+            {n.children[p], f.indent + 1, edge});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<int32_t> RootItems(const ItemSplitFeatures& feats,
+                               const std::vector<uint8_t>* item_mask) {
+  std::vector<int32_t> items;
+  for (int32_t i = 0; i < feats.num_items(); ++i) {
+    if (item_mask != nullptr && (static_cast<size_t>(i) >= item_mask->size() ||
+                                 (*item_mask)[i] == 0)) {
+      continue;
+    }
+    items.push_back(i);
+  }
+  return items;
+}
+
+// Builds the children of `node_index` once a split was chosen; appends the
+// new PendingNodes to `next`.
+void ExpandChildren(const ItemSplitFeatures& feats, PendingNode&& work,
+                    std::vector<TreeNode>* nodes, int32_t node_index,
+                    std::deque<PendingNode>* next) {
+  // Copy: push_back below reallocates the node vector.
+  const SplitCriterion c = (*nodes)[node_index].split;
+  const int32_t depth = (*nodes)[node_index].depth;
+  std::vector<std::vector<int32_t>> partitions(c.num_partitions);
+  for (int32_t i : work.items) {
+    const int32_t p = c.PartitionOf(feats, i);
+    if (p >= 0) partitions[p].push_back(i);
+  }
+  for (auto& part : partitions) {
+    TreeNode child;
+    child.depth = depth + 1;
+    child.num_items = static_cast<int32_t>(part.size());
+    const int32_t child_index = static_cast<int32_t>(nodes->size());
+    (*nodes)[node_index].children.push_back(child_index);
+    nodes->push_back(std::move(child));
+    next->push_back(PendingNode{child_index, std::move(part)});
+  }
+}
+
+}  // namespace
+
+Result<BellwetherTree> BuildBellwetherTreeNaive(
+    storage::TrainingDataSource* source, const table::Table& item_table,
+    const TreeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
+  BW_ASSIGN_OR_RETURN(
+      std::shared_ptr<ItemSplitFeatures> feats,
+      ItemSplitFeatures::Create(item_table, config.split_columns));
+  const int32_t num_items = feats->num_items();
+
+  std::vector<TreeNode> nodes;
+  nodes.emplace_back();
+  std::deque<PendingNode> queue;
+  queue.push_back(PendingNode{0, RootItems(*feats, item_mask)});
+
+  // Scratch: item -> partition (or -2 when the item is not in the node).
+  std::vector<int32_t> membership(num_items, 0);
+
+  const size_t num_sets = source->num_region_sets();
+  while (!queue.empty()) {
+    PendingNode work = std::move(queue.front());
+    queue.pop_front();
+    TreeNode& node = nodes[work.node_index];
+    node.num_items = static_cast<int32_t>(work.items.size());
+
+    std::fill(membership.begin(), membership.end(), -2);
+    for (int32_t i : work.items) membership[i] = -1;
+
+    // 1. The node's own bellwether: one pass over the entire training data.
+    BellwetherPick self;
+    int32_t p_features = 0;
+    for (size_t s = 0; s < num_sets; ++s) {
+      BW_ASSIGN_OR_RETURN(RegionTrainingSet set, source->Read(s));
+      p_features = set.num_features;
+      RegressionSuffStats stats(set.num_features);
+      for (size_t row = 0; row < set.num_examples(); ++row) {
+        if (membership[set.items[row]] != -2) {
+          stats.Add(set.row(row), set.targets[row], set.weight(row));
+        }
+      }
+      self.Offer(ErrorOfStats(stats, config.min_examples_per_model),
+                 set.region, stats);
+    }
+
+    // 2. Candidate evaluation: one pass per splitting criterion (the naive
+    //    algorithm's l*m scans).
+    std::vector<SplitCriterion> candidates;
+    std::vector<std::vector<double>> min_error;
+    const bool active =
+        node.depth < config.max_depth &&
+        node.num_items >= config.min_items && self.found();
+    if (active) {
+      candidates = GenerateCandidates(*feats, work.items, config);
+      min_error.resize(candidates.size());
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        const SplitCriterion& crit = candidates[c];
+        for (int32_t i : work.items) {
+          membership[i] = crit.PartitionOf(*feats, i);
+        }
+        min_error[c].assign(crit.num_partitions, kInf);
+        std::vector<RegressionSuffStats> part_stats(
+            crit.num_partitions, RegressionSuffStats(p_features));
+        for (size_t s = 0; s < num_sets; ++s) {
+          BW_ASSIGN_OR_RETURN(RegionTrainingSet set, source->Read(s));
+          for (auto& st : part_stats) st.Reset();
+          for (size_t row = 0; row < set.num_examples(); ++row) {
+            const int32_t m = membership[set.items[row]];
+            if (m >= 0) part_stats[m].Add(set.row(row), set.targets[row], set.weight(row));
+          }
+          for (int32_t p = 0; p < crit.num_partitions; ++p) {
+            min_error[c][p] = std::min(
+                min_error[c][p],
+                ErrorOfStats(part_stats[p], config.min_examples_per_model));
+          }
+        }
+        // Restore plain membership for the next candidate.
+        for (int32_t i : work.items) membership[i] = -1;
+      }
+    }
+
+    const int32_t chosen = FinalizeNode(*feats, config, work, self,
+                                        candidates, min_error, &node);
+    if (chosen >= 0) {
+      ExpandChildren(*feats, std::move(work), &nodes, work.node_index,
+                     &queue);
+    }
+  }
+  return BellwetherTree(std::move(feats), std::move(nodes));
+}
+
+Result<BellwetherTree> BuildBellwetherTreeRainForest(
+    storage::TrainingDataSource* source, const table::Table& item_table,
+    const TreeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
+  BW_ASSIGN_OR_RETURN(
+      std::shared_ptr<ItemSplitFeatures> feats,
+      ItemSplitFeatures::Create(item_table, config.split_columns));
+  const int32_t num_items = feats->num_items();
+
+  std::vector<TreeNode> nodes;
+  nodes.emplace_back();
+  std::deque<PendingNode> level;
+  level.push_back(PendingNode{0, RootItems(*feats, item_mask)});
+
+  // Per level-position evaluation state.
+  struct NodeEval {
+    bool active = false;
+    std::vector<SplitCriterion> candidates;
+    RegressionSuffStats self_stats;                       // current region
+    std::vector<std::vector<RegressionSuffStats>> part;   // [cand][partition]
+    BellwetherPick self;
+    std::vector<std::vector<double>> min_error;           // [cand][partition]
+  };
+
+  while (!level.empty()) {
+    const size_t width = level.size();
+    std::vector<NodeEval> evals(width);
+    std::vector<int32_t> node_of_item(num_items, -1);
+    for (size_t v = 0; v < width; ++v) {
+      const PendingNode& work = level[v];
+      TreeNode& node = nodes[work.node_index];
+      node.num_items = static_cast<int32_t>(work.items.size());
+      for (int32_t i : work.items) node_of_item[i] = static_cast<int32_t>(v);
+      evals[v].active = node.depth < config.max_depth &&
+                        node.num_items >= config.min_items;
+      if (evals[v].active) {
+        evals[v].candidates = GenerateCandidates(*feats, work.items, config);
+        evals[v].min_error.resize(evals[v].candidates.size());
+        for (size_t c = 0; c < evals[v].candidates.size(); ++c) {
+          evals[v].min_error[c].assign(evals[v].candidates[c].num_partitions,
+                                       kInf);
+        }
+      }
+    }
+
+    // One sequential scan of the entire training data for the whole level.
+    bool stats_sized = false;
+    BW_RETURN_IF_ERROR(source->Scan([&](const RegionTrainingSet& set)
+                                        -> Status {
+      if (!stats_sized) {
+        stats_sized = true;
+        for (auto& e : evals) {
+          e.self_stats = RegressionSuffStats(set.num_features);
+          e.part.resize(e.candidates.size());
+          for (size_t c = 0; c < e.candidates.size(); ++c) {
+            e.part[c].assign(e.candidates[c].num_partitions,
+                             RegressionSuffStats(set.num_features));
+          }
+        }
+      } else {
+        for (auto& e : evals) {
+          e.self_stats.Reset();
+          for (auto& ps : e.part) {
+            for (auto& st : ps) st.Reset();
+          }
+        }
+      }
+      for (size_t row = 0; row < set.num_examples(); ++row) {
+        const int32_t v = node_of_item[set.items[row]];
+        if (v < 0) continue;
+        NodeEval& e = evals[v];
+        e.self_stats.Add(set.row(row), set.targets[row], set.weight(row));
+        for (size_t c = 0; c < e.candidates.size(); ++c) {
+          const int32_t p =
+              e.candidates[c].PartitionOf(*feats, set.items[row]);
+          if (p >= 0) e.part[c][p].Add(set.row(row), set.targets[row], set.weight(row));
+        }
+      }
+      for (auto& e : evals) {
+        e.self.Offer(
+            ErrorOfStats(e.self_stats, config.min_examples_per_model),
+            set.region, e.self_stats);
+        for (size_t c = 0; c < e.candidates.size(); ++c) {
+          for (size_t p = 0; p < e.part[c].size(); ++p) {
+            e.min_error[c][p] = std::min(
+                e.min_error[c][p],
+                ErrorOfStats(e.part[c][p], config.min_examples_per_model));
+          }
+        }
+      }
+      return Status::OK();
+    }));
+
+    // Finalize the level and build the next one.
+    std::deque<PendingNode> next;
+    for (size_t v = 0; v < width; ++v) {
+      PendingNode work = std::move(level[v]);
+      NodeEval& e = evals[v];
+      const int32_t chosen =
+          FinalizeNode(*feats, config, work, e.self, e.candidates,
+                       e.min_error, &nodes[work.node_index]);
+      if (chosen >= 0) {
+        ExpandChildren(*feats, std::move(work), &nodes, work.node_index,
+                       &next);
+      }
+    }
+    level = std::move(next);
+  }
+  return BellwetherTree(std::move(feats), std::move(nodes));
+}
+
+int32_t PruneBellwetherTree(BellwetherTree* tree, double complexity_alpha) {
+  // Bottom-up cost-complexity pruning on the construction-time errors:
+  // collapse a split when the subtree's weighted leaf error plus the
+  // complexity charge per retained leaf is no better than the node's own
+  // error. Children always have larger indices than their parent (BFS
+  // construction), so a reverse pass is bottom-up.
+  auto& nodes = tree->mutable_nodes();
+  std::vector<double> subtree_cost(nodes.size(), 0.0);
+  std::vector<int32_t> subtree_leaves(nodes.size(), 1);
+  int32_t pruned = 0;
+  for (size_t idx = nodes.size(); idx-- > 0;) {
+    TreeNode& n = nodes[idx];
+    if (n.is_leaf()) {
+      subtree_cost[idx] = n.has_model ? n.num_items * n.error : 0.0;
+      subtree_leaves[idx] = 1;
+      continue;
+    }
+    double children_cost = 0.0;
+    int32_t children_leaves = 0;
+    for (int32_t c : n.children) {
+      const TreeNode& child = nodes[c];
+      if (child.num_items == 0) continue;
+      if (!child.has_model && child.is_leaf()) {
+        // These items fall back to this node's model at prediction time.
+        children_cost += n.has_model ? child.num_items * n.error : 0.0;
+        continue;
+      }
+      children_cost += subtree_cost[c];
+      children_leaves += subtree_leaves[c];
+    }
+    const double own_cost = n.has_model ? n.num_items * n.error : 0.0;
+    if (n.has_model &&
+        own_cost <= children_cost + complexity_alpha * children_leaves) {
+      n.children.clear();
+      n.goodness = 0.0;
+      ++pruned;
+      subtree_cost[idx] = own_cost;
+      subtree_leaves[idx] = 1;
+    } else {
+      subtree_cost[idx] = children_cost;
+      subtree_leaves[idx] = std::max(children_leaves, 1);
+    }
+  }
+  return pruned;
+}
+
+}  // namespace bellwether::core

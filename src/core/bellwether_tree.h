@@ -1,0 +1,174 @@
+#ifndef BELLWETHER_CORE_BELLWETHER_TREE_H_
+#define BELLWETHER_CORE_BELLWETHER_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/eval_util.h"
+#include "olap/region.h"
+#include "regression/linear_model.h"
+#include "storage/training_data.h"
+#include "table/table.h"
+
+namespace bellwether::core {
+
+/// Per-item view of the item-table columns a tree can split on. Dense item
+/// index i corresponds to row i of the item table.
+class ItemSplitFeatures {
+ public:
+  /// `split_columns` may be numeric (int64/double) or categorical (string).
+  static Result<std::shared_ptr<ItemSplitFeatures>> Create(
+      const table::Table& item_table,
+      const std::vector<std::string>& split_columns);
+
+  size_t num_columns() const { return numeric_.size(); }
+  int32_t num_items() const { return num_items_; }
+  bool IsNumeric(size_t col) const { return is_numeric_[col]; }
+  const std::string& ColumnName(size_t col) const { return names_[col]; }
+
+  /// Numeric value of item (precondition: numeric column).
+  double NumericValue(size_t col, int32_t item) const {
+    return numeric_[col][item];
+  }
+  /// Category index of item (precondition: categorical column); -1 = null.
+  int32_t CategoryOf(size_t col, int32_t item) const {
+    return category_[col][item];
+  }
+  int32_t NumCategories(size_t col) const {
+    return static_cast<int32_t>(categories_[col].size());
+  }
+  const std::string& CategoryLabel(size_t col, int32_t cat) const {
+    return categories_[col][cat];
+  }
+
+ private:
+  ItemSplitFeatures() = default;
+  int32_t num_items_ = 0;
+  std::vector<std::string> names_;
+  std::vector<bool> is_numeric_;
+  std::vector<std::vector<double>> numeric_;     // per column (numeric)
+  std::vector<std::vector<int32_t>> category_;   // per column (categorical)
+  std::vector<std::vector<std::string>> categories_;
+};
+
+/// A splitting criterion (paper §5.1): <A_k> for categorical A_k, or
+/// <A_k, b> for numeric A_k with threshold b.
+struct SplitCriterion {
+  int32_t column = -1;       // index into the builder's split columns
+  bool is_numeric = false;
+  double threshold = 0.0;    // numeric only: partition 0 is value < b
+  int32_t num_partitions = 0;
+
+  /// Partition index of an item, or -1 (null categorical value).
+  int32_t PartitionOf(const ItemSplitFeatures& feats, int32_t item) const {
+    if (is_numeric) {
+      return feats.NumericValue(column, item) < threshold ? 0 : 1;
+    }
+    return feats.CategoryOf(column, item);
+  }
+};
+
+/// A node of a bellwether tree. Every node (not only leaves) carries the
+/// bellwether region and model of its item subset; internal nodes use it for
+/// goodness computation, and prediction falls back to it when routing cannot
+/// continue (e.g. an unseen category).
+struct TreeNode {
+  int32_t depth = 0;
+  int32_t num_items = 0;
+  // Bellwether payload for the node's item subset.
+  bool has_model = false;
+  olap::RegionId region = olap::kInvalidRegion;
+  double error = 0.0;  // training-set RMSE used during construction
+  regression::LinearModel model;
+  // Split (empty children = leaf).
+  SplitCriterion split;
+  double goodness = 0.0;
+  std::vector<int32_t> children;  // node indices; parallel to partitions
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+/// The bellwether tree (paper §5): routes an item by its item-table features
+/// to a leaf, whose bellwether region/model predicts the item's target.
+class BellwetherTree {
+ public:
+  BellwetherTree(std::shared_ptr<const ItemSplitFeatures> features,
+                 std::vector<TreeNode> nodes)
+      : features_(std::move(features)), nodes_(std::move(nodes)) {}
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  /// Mutable access for post-construction pruning.
+  std::vector<TreeNode>& mutable_nodes() { return nodes_; }
+  const TreeNode& root() const { return nodes_[0]; }
+  const ItemSplitFeatures& features() const { return *features_; }
+
+  /// Number of levels (root-only tree = 1).
+  int32_t NumLevels() const;
+  int32_t NumLeaves() const;
+
+  /// Routes an item down the tree; returns the index of the deepest node
+  /// with a usable model on the path (normally a leaf).
+  int32_t RouteItem(int32_t item) const;
+
+  /// Predicts the target of `item`: routes to a node, fetches the item's
+  /// regional features from that node's bellwether region, applies the
+  /// model. Fails when the item has no data in the region.
+  Result<double> PredictItem(int32_t item,
+                             const RegionFeatureLookup& lookup) const;
+
+  /// Multi-line rendering for debugging / the examples. When `space` is
+  /// given, bellwether regions print as labels (e.g. "[1-8, MD]") instead
+  /// of raw region ids.
+  std::string ToString(const olap::RegionSpace* space = nullptr) const;
+
+ private:
+  std::shared_ptr<const ItemSplitFeatures> features_;
+  std::vector<TreeNode> nodes_;
+};
+
+/// Construction parameters shared by the naive and RainForest builders.
+struct TreeBuildConfig {
+  std::vector<std::string> split_columns;
+  /// Termination: do not split nodes with fewer items than this.
+  int32_t min_items = 30;
+  /// Maximum tree depth (paper's experiments use 7).
+  int32_t max_depth = 7;
+  /// Cap on numeric thresholds per column per node (paper: "points at a
+  /// small number (e.g., 50) of the percentiles").
+  int32_t max_numeric_split_points = 50;
+  /// A (region, subset) model needs at least this many examples.
+  int32_t min_examples_per_model = 5;
+  /// Do not apply a split whose goodness is not strictly positive.
+  bool require_positive_goodness = true;
+};
+
+/// Builds the tree with the naive algorithm of Fig. 4: one pass over the
+/// entire training data per (node, splitting criterion), issued as random
+/// region reads against the source. When `item_mask` is non-null, only
+/// masked items participate.
+Result<BellwetherTree> BuildBellwetherTreeNaive(
+    storage::TrainingDataSource* source, const table::Table& item_table,
+    const TreeBuildConfig& config,
+    const std::vector<uint8_t>* item_mask = nullptr);
+
+/// Builds the tree with the RainForest-style algorithm of Fig. 4: one
+/// sequential scan of the entire training data per tree level, collecting
+/// the sufficient statistic {<MinError[v,c,p], Size[v,c,p]>}. Produces a
+/// tree identical to the naive builder's (Lemma 1).
+Result<BellwetherTree> BuildBellwetherTreeRainForest(
+    storage::TrainingDataSource* source, const table::Table& item_table,
+    const TreeBuildConfig& config,
+    const std::vector<uint8_t>* item_mask = nullptr);
+
+/// Post-construction pruning: repeatedly converts an internal node to a leaf
+/// when the split's error reduction does not exceed `complexity_alpha` per
+/// pruned node (cost-complexity style; alpha = 0 removes only splits with
+/// non-positive realized goodness). Returns the number of nodes removed.
+int32_t PruneBellwetherTree(BellwetherTree* tree, double complexity_alpha);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_BELLWETHER_TREE_H_

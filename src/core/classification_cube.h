@@ -1,0 +1,93 @@
+#ifndef BELLWETHER_CORE_CLASSIFICATION_CUBE_H_
+#define BELLWETHER_CORE_CLASSIFICATION_CUBE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "classify/gaussian_nb.h"
+#include "common/status.h"
+#include "core/bellwether_cube.h"
+#include "core/classification_search.h"
+#include "storage/training_data.h"
+
+namespace bellwether::core {
+
+/// A cell of a classification bellwether cube: a significant item subset
+/// with the region whose Gaussian NB classifier best predicts the
+/// query-generated class labels of the subset's items.
+struct ClassificationCubeCell {
+  SubsetId subset = olap::kInvalidRegion;
+  int32_t subset_size = 0;
+  bool has_model = false;
+  olap::RegionId region = olap::kInvalidRegion;
+  double error = 0.0;  // training-set misclassification rate
+  classify::GaussianNbModel model;
+};
+
+/// The classification counterpart of the bellwether cube (§6.4's pointer to
+/// prediction cubes): for every significant cube subset, the bellwether
+/// region of a *classifier*. Gaussian NB statistics are algebraic, so the
+/// optimized builder rolls per-base-subset statistics up the item lattice
+/// exactly like Theorem 1 rolls up regression statistics; scoring adds one
+/// more pass over the region's rows (misclassification counts are additive
+/// over rows, so they scatter to every containing subset).
+class ClassificationCube {
+ public:
+  ClassificationCube(std::shared_ptr<const ItemSubsetSpace> subsets,
+                     std::vector<int64_t> cell_of,
+                     std::vector<ClassificationCubeCell> cells)
+      : subsets_(std::move(subsets)),
+        cell_of_(std::move(cell_of)),
+        cells_(std::move(cells)) {}
+
+  const ItemSubsetSpace& subsets() const { return *subsets_; }
+  const std::vector<ClassificationCubeCell>& cells() const { return cells_; }
+
+  const ClassificationCubeCell* FindCell(SubsetId subset) const {
+    if (subset < 0 || static_cast<size_t>(subset) >= cell_of_.size() ||
+        cell_of_[subset] < 0) {
+      return nullptr;
+    }
+    return &cells_[cell_of_[subset]];
+  }
+
+  /// Predicts the class of an item: among the cells containing the item,
+  /// pick the lowest-error model whose region has data for the item.
+  Result<int32_t> PredictItem(int32_t item,
+                              const RegionFeatureLookup& lookup) const;
+
+ private:
+  std::shared_ptr<const ItemSubsetSpace> subsets_;
+  std::vector<int64_t> cell_of_;
+  std::vector<ClassificationCubeCell> cells_;
+};
+
+struct ClassificationCubeConfig {
+  std::function<int32_t(double target)> labeler;
+  int32_t num_classes = 2;
+  int32_t min_subset_size = 30;
+  int32_t min_examples_per_model = 10;
+};
+
+/// Naive builder: one pass over the entire training data per significant
+/// subset (reference implementation for tests).
+Result<ClassificationCube> BuildClassificationCubeNaive(
+    storage::TrainingDataSource* source,
+    std::shared_ptr<const ItemSubsetSpace> subsets,
+    const ClassificationCubeConfig& config,
+    const std::vector<uint8_t>* item_mask = nullptr);
+
+/// Optimized builder: one sequential scan. Per region, NB statistics are
+/// accumulated at the base subsets and rolled up the lattice; per-subset
+/// models are then scored by scattering each row's misclassification to its
+/// containing subsets.
+Result<ClassificationCube> BuildClassificationCubeOptimized(
+    storage::TrainingDataSource* source,
+    std::shared_ptr<const ItemSubsetSpace> subsets,
+    const ClassificationCubeConfig& config,
+    const std::vector<uint8_t>* item_mask = nullptr);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_CLASSIFICATION_CUBE_H_

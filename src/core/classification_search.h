@@ -1,0 +1,66 @@
+#ifndef BELLWETHER_CORE_CLASSIFICATION_SEARCH_H_
+#define BELLWETHER_CORE_CLASSIFICATION_SEARCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "classify/error.h"
+#include "classify/gaussian_nb.h"
+#include "common/status.h"
+#include "olap/region.h"
+#include "storage/training_data.h"
+
+namespace bellwether::core {
+
+/// Classification bellwether analysis: the target generation query produces
+/// a *class label* instead of a number (§2's classification models; e.g.
+/// "will the item's first-year profit clear the break-even threshold?").
+/// The labeler maps the numeric query-generated target of the standard
+/// pipeline to a class in [0, num_classes) — the paper's key idea that
+/// queries label the training data, applied to categorical outputs.
+struct ClassificationOptions {
+  std::function<int32_t(double target)> labeler;
+  int32_t num_classes = 2;
+  /// Misclassification-rate estimate: CV folds (<= 1 = training error).
+  int32_t cv_folds = 10;
+  int32_t min_examples = 10;
+  uint64_t seed = 17;
+};
+
+struct ClassificationRegionScore {
+  olap::RegionId region = olap::kInvalidRegion;
+  regression::ErrorStats error;  // rmse = misclassification rate
+  size_t num_examples = 0;
+  bool usable = false;
+};
+
+struct ClassificationSearchResult {
+  olap::RegionId bellwether = olap::kInvalidRegion;
+  regression::ErrorStats error;
+  classify::GaussianNbModel model;
+  std::vector<ClassificationRegionScore> scores;
+
+  bool found() const { return bellwether != olap::kInvalidRegion; }
+
+  /// Mean misclassification rate over usable regions.
+  double AverageError() const;
+};
+
+/// Scores each region training set by the cross-validated misclassification
+/// rate of a Gaussian NB classifier on (features, labeler(target)) and
+/// returns the minimum-error region with its refit model. One sequential
+/// scan plus one read for the winner.
+Result<ClassificationSearchResult> RunClassificationBellwetherSearch(
+    storage::TrainingDataSource* source, const ClassificationOptions& options,
+    const std::vector<uint8_t>* item_mask = nullptr);
+
+/// Convenience labeler: 1 when the target exceeds `threshold`, else 0.
+std::function<int32_t(double)> ThresholdLabeler(double threshold);
+
+/// Median of the finite targets — a natural break-even threshold.
+double MedianTarget(const std::vector<double>& targets);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_CLASSIFICATION_SEARCH_H_

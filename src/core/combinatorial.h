@@ -1,0 +1,65 @@
+#ifndef BELLWETHER_CORE_COMBINATORIAL_H_
+#define BELLWETHER_CORE_COMBINATORIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/spec.h"
+#include "regression/error.h"
+#include "regression/linear_model.h"
+
+namespace bellwether::core {
+
+/// Combinatorial bellwether analysis (paper §3.4, first extension): a
+/// candidate is a *combination* of regions c ⊆ R rather than a single
+/// region. The search space is 2^R, so we search it greedily: start from the
+/// empty combination and repeatedly add the affordable region that most
+/// reduces the (cross-validated) error of the model trained on the union of
+/// the combination's data, stopping when no addition improves the error or
+/// fits the budget.
+///
+/// Semantics of a combination: features are aggregated over the union of
+/// the finest-grained cells covered by the chosen regions (overlapping
+/// regions are deduplicated at the cell level), and its cost is the sum of
+/// the distinct cells' costs — so overlapping data is never paid for or
+/// counted twice.
+struct CombinatorialResult {
+  /// Chosen regions, in the order the greedy search added them.
+  std::vector<olap::RegionId> regions;
+  /// Finest cells covered by the union.
+  std::vector<int64_t> cells;
+  double cost = 0.0;
+  regression::ErrorStats error;
+  regression::LinearModel model;
+
+  bool found() const { return !regions.empty(); }
+};
+
+struct CombinatorialOptions {
+  double budget = 0.0;
+  /// Candidate pool: regions whose own cost is within this fraction of the
+  /// budget (1.0 = any affordable region). Smaller pools speed up the greedy
+  /// search at some quality cost.
+  double candidate_cost_fraction = 1.0;
+  /// Stop after this many greedy additions.
+  int32_t max_regions = 4;
+  /// Minimal relative error improvement to accept an addition.
+  double min_relative_gain = 0.01;
+  int32_t cv_folds = 10;
+  int32_t min_examples = 10;
+  uint64_t seed = 17;
+};
+
+/// Runs the greedy combinatorial search. Evaluation of each candidate union
+/// re-runs the feature queries over the covered cells (the naive evaluation
+/// path), so this is an expensive, quality-oriented search — the paper
+/// flags exactly this tension ("requires further techniques to efficiently
+/// search through the space").
+Result<CombinatorialResult> RunCombinatorialSearch(
+    const BellwetherSpec& spec, const CombinatorialOptions& options);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_COMBINATORIAL_H_

@@ -1,0 +1,151 @@
+#include "core/item_centric_eval.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/eval_util.h"
+
+namespace bellwether::core {
+
+namespace {
+
+// Accumulates squared prediction errors for one method.
+struct SqErrAcc {
+  double sse = 0.0;
+  int64_t n = 0;
+  int64_t missed = 0;
+
+  void Hit(double prediction, double truth) {
+    const double e = prediction - truth;
+    sse += e * e;
+    ++n;
+  }
+  void Miss() { ++missed; }
+
+  MethodResult Finish() const {
+    MethodResult out;
+    out.predicted = n;
+    out.missed = missed;
+    out.rmse = n > 0 ? std::sqrt(sse / static_cast<double>(n)) : 0.0;
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<ItemCentricResult> EvaluateItemCentric(const ItemCentricInput& input,
+                                              const ItemCentricOptions& opts) {
+  if (input.sets == nullptr || input.targets == nullptr ||
+      input.item_table == nullptr) {
+    return Status::InvalidArgument("incomplete item-centric input");
+  }
+  if (opts.folds < 2) {
+    return Status::InvalidArgument("item-centric evaluation needs >= 2 folds");
+  }
+  if (opts.run_cube && input.subsets == nullptr) {
+    return Status::InvalidArgument("cube evaluation requested without item "
+                                   "hierarchies");
+  }
+  const int32_t num_items = static_cast<int32_t>(input.targets->size());
+
+  // Evaluable items: those with a target.
+  std::vector<int32_t> eval_items;
+  for (int32_t i = 0; i < num_items; ++i) {
+    if (!std::isnan((*input.targets)[i])) eval_items.push_back(i);
+  }
+  if (static_cast<int32_t>(eval_items.size()) < opts.folds) {
+    return Status::FailedPrecondition("fewer evaluable items than folds");
+  }
+  Rng rng(opts.seed);
+  rng.Shuffle(&eval_items);
+
+  storage::MemoryTrainingData source(*input.sets);
+  const RegionFeatureLookup lookup(input.sets);
+
+  SqErrAcc basic_acc, tree_acc, cube_acc;
+  for (int32_t fold = 0; fold < opts.folds; ++fold) {
+    std::vector<uint8_t> train_mask(num_items, 0);
+    std::vector<int32_t> test_items;
+    for (size_t k = 0; k < eval_items.size(); ++k) {
+      if (static_cast<int32_t>(k % opts.folds) == fold) {
+        test_items.push_back(eval_items[k]);
+      } else {
+        train_mask[eval_items[k]] = 1;
+      }
+    }
+
+    // Basic bellwether search on the training items.
+    BW_ASSIGN_OR_RETURN(
+        BasicSearchResult basic,
+        RunBasicBellwetherSearch(&source, opts.basic, &train_mask));
+
+    // Bellwether tree (RainForest builder).
+    BellwetherTree tree({}, {});
+    if (opts.run_tree) {
+      BW_ASSIGN_OR_RETURN(tree, BuildBellwetherTreeRainForest(
+                                    &source, *input.item_table, opts.tree,
+                                    &train_mask));
+    }
+
+    // Bellwether cube (optimized builder).
+    std::unique_ptr<BellwetherCube> cube;
+    if (opts.run_cube) {
+      BW_ASSIGN_OR_RETURN(BellwetherCube built,
+                          BuildBellwetherCubeOptimized(
+                              &source, input.subsets, opts.cube, &train_mask));
+      cube = std::make_unique<BellwetherCube>(std::move(built));
+    }
+
+    for (int32_t item : test_items) {
+      const double truth = (*input.targets)[item];
+      if (basic.found()) {
+        const double* x = lookup.Find(basic.bellwether, item);
+        if (x != nullptr) {
+          basic_acc.Hit(basic.model.Predict(x), truth);
+        } else {
+          basic_acc.Miss();
+        }
+      } else {
+        basic_acc.Miss();
+      }
+      if (opts.run_tree) {
+        auto pred = tree.PredictItem(item, lookup);
+        if (pred.ok()) {
+          tree_acc.Hit(*pred, truth);
+        } else {
+          tree_acc.Miss();
+        }
+      }
+      if (opts.run_cube) {
+        auto pred = cube->PredictItem(item, lookup, opts.cube_confidence);
+        if (pred.ok()) {
+          cube_acc.Hit(pred->value, truth);
+        } else {
+          cube_acc.Miss();
+        }
+      }
+    }
+  }
+
+  ItemCentricResult out;
+  out.basic = basic_acc.Finish();
+  out.tree = tree_acc.Finish();
+  out.cube = cube_acc.Finish();
+  return out;
+}
+
+std::vector<storage::RegionTrainingSet> FilterSetsByBudget(
+    const std::vector<storage::RegionTrainingSet>& sets,
+    const std::vector<double>& region_costs, double budget) {
+  std::vector<storage::RegionTrainingSet> out;
+  for (const auto& s : sets) {
+    if (s.region >= 0 &&
+        static_cast<size_t>(s.region) < region_costs.size() &&
+        region_costs[s.region] <= budget) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace bellwether::core

@@ -1,0 +1,71 @@
+#ifndef BELLWETHER_CORE_ITEM_CENTRIC_EVAL_H_
+#define BELLWETHER_CORE_ITEM_CENTRIC_EVAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/basic_search.h"
+#include "core/bellwether_cube.h"
+#include "core/bellwether_tree.h"
+#include "storage/training_data.h"
+#include "table/table.h"
+
+namespace bellwether::core {
+
+/// Inputs of the item-centric comparison of §7 (Figs. 8, 9(c), 10): the
+/// materialized training sets of the feasible regions, per-item targets, and
+/// the item-table structures the tree/cube partition on.
+struct ItemCentricInput {
+  const std::vector<storage::RegionTrainingSet>* sets = nullptr;
+  /// Target per dense item; NaN items are excluded from the evaluation.
+  const std::vector<double>* targets = nullptr;
+  const table::Table* item_table = nullptr;
+  /// Item hierarchies for the cube method; null skips the cube.
+  std::shared_ptr<const ItemSubsetSpace> subsets;
+};
+
+struct ItemCentricOptions {
+  /// Item folds of the outer cross-validation ("10-fold cross-validation
+  /// prediction errors", §7.1).
+  int32_t folds = 10;
+  uint64_t seed = 17;
+  TreeBuildConfig tree;
+  CubeBuildConfig cube;
+  BasicSearchOptions basic;
+  /// Confidence level of the cube's prediction rule.
+  double cube_confidence = 0.95;
+  bool run_tree = true;
+  bool run_cube = true;
+};
+
+/// Prediction quality of one method over the held-out items.
+struct MethodResult {
+  double rmse = 0.0;
+  int64_t predicted = 0;  // held-out items the method could predict
+  int64_t missed = 0;     // items with no data in the chosen region
+};
+
+struct ItemCentricResult {
+  MethodResult basic;
+  MethodResult tree;
+  MethodResult cube;
+};
+
+/// Runs the outer item-level cross-validation: for each fold, builds the
+/// basic bellwether model, the bellwether tree (RainForest builder) and the
+/// bellwether cube (optimized builder) on the training items, then predicts
+/// the target of every held-out item and accumulates squared errors.
+Result<ItemCentricResult> EvaluateItemCentric(const ItemCentricInput& input,
+                                              const ItemCentricOptions& opts);
+
+/// Region training sets whose region cost is within the budget; used by the
+/// budget sweeps of Figs. 8 and 9(c).
+std::vector<storage::RegionTrainingSet> FilterSetsByBudget(
+    const std::vector<storage::RegionTrainingSet>& sets,
+    const std::vector<double>& region_costs, double budget);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_ITEM_CENTRIC_EVAL_H_

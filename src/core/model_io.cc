@@ -1,0 +1,228 @@
+#include "core/model_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace bellwether::core {
+
+namespace {
+
+constexpr const char* kLinearMagic = "bellwether-linear-v1";
+constexpr const char* kTreeMagic = "bellwether-tree-v1";
+constexpr const char* kCubeMagic = "bellwether-cube-v1";
+
+// Doubles round-trip exactly through %.17g.
+void WriteDouble(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+void WriteVector(std::ostream& out, const std::vector<double>& v) {
+  out << v.size();
+  for (double x : v) {
+    out << ' ';
+    WriteDouble(out, x);
+  }
+  out << '\n';
+}
+
+Result<std::vector<double>> ReadVector(std::istream& in) {
+  size_t n = 0;
+  if (!(in >> n)) return Status::IoError("expected vector length");
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> v[i])) return Status::IoError("truncated vector");
+  }
+  return v;
+}
+
+Result<std::ofstream> OpenForWrite(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot write " + path + ": " +
+                           std::strerror(errno));
+  }
+  return out;
+}
+
+Status CheckMagic(std::istream& in, const char* magic,
+                  const std::string& path) {
+  std::string line;
+  if (!std::getline(in, line) || line != magic) {
+    return Status::InvalidArgument(path + ": not a " + magic + " file");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveLinearModel(const regression::LinearModel& model,
+                       olap::RegionId region, const std::string& path) {
+  BW_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(path));
+  out << kLinearMagic << '\n' << region << '\n';
+  WriteVector(out, model.beta());
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<LoadedLinearModel> LoadLinearModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read " + path);
+  BW_RETURN_IF_ERROR(CheckMagic(in, kLinearMagic, path));
+  LoadedLinearModel out;
+  int64_t region = 0;
+  if (!(in >> region)) return Status::IoError("missing region id");
+  out.region = region;
+  BW_ASSIGN_OR_RETURN(std::vector<double> beta, ReadVector(in));
+  out.model = regression::LinearModel(std::move(beta));
+  return out;
+}
+
+Status SaveBellwetherTree(const BellwetherTree& tree,
+                          const std::string& path) {
+  BW_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(path));
+  out << kTreeMagic << '\n';
+  // Split-column names, for validation at load time.
+  const ItemSplitFeatures& feats = tree.features();
+  out << feats.num_columns() << '\n';
+  for (size_t c = 0; c < feats.num_columns(); ++c) {
+    out << feats.ColumnName(c) << '\n';
+  }
+  out << tree.nodes().size() << '\n';
+  for (const TreeNode& n : tree.nodes()) {
+    out << n.depth << ' ' << n.num_items << ' ' << (n.has_model ? 1 : 0)
+        << ' ' << n.region << ' ';
+    WriteDouble(out, n.error);
+    out << ' ';
+    WriteDouble(out, n.goodness);
+    out << '\n';
+    WriteVector(out, n.model.beta());
+    // Split: column is_numeric threshold num_partitions, then children.
+    out << n.split.column << ' ' << (n.split.is_numeric ? 1 : 0) << ' ';
+    WriteDouble(out, n.split.threshold);
+    out << ' ' << n.split.num_partitions << '\n';
+    out << n.children.size();
+    for (int32_t c : n.children) out << ' ' << c;
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<BellwetherTree> LoadBellwetherTree(const std::string& path,
+                                          const table::Table& item_table) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read " + path);
+  BW_RETURN_IF_ERROR(CheckMagic(in, kTreeMagic, path));
+  size_t num_columns = 0;
+  if (!(in >> num_columns)) return Status::IoError("missing column count");
+  in.ignore();
+  std::vector<std::string> columns(num_columns);
+  for (auto& c : columns) {
+    if (!std::getline(in, c)) return Status::IoError("missing column name");
+  }
+  BW_ASSIGN_OR_RETURN(std::shared_ptr<ItemSplitFeatures> feats,
+                      ItemSplitFeatures::Create(item_table, columns));
+  size_t num_nodes = 0;
+  if (!(in >> num_nodes)) return Status::IoError("missing node count");
+  std::vector<TreeNode> nodes(num_nodes);
+  for (TreeNode& n : nodes) {
+    int has_model = 0, is_numeric = 0;
+    int64_t region = 0;
+    if (!(in >> n.depth >> n.num_items >> has_model >> region >> n.error >>
+          n.goodness)) {
+      return Status::IoError("truncated node header");
+    }
+    n.has_model = has_model != 0;
+    n.region = region;
+    BW_ASSIGN_OR_RETURN(std::vector<double> beta, ReadVector(in));
+    n.model = regression::LinearModel(std::move(beta));
+    if (!(in >> n.split.column >> is_numeric >> n.split.threshold >>
+          n.split.num_partitions)) {
+      return Status::IoError("truncated split");
+    }
+    n.split.is_numeric = is_numeric != 0;
+    size_t num_children = 0;
+    if (!(in >> num_children)) return Status::IoError("missing children");
+    n.children.resize(num_children);
+    for (auto& c : n.children) {
+      if (!(in >> c)) return Status::IoError("truncated children");
+      if (c < 0 || static_cast<size_t>(c) >= num_nodes) {
+        return Status::InvalidArgument("child index out of range");
+      }
+    }
+  }
+  if (nodes.empty()) return Status::InvalidArgument("empty tree");
+  return BellwetherTree(std::move(feats), std::move(nodes));
+}
+
+Status SaveBellwetherCube(const BellwetherCube& cube,
+                          const std::string& path) {
+  BW_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(path));
+  out << kCubeMagic << '\n';
+  out << cube.subsets().NumSubsets() << ' ' << cube.cells().size() << '\n';
+  for (const CubeCell& cell : cube.cells()) {
+    out << cell.subset << ' ' << cell.subset_size << ' '
+        << (cell.has_model ? 1 : 0) << ' ' << cell.region << ' ';
+    WriteDouble(out, cell.error);
+    out << ' ' << (cell.has_cv ? 1 : 0) << ' ';
+    WriteDouble(out, cell.cv.rmse);
+    out << ' ';
+    WriteDouble(out, cell.cv.stddev);
+    out << ' ' << cell.cv.num_folds << '\n';
+    WriteVector(out, cell.model.beta());
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<BellwetherCube> LoadBellwetherCube(
+    const std::string& path,
+    std::shared_ptr<const ItemSubsetSpace> subsets) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read " + path);
+  BW_RETURN_IF_ERROR(CheckMagic(in, kCubeMagic, path));
+  int64_t num_subsets = 0;
+  size_t num_cells = 0;
+  if (!(in >> num_subsets >> num_cells)) {
+    return Status::IoError("missing cube header");
+  }
+  if (num_subsets != subsets->NumSubsets()) {
+    return Status::InvalidArgument(
+        "cube was saved against a different subset space");
+  }
+  std::vector<int64_t> cell_of(num_subsets, -1);
+  std::vector<CubeCell> cells(num_cells);
+  for (size_t k = 0; k < num_cells; ++k) {
+    CubeCell& cell = cells[k];
+    int has_model = 0, has_cv = 0;
+    int64_t subset = 0, region = 0;
+    if (!(in >> subset >> cell.subset_size >> has_model >> region >>
+          cell.error >> has_cv >> cell.cv.rmse >> cell.cv.stddev >>
+          cell.cv.num_folds)) {
+      return Status::IoError("truncated cube cell");
+    }
+    if (subset < 0 || subset >= num_subsets) {
+      return Status::InvalidArgument("cell subset out of range");
+    }
+    cell.subset = subset;
+    cell.region = region;
+    cell.has_model = has_model != 0;
+    cell.has_cv = has_cv != 0;
+    BW_ASSIGN_OR_RETURN(std::vector<double> beta, ReadVector(in));
+    cell.model = regression::LinearModel(std::move(beta));
+    cell_of[subset] = static_cast<int64_t>(k);
+  }
+  return BellwetherCube(std::move(subsets), std::move(cell_of),
+                        std::move(cells));
+}
+
+}  // namespace bellwether::core

@@ -1,0 +1,60 @@
+#ifndef BELLWETHER_CORE_MODEL_IO_H_
+#define BELLWETHER_CORE_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/bellwether_cube.h"
+#include "core/bellwether_tree.h"
+#include "regression/linear_model.h"
+
+namespace bellwether::core {
+
+/// Serialization of fitted bellwether artifacts, so analysis (expensive,
+/// over the historical warehouse) and prediction (cheap, per new item) can
+/// run in separate processes. The format is a line-oriented text format:
+/// human-inspectable, versioned, and stable across platforms.
+
+/// ---- Linear (bellwether) models ----
+
+/// Writes a fitted linear model with its bellwether region id.
+Status SaveLinearModel(const regression::LinearModel& model,
+                       olap::RegionId region, const std::string& path);
+
+struct LoadedLinearModel {
+  regression::LinearModel model;
+  olap::RegionId region = olap::kInvalidRegion;
+};
+
+Result<LoadedLinearModel> LoadLinearModel(const std::string& path);
+
+/// ---- Bellwether trees ----
+
+/// Writes the full tree: structure, splits, per-node bellwether payloads,
+/// and the split-feature dictionary (so routing works after loading against
+/// the same item table).
+Status SaveBellwetherTree(const BellwetherTree& tree,
+                          const std::string& path);
+
+/// Loads a tree saved by SaveBellwetherTree. Routing requires the same item
+/// table the tree was built against; pass it to rebuild the split-feature
+/// view.
+Result<BellwetherTree> LoadBellwetherTree(
+    const std::string& path, const table::Table& item_table);
+
+/// ---- Bellwether cubes ----
+
+/// Writes every cell of the cube (subset, region, error, model, CV stats).
+Status SaveBellwetherCube(const BellwetherCube& cube,
+                          const std::string& path);
+
+/// Loads a cube saved by SaveBellwetherCube. The subset space must be
+/// recreated from the same item table and hierarchies.
+Result<BellwetherCube> LoadBellwetherCube(
+    const std::string& path,
+    std::shared_ptr<const ItemSubsetSpace> subsets);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_MODEL_IO_H_

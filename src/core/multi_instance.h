@@ -1,0 +1,103 @@
+#ifndef BELLWETHER_CORE_MULTI_INSTANCE_H_
+#define BELLWETHER_CORE_MULTI_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/spec.h"
+#include "regression/error.h"
+#include "regression/linear_model.h"
+
+namespace bellwether::core {
+
+/// Multi-instance bellwether analysis (paper §3.4, second extension): the
+/// feature query phi_{i,r}(DB) returns a *set* of feature vectors for item i
+/// in region r — one per finest-grained cell the item has data in — instead
+/// of a single aggregated vector. Each training example is a bag of
+/// instances plus the item's target.
+///
+/// A bag of instances for one item: row-major instance matrix.
+struct InstanceBag {
+  int32_t item = -1;
+  int32_t num_features = 0;
+  std::vector<double> instances;  // row-major, num_instances * num_features
+
+  size_t num_instances() const {
+    return num_features == 0 ? 0 : instances.size() / num_features;
+  }
+  const double* instance(size_t k) const {
+    return instances.data() + k * static_cast<size_t>(num_features);
+  }
+};
+
+/// The multi-instance training set of one region.
+struct BagTrainingSet {
+  olap::RegionId region = olap::kInvalidRegion;
+  int32_t num_features = 0;
+  std::vector<InstanceBag> bags;   // one per item in I_r
+  std::vector<double> targets;     // parallel to bags
+};
+
+/// Builds the multi-instance training set of a region: for every item with
+/// data in the region, one instance per covered finest cell the item has
+/// data in, holding [intercept, item-table features, per-cell regional
+/// features]. The per-cell features evaluate the spec's feature queries with
+/// the region narrowed to that single cell.
+Result<BagTrainingSet> GenerateBagTrainingSet(const BellwetherSpec& spec,
+                                              olap::RegionId region);
+
+/// A multi-instance regression model using the mean-embedding reduction
+/// (average the bag's instances, then apply a linear model) — the aggregate
+/// baseline that Ray & Craven's comparison (cited by the paper) found
+/// competitive with dedicated MI methods.
+class MeanEmbeddingModel {
+ public:
+  MeanEmbeddingModel() = default;
+  explicit MeanEmbeddingModel(regression::LinearModel model)
+      : model_(std::move(model)) {}
+
+  /// Fits on a bag training set (least squares over bag embeddings).
+  static Result<MeanEmbeddingModel> Fit(const BagTrainingSet& data);
+
+  /// Prediction for a bag; fails on an empty bag.
+  Result<double> Predict(const InstanceBag& bag) const;
+
+  const regression::LinearModel& linear() const { return model_; }
+
+  /// The mean-instance embedding of a bag.
+  static std::vector<double> Embed(const InstanceBag& bag);
+
+ private:
+  regression::LinearModel model_;
+};
+
+/// k-fold cross-validated RMSE of the mean-embedding model over bags.
+Result<regression::ErrorStats> CrossValidateBags(const BagTrainingSet& data,
+                                                 int32_t folds, Rng* rng);
+
+/// Result of the multi-instance basic search.
+struct MiSearchResult {
+  olap::RegionId bellwether = olap::kInvalidRegion;
+  regression::ErrorStats error;
+  MeanEmbeddingModel model;
+  std::vector<std::pair<olap::RegionId, double>> scores;  // usable regions
+
+  bool found() const { return bellwether != olap::kInvalidRegion; }
+};
+
+struct MiSearchOptions {
+  int32_t cv_folds = 10;
+  int32_t min_bags = 10;
+  uint64_t seed = 17;
+};
+
+/// Basic bellwether search over multi-instance training sets: scores every
+/// region satisfying the spec's cost/coverage constraints with the CV error
+/// of the mean-embedding model and returns the minimum.
+Result<MiSearchResult> RunMultiInstanceSearch(const BellwetherSpec& spec,
+                                              const MiSearchOptions& options);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_MULTI_INSTANCE_H_

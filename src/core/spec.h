@@ -1,0 +1,105 @@
+#ifndef BELLWETHER_CORE_SPEC_H_
+#define BELLWETHER_CORE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "olap/cost.h"
+#include "olap/region.h"
+#include "regression/error.h"
+#include "table/ops.h"
+#include "table/table.h"
+
+namespace bellwether::core {
+
+/// A reference (dimension) table of the star schema, joined to the fact
+/// table through a fact foreign-key column.
+struct ReferenceTable {
+  const table::Table* table = nullptr;
+  std::string key_column;  // primary key column in `table`
+};
+
+/// One regional feature generation query phi (paper §4.1). All three stylized
+/// forms are supported:
+///   kFactMeasure:       alpha_f(F.A)  sigma_{ID=i, Z in r} F
+///   kReferenceMeasure:  alpha_f(T.A) ((sigma_{ID=i, Z in r} F) join T)
+///   kFkDistinctMeasure: alpha_f(T.A) ((pi_FK sigma_{ID=i, Z in r} F) join T)
+struct FeatureQuery {
+  enum class Kind { kFactMeasure, kReferenceMeasure, kFkDistinctMeasure };
+
+  Kind kind = Kind::kFactMeasure;
+  table::AggFn fn = table::AggFn::kSum;
+  /// Feature name in the generated training set.
+  std::string name;
+  /// Measure column: in the fact table (kFactMeasure) or in the reference
+  /// table (the other kinds).
+  std::string measure_column;
+  /// For kReferenceMeasure / kFkDistinctMeasure: reference name (key into
+  /// BellwetherSpec::references) and the fact FK column pointing at it.
+  std::string reference;
+  std::string fk_column;
+};
+
+/// The full input of Definition 1: historical database (star schema),
+/// candidate region set, training item set, feature/target/cost queries, and
+/// the constrained-optimization criterion.
+struct BellwetherSpec {
+  /// Candidate region set R.
+  const olap::RegionSpace* space = nullptr;
+
+  /// Fact table F. Dimension columns are int64 coordinates: for a
+  /// hierarchical dimension the *leaf* NodeId, for an interval dimension the
+  /// 1-based time point. `dimension_columns[d]` matches `space->dim(d)`.
+  const table::Table* fact = nullptr;
+  std::string item_id_column;  // int64 item ids in the fact table
+  std::vector<std::string> dimension_columns;
+
+  /// Reference tables by name.
+  std::unordered_map<std::string, ReferenceTable> references;
+
+  /// Item table I: one row per training item. Numeric item-table feature
+  /// columns enter every region's design matrix (they are region-independent
+  /// and always available); categorical item columns are used by bellwether
+  /// trees/cubes for partitioning only.
+  const table::Table* item_table = nullptr;
+  std::string item_table_id_column;
+  std::vector<std::string> item_feature_columns;  // numeric
+
+  /// Regional feature queries phi.
+  std::vector<FeatureQuery> regional_features;
+
+  /// Target query tau: aggregate of a fact measure over the *full* region
+  /// (e.g. first-year worldwide profit).
+  table::AggFn target_fn = table::AggFn::kSum;
+  std::string target_column;
+
+  /// Weighted least squares (paper §6.4): when true, each training example
+  /// (item, region) is weighted by the number of fact rows it aggregates —
+  /// the standard WLS weighting for aggregated target values. When false
+  /// (default), models are ordinary least squares.
+  bool weight_by_support = false;
+
+  /// Cost query kappa.
+  const olap::CostModel* cost = nullptr;
+
+  /// Constrained optimization criterion (§3.2): minimize error subject to
+  /// cost <= budget and coverage >= min_coverage.
+  double budget = 0.0;
+  double min_coverage = 0.0;
+
+  /// Error measure configuration.
+  regression::ErrorEstimate error_estimate =
+      regression::ErrorEstimate::kCrossValidation;
+  int32_t cv_folds = 10;
+  uint64_t seed = 17;
+};
+
+/// Names of the columns of a generated training-set design matrix, in
+/// feature order: intercept, item-table features, regional features.
+std::vector<std::string> FeatureNames(const BellwetherSpec& spec);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_SPEC_H_

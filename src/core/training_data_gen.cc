@@ -1,0 +1,550 @@
+#include "core/training_data_gen.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "table/ops.h"
+
+namespace bellwether::core {
+
+namespace {
+
+using olap::FkSetAgg;
+using olap::NumericAgg;
+using olap::RegionId;
+using olap::RegionItemCube;
+using storage::RegionTrainingSet;
+using table::AggFn;
+using table::DataType;
+using table::Table;
+
+Status ValidateSpec(const BellwetherSpec& spec) {
+  if (spec.space == nullptr) return Status::InvalidArgument("spec.space");
+  if (spec.fact == nullptr) return Status::InvalidArgument("spec.fact");
+  if (spec.item_table == nullptr) {
+    return Status::InvalidArgument("spec.item_table");
+  }
+  if (spec.cost == nullptr) return Status::InvalidArgument("spec.cost");
+  if (spec.dimension_columns.size() != spec.space->num_dims()) {
+    return Status::InvalidArgument(
+        "dimension_columns arity must match the region space");
+  }
+  for (const auto& c : spec.dimension_columns) {
+    if (!spec.fact->schema().FindField(c).has_value()) {
+      return Status::NotFound("fact dimension column missing: " + c);
+    }
+  }
+  if (!spec.fact->schema().FindField(spec.item_id_column).has_value()) {
+    return Status::NotFound("fact item id column missing: " +
+                            spec.item_id_column);
+  }
+  if (!spec.fact->schema().FindField(spec.target_column).has_value()) {
+    return Status::NotFound("target column missing: " + spec.target_column);
+  }
+  if (!spec.item_table->schema()
+           .FindField(spec.item_table_id_column)
+           .has_value()) {
+    return Status::NotFound("item table id column missing: " +
+                            spec.item_table_id_column);
+  }
+  for (const auto& c : spec.item_feature_columns) {
+    auto idx = spec.item_table->schema().FindField(c);
+    if (!idx.has_value()) {
+      return Status::NotFound("item feature column missing: " + c);
+    }
+    if (spec.item_table->schema().field(*idx).type == DataType::kString) {
+      return Status::InvalidArgument(
+          "item feature column must be numeric: " + c);
+    }
+  }
+  for (const auto& q : spec.regional_features) {
+    if (q.kind == FeatureQuery::Kind::kFactMeasure) {
+      if (!spec.fact->schema().FindField(q.measure_column).has_value()) {
+        return Status::NotFound("fact measure column missing: " +
+                                q.measure_column);
+      }
+    } else {
+      auto it = spec.references.find(q.reference);
+      if (it == spec.references.end()) {
+        return Status::NotFound("unknown reference table: " + q.reference);
+      }
+      if (!it->second.table->schema()
+               .FindField(q.measure_column)
+               .has_value()) {
+        return Status::NotFound("reference measure column missing: " +
+                                q.measure_column);
+      }
+      if (!spec.fact->schema().FindField(q.fk_column).has_value()) {
+        return Status::NotFound("fact FK column missing: " + q.fk_column);
+      }
+    }
+    if (q.kind == FeatureQuery::Kind::kFkDistinctMeasure &&
+        q.fn == AggFn::kAvg) {
+      // AVG over a key set is fine; nothing to reject. (kept for clarity)
+    }
+  }
+  return Status::OK();
+}
+
+// Hash index over a reference table's primary key -> row.
+Result<std::unordered_map<int64_t, size_t>> BuildKeyIndex(
+    const Table& ref, const std::string& key_column) {
+  auto idx = ref.schema().FindField(key_column);
+  if (!idx.has_value()) {
+    return Status::NotFound("reference key column missing: " + key_column);
+  }
+  const auto& col = ref.column(*idx);
+  if (col.type() != DataType::kInt64) {
+    return Status::InvalidArgument("reference keys must be int64: " +
+                                   key_column);
+  }
+  std::unordered_map<int64_t, size_t> out;
+  out.reserve(ref.num_rows() * 2);
+  for (size_t r = 0; r < ref.num_rows(); ++r) {
+    if (col.IsNull(r)) continue;
+    if (!out.emplace(col.Int64At(r), r).second) {
+      return Status::InvalidArgument("duplicate reference key");
+    }
+  }
+  return out;
+}
+
+// Aggregates a set of reference measure values with fn.
+double AggregateValues(AggFn fn, const std::vector<double>& vals) {
+  if (fn == AggFn::kCount || fn == AggFn::kCountDistinct) {
+    return static_cast<double>(vals.size());
+  }
+  if (vals.empty()) return 0.0;
+  NumericAgg agg;
+  for (double v : vals) agg.Add(v);
+  auto r = agg.Finish(fn);
+  return r.value_or(0.0);
+}
+
+}  // namespace
+
+std::vector<std::string> FeatureNames(const BellwetherSpec& spec) {
+  std::vector<std::string> names;
+  names.reserve(1 + spec.item_feature_columns.size() +
+                spec.regional_features.size());
+  names.push_back("(intercept)");
+  for (const auto& c : spec.item_feature_columns) names.push_back(c);
+  for (const auto& q : spec.regional_features) names.push_back(q.name);
+  return names;
+}
+
+std::unique_ptr<storage::TrainingDataSource>
+GeneratedTrainingData::ToMemorySource() const {
+  return std::make_unique<storage::MemoryTrainingData>(sets);
+}
+
+int64_t GeneratedTrainingData::FindSet(olap::RegionId region) const {
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (sets[i].region == region) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+Result<GeneratedTrainingData> GenerateTrainingData(
+    const BellwetherSpec& spec) {
+  BW_RETURN_IF_ERROR(ValidateSpec(spec));
+  const olap::RegionSpace& space = *spec.space;
+  const Table& fact = *spec.fact;
+  const Table& item_table = *spec.item_table;
+
+  GeneratedTrainingData out;
+  out.feature_names = FeatureNames(spec);
+
+  // ---- Item dictionary and item-table features ----
+  const size_t item_id_col =
+      item_table.schema().FieldIndexOrDie(spec.item_table_id_column);
+  std::vector<size_t> item_feat_cols;
+  for (const auto& c : spec.item_feature_columns) {
+    item_feat_cols.push_back(item_table.schema().FieldIndexOrDie(c));
+  }
+  std::vector<std::vector<double>> item_feats;  // dense index -> features
+  for (size_t r = 0; r < item_table.num_rows(); ++r) {
+    const auto& idc = item_table.column(item_id_col);
+    if (idc.IsNull(r)) continue;
+    const int32_t dense = out.items.GetOrAdd(idc.Int64At(r));
+    if (dense != static_cast<int32_t>(item_feats.size())) {
+      return Status::InvalidArgument("duplicate item id in item table");
+    }
+    std::vector<double> f(item_feat_cols.size(), 0.0);
+    for (size_t k = 0; k < item_feat_cols.size(); ++k) {
+      const auto& col = item_table.column(item_feat_cols[k]);
+      f[k] = col.IsNull(r) ? 0.0 : col.NumericAt(r);
+    }
+    item_feats.push_back(std::move(f));
+  }
+  const int32_t num_items = out.items.size();
+  if (num_items == 0) {
+    return Status::FailedPrecondition("item table has no items");
+  }
+
+  // ---- Resolve fact columns ----
+  const size_t fact_item_col =
+      fact.schema().FieldIndexOrDie(spec.item_id_column);
+  std::vector<size_t> dim_cols;
+  for (const auto& c : spec.dimension_columns) {
+    dim_cols.push_back(fact.schema().FieldIndexOrDie(c));
+  }
+  const size_t target_col = fact.schema().FieldIndexOrDie(spec.target_column);
+
+  // ---- Prepare per-feature machinery ----
+  struct NumericFeature {
+    size_t query_index;
+    size_t value_col;                                  // column in fact
+    const std::unordered_map<int64_t, size_t>* ref_index;  // null for fact
+    const table::Column* ref_measure;                  // null for fact
+    size_t fk_col;                                     // for reference kinds
+    RegionItemCube<NumericAgg> cube;
+  };
+  struct FkFeature {
+    size_t query_index;
+    size_t fk_col;
+    const std::unordered_map<int64_t, size_t>* ref_index;
+    const table::Column* ref_measure;
+    RegionItemCube<FkSetAgg> cube;
+  };
+  // Key indexes, one per distinct reference used.
+  std::unordered_map<std::string, std::unordered_map<int64_t, size_t>>
+      key_indexes;
+  for (const auto& q : spec.regional_features) {
+    if (q.kind == FeatureQuery::Kind::kFactMeasure) continue;
+    if (key_indexes.count(q.reference)) continue;
+    const auto& ref = spec.references.at(q.reference);
+    BW_ASSIGN_OR_RETURN(auto index,
+                        BuildKeyIndex(*ref.table, ref.key_column));
+    key_indexes.emplace(q.reference, std::move(index));
+  }
+
+  std::vector<NumericFeature> numeric_features;
+  std::vector<FkFeature> fk_features;
+  for (size_t qi = 0; qi < spec.regional_features.size(); ++qi) {
+    const auto& q = spec.regional_features[qi];
+    if (q.kind == FeatureQuery::Kind::kFactMeasure) {
+      numeric_features.push_back(
+          {qi, fact.schema().FieldIndexOrDie(q.measure_column), nullptr,
+           nullptr, 0, RegionItemCube<NumericAgg>(&space, num_items)});
+    } else {
+      const auto& ref = spec.references.at(q.reference);
+      const table::Column* measure = &ref.table->ColumnByName(q.measure_column);
+      const size_t fk = fact.schema().FieldIndexOrDie(q.fk_column);
+      if (q.kind == FeatureQuery::Kind::kReferenceMeasure) {
+        numeric_features.push_back(
+            {qi, 0, &key_indexes.at(q.reference), measure, fk,
+             RegionItemCube<NumericAgg>(&space, num_items)});
+      } else {
+        fk_features.push_back({qi, fk, &key_indexes.at(q.reference), measure,
+                               RegionItemCube<FkSetAgg>(&space, num_items)});
+      }
+    }
+  }
+
+  // ---- Single pass over the fact table ----
+  RegionItemCube<NumericAgg> count_cube(&space, num_items);
+  std::vector<NumericAgg> target_agg(num_items);
+  olap::PointCoords point(space.num_dims());
+  for (size_t r = 0; r < fact.num_rows(); ++r) {
+    const auto& idc = fact.column(fact_item_col);
+    if (idc.IsNull(r)) continue;
+    const int32_t item = out.items.Find(idc.Int64At(r));
+    if (item < 0) continue;  // transaction of an item outside I
+    bool coords_ok = true;
+    for (size_t d = 0; d < dim_cols.size(); ++d) {
+      const auto& col = fact.column(dim_cols[d]);
+      if (col.IsNull(r)) {
+        coords_ok = false;
+        break;
+      }
+      point[d] = static_cast<int32_t>(col.Int64At(r));
+    }
+    if (!coords_ok) continue;
+    // Target accumulates over the whole space.
+    if (!fact.column(target_col).IsNull(r)) {
+      target_agg[item].Add(fact.column(target_col).NumericAt(r));
+    }
+    count_cube.BaseCell(point, item).Add(1.0);
+    for (auto& nf : numeric_features) {
+      if (nf.ref_index == nullptr) {
+        const auto& col = fact.column(nf.value_col);
+        if (!col.IsNull(r)) {
+          nf.cube.BaseCell(point, item).Add(col.NumericAt(r));
+        }
+      } else {
+        const auto& fkc = fact.column(nf.fk_col);
+        if (fkc.IsNull(r)) continue;
+        auto it = nf.ref_index->find(fkc.Int64At(r));
+        if (it == nf.ref_index->end() || nf.ref_measure->IsNull(it->second)) {
+          continue;
+        }
+        nf.cube.BaseCell(point, item).Add(
+            nf.ref_measure->NumericAt(it->second));
+      }
+    }
+    for (auto& ff : fk_features) {
+      const auto& fkc = fact.column(ff.fk_col);
+      if (fkc.IsNull(r)) continue;
+      const int64_t fk = fkc.Int64At(r);
+      if (ff.ref_index->count(fk) == 0) continue;
+      ff.cube.BaseCell(point, item).Add(fk);
+    }
+  }
+
+  // ---- CUBE rollups ----
+  count_cube.Rollup();
+  for (auto& nf : numeric_features) nf.cube.Rollup();
+  for (auto& ff : fk_features) ff.cube.Rollup();
+
+  // ---- Targets ----
+  out.targets.assign(num_items, std::numeric_limits<double>::quiet_NaN());
+  int64_t num_valid_items = 0;
+  for (int32_t i = 0; i < num_items; ++i) {
+    auto v = target_agg[i].Finish(spec.target_fn);
+    if (v.has_value()) {
+      out.targets[i] = *v;
+      ++num_valid_items;
+    }
+  }
+  if (num_valid_items == 0) {
+    return Status::FailedPrecondition("no item has a target value");
+  }
+
+  // ---- Coverage and costs ----
+  out.region_costs = spec.cost->region_costs();
+  out.region_coverage.assign(space.NumRegions(), 0.0);
+  for (RegionId reg = 0; reg < space.NumRegions(); ++reg) {
+    int64_t covered = 0;
+    for (int32_t i = 0; i < num_items; ++i) {
+      if (std::isnan(out.targets[i])) continue;
+      if (count_cube.Cell(reg, i).count > 0) ++covered;
+    }
+    out.region_coverage[reg] =
+        static_cast<double>(covered) / static_cast<double>(num_valid_items);
+  }
+
+  // ---- Feasible regions (iceberg) ----
+  out.feasible = olap::FindFeasibleRegionsPruned(
+      space, out.region_costs, out.region_coverage, spec.budget,
+      spec.min_coverage);
+
+  // ---- Materialize the training set of every feasible region ----
+  const int32_t p = static_cast<int32_t>(out.feature_names.size());
+  std::vector<double> fk_vals;
+  for (RegionId reg : out.feasible.regions) {
+    RegionTrainingSet set;
+    set.region = reg;
+    set.num_features = p;
+    for (int32_t i = 0; i < num_items; ++i) {
+      if (std::isnan(out.targets[i])) continue;
+      if (count_cube.Cell(reg, i).count == 0) continue;  // i not in I_r
+      set.items.push_back(i);
+      set.targets.push_back(out.targets[i]);
+      if (spec.weight_by_support) {
+        set.weights.push_back(
+            static_cast<double>(count_cube.Cell(reg, i).count));
+      }
+      set.features.push_back(1.0);  // intercept
+      for (double f : item_feats[i]) set.features.push_back(f);
+      // Regional features, in query order.
+      size_t nf_i = 0, ff_i = 0;
+      for (size_t qi = 0; qi < spec.regional_features.size(); ++qi) {
+        const auto& q = spec.regional_features[qi];
+        if (q.kind == FeatureQuery::Kind::kFkDistinctMeasure) {
+          auto& ff = fk_features[ff_i++];
+          const auto& cell = ff.cube.Cell(reg, i);
+          fk_vals.clear();
+          for (int64_t fk : cell.keys) {
+            auto it = ff.ref_index->find(fk);
+            BW_DCHECK(it != ff.ref_index->end());
+            if (!ff.ref_measure->IsNull(it->second)) {
+              fk_vals.push_back(ff.ref_measure->NumericAt(it->second));
+            }
+          }
+          set.features.push_back(AggregateValues(q.fn, fk_vals));
+        } else {
+          auto& nf = numeric_features[nf_i++];
+          const auto v = nf.cube.Cell(reg, i).Finish(q.fn);
+          set.features.push_back(v.value_or(0.0));
+        }
+      }
+    }
+    out.sets.push_back(std::move(set));
+  }
+  return out;
+}
+
+namespace {
+
+// Shared tail of the naive per-region and per-cell-set generators: given the
+// region-restricted fact rows, evaluate the original-form feature queries
+// with plain relational operators and assemble the training set.
+Result<RegionTrainingSet> BuildFromFilteredFact(const BellwetherSpec& spec,
+                                                const Table& filtered,
+                                                RegionId region) {
+  const Table& fact = *spec.fact;
+  const Table& item_table = *spec.item_table;
+
+  // Item dictionary in item-table order (matches GenerateTrainingData).
+  olap::ItemDictionary items;
+  const size_t item_id_col =
+      item_table.schema().FieldIndexOrDie(spec.item_table_id_column);
+  for (size_t r = 0; r < item_table.num_rows(); ++r) {
+    if (item_table.column(item_id_col).IsNull(r)) continue;
+    items.GetOrAdd(item_table.column(item_id_col).Int64At(r));
+  }
+
+  // Targets: aggregate the whole fact table per item.
+  BW_ASSIGN_OR_RETURN(
+      Table targets_tbl,
+      table::GroupByAggregate(fact, {spec.item_id_column},
+                              {{spec.target_fn, spec.target_column, "__y"}}));
+  std::unordered_map<int64_t, double> target_of;
+  for (size_t r = 0; r < targets_tbl.num_rows(); ++r) {
+    const auto id = targets_tbl.ValueAt(r, 0);
+    const auto y = targets_tbl.ValueAt(r, 1);
+    if (id.is_null() || y.is_null()) continue;
+    target_of[id.int64()] = y.AsDouble();
+  }
+
+  // Per-feature per-item values via the original query forms.
+  std::vector<std::unordered_map<int64_t, double>> feature_of(
+      spec.regional_features.size());
+  for (size_t qi = 0; qi < spec.regional_features.size(); ++qi) {
+    const auto& q = spec.regional_features[qi];
+    Table result;
+    if (q.kind == FeatureQuery::Kind::kFactMeasure) {
+      BW_ASSIGN_OR_RETURN(
+          result, table::GroupByAggregate(filtered, {spec.item_id_column},
+                                          {{q.fn, q.measure_column, "__f"}}));
+    } else {
+      const auto it = spec.references.find(q.reference);
+      if (it == spec.references.end()) {
+        return Status::NotFound("unknown reference table: " + q.reference);
+      }
+      Table join_input = filtered;
+      if (q.kind == FeatureQuery::Kind::kFkDistinctMeasure) {
+        BW_ASSIGN_OR_RETURN(join_input,
+                            table::ProjectDistinct(
+                                filtered, {spec.item_id_column, q.fk_column}));
+      }
+      BW_ASSIGN_OR_RETURN(
+          Table joined,
+          table::KeyForeignKeyJoin(join_input, q.fk_column,
+                                   *it->second.table, it->second.key_column));
+      // The joined measure column may have been renamed on collision.
+      std::string measure = q.measure_column;
+      if (!joined.schema().FindField(measure).has_value()) {
+        measure = it->second.key_column + "." + q.measure_column;
+      }
+      BW_ASSIGN_OR_RETURN(
+          result, table::GroupByAggregate(joined, {spec.item_id_column},
+                                          {{q.fn, measure, "__f"}}));
+    }
+    for (size_t r = 0; r < result.num_rows(); ++r) {
+      const auto id = result.ValueAt(r, 0);
+      const auto v = result.ValueAt(r, 1);
+      if (id.is_null()) continue;
+      feature_of[qi][id.int64()] = v.is_null() ? 0.0 : v.AsDouble();
+    }
+  }
+
+  // Items with data in the region, with their row counts (the WLS support
+  // weights when spec.weight_by_support).
+  BW_ASSIGN_OR_RETURN(
+      Table region_items,
+      table::GroupByAggregate(filtered, {spec.item_id_column},
+                              {{table::AggFn::kCount, spec.item_id_column,
+                                "__n"}}));
+  std::unordered_map<int64_t, int64_t> in_region;
+  for (size_t r = 0; r < region_items.num_rows(); ++r) {
+    if (!region_items.ValueAt(r, 0).is_null()) {
+      in_region[region_items.ValueAt(r, 0).int64()] =
+          region_items.ValueAt(r, 1).int64();
+    }
+  }
+
+  // Item features.
+  std::vector<size_t> item_feat_cols;
+  for (const auto& c : spec.item_feature_columns) {
+    item_feat_cols.push_back(item_table.schema().FieldIndexOrDie(c));
+  }
+
+  RegionTrainingSet set;
+  set.region = region;
+  set.num_features = static_cast<int32_t>(1 + item_feat_cols.size() +
+                                          spec.regional_features.size());
+  for (size_t r = 0; r < item_table.num_rows(); ++r) {
+    if (item_table.column(item_id_col).IsNull(r)) continue;
+    const int64_t id = item_table.column(item_id_col).Int64At(r);
+    const auto reg_it = in_region.find(id);
+    if (reg_it == in_region.end()) continue;
+    auto t = target_of.find(id);
+    if (t == target_of.end()) continue;
+    set.items.push_back(items.Find(id));
+    set.targets.push_back(t->second);
+    if (spec.weight_by_support) {
+      set.weights.push_back(static_cast<double>(reg_it->second));
+    }
+    set.features.push_back(1.0);
+    for (size_t c : item_feat_cols) {
+      const auto& col = item_table.column(c);
+      set.features.push_back(col.IsNull(r) ? 0.0 : col.NumericAt(r));
+    }
+    for (size_t qi = 0; qi < spec.regional_features.size(); ++qi) {
+      auto f = feature_of[qi].find(id);
+      set.features.push_back(f == feature_of[qi].end() ? 0.0 : f->second);
+    }
+  }
+  return set;
+}
+
+}  // namespace
+
+Result<RegionTrainingSet> GenerateRegionTrainingSetNaive(
+    const BellwetherSpec& spec, olap::RegionId region) {
+  BW_RETURN_IF_ERROR(ValidateSpec(spec));
+  std::vector<size_t> dim_cols;
+  for (const auto& c : spec.dimension_columns) {
+    dim_cols.push_back(spec.fact->schema().FieldIndexOrDie(c));
+  }
+  const olap::RegionSpace& space = *spec.space;
+  olap::PointCoords point(space.num_dims());
+  const Table filtered = table::Select(
+      *spec.fact, [&](const Table& t, size_t row) {
+        for (size_t d = 0; d < dim_cols.size(); ++d) {
+          const auto& col = t.column(dim_cols[d]);
+          if (col.IsNull(row)) return false;
+          point[d] = static_cast<int32_t>(col.Int64At(row));
+        }
+        return space.RegionContainsPoint(region, point);
+      });
+  return BuildFromFilteredFact(spec, filtered, region);
+}
+
+Result<RegionTrainingSet> GenerateCellSetTrainingSet(
+    const BellwetherSpec& spec, const std::vector<int64_t>& finest_cells) {
+  BW_RETURN_IF_ERROR(ValidateSpec(spec));
+  std::unordered_set<int64_t> cells(finest_cells.begin(), finest_cells.end());
+  std::vector<size_t> dim_cols;
+  for (const auto& c : spec.dimension_columns) {
+    dim_cols.push_back(spec.fact->schema().FieldIndexOrDie(c));
+  }
+  const olap::RegionSpace& space = *spec.space;
+  olap::PointCoords point(space.num_dims());
+  const Table filtered = table::Select(
+      *spec.fact, [&](const Table& t, size_t row) {
+        for (size_t d = 0; d < dim_cols.size(); ++d) {
+          const auto& col = t.column(dim_cols[d]);
+          if (col.IsNull(row)) return false;
+          point[d] = static_cast<int32_t>(col.Int64At(row));
+        }
+        return cells.count(space.FinestCellOf(point)) > 0;
+      });
+  return BuildFromFilteredFact(spec, filtered, olap::kInvalidRegion);
+}
+
+}  // namespace bellwether::core

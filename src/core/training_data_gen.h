@@ -1,0 +1,66 @@
+#ifndef BELLWETHER_CORE_TRAINING_DATA_GEN_H_
+#define BELLWETHER_CORE_TRAINING_DATA_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/spec.h"
+#include "olap/cube.h"
+#include "olap/iceberg.h"
+#include "storage/training_data.h"
+
+namespace bellwether::core {
+
+/// Everything derived from the historical database that the bellwether
+/// algorithms consume: the item dictionary, per-item targets, per-region
+/// cost/coverage, the feasible region set, and the training sets of all
+/// feasible regions ("the entire training data", paper §5.2).
+struct GeneratedTrainingData {
+  olap::ItemDictionary items;
+  /// Target value per dense item index; NaN when the item has no target
+  /// (such items are excluded from every training set).
+  std::vector<double> targets;
+  /// Feature names of the design matrix (intercept, item features, regional
+  /// features).
+  std::vector<std::string> feature_names;
+  /// Indexed by RegionId (over the whole region space).
+  std::vector<double> region_costs;
+  std::vector<double> region_coverage;
+  olap::FeasibleRegions feasible;
+  /// One training set per feasible region, ascending RegionId.
+  std::vector<storage::RegionTrainingSet> sets;
+
+  /// Wraps `sets` in an in-memory TrainingDataSource (copies).
+  std::unique_ptr<storage::TrainingDataSource> ToMemorySource() const;
+
+  /// Index into `sets` of the given region, or -1.
+  int64_t FindSet(olap::RegionId region) const;
+};
+
+/// Generates all training sets with one pass over the fact table plus one
+/// cube rollup per feature query — the single-OLAP-query evaluation strategy
+/// of §4.2 (rewrite to CUBE aggregates, then join the per-feature cubes and
+/// apply the iceberg constraints).
+Result<GeneratedTrainingData> GenerateTrainingData(const BellwetherSpec& spec);
+
+/// Reference implementation of the *original* (un-rewritten) feature queries
+/// of §4.1 for a single region: evaluates
+///   alpha_f sigma_{ID=i, Z in r} F        (and the join / pi_FK variants)
+/// with plain relational operators, region by region and item by item. Used
+/// to validate the cube path (the §4.2 rewrite equivalence) and as the
+/// "iterate through all candidate regions, issue a query per region"
+/// strawman. The returned set contains exactly the items of I_r that have a
+/// target.
+Result<storage::RegionTrainingSet> GenerateRegionTrainingSetNaive(
+    const BellwetherSpec& spec, olap::RegionId region);
+
+/// Like GenerateRegionTrainingSetNaive, but over an arbitrary collection of
+/// finest-grained cells instead of an OLAP region — the random-sampling
+/// baseline of Fig. 7 draws such collections.
+Result<storage::RegionTrainingSet> GenerateCellSetTrainingSet(
+    const BellwetherSpec& spec, const std::vector<int64_t>& finest_cells);
+
+}  // namespace bellwether::core
+
+#endif  // BELLWETHER_CORE_TRAINING_DATA_GEN_H_

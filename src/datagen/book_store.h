@@ -1,0 +1,50 @@
+#ifndef BELLWETHER_DATAGEN_BOOK_STORE_H_
+#define BELLWETHER_DATAGEN_BOOK_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/bellwether_cube.h"
+#include "core/spec.h"
+#include "olap/cost.h"
+#include "table/table.h"
+
+namespace bellwether::datagen {
+
+/// Parameters of the synthetic book-store dataset — the stand-in for the
+/// 2004 five-state bookstore sample of §7.2. Unlike the mail-order
+/// generator, *no* bellwether is planted: per-region noise is uniformly
+/// high and the sample is small, so the basic search should NOT be able to
+/// single out a region with confidence (Fig. 9(b): a large fraction of
+/// regions stays indistinguishable from the returned one).
+struct BookStoreConfig {
+  int32_t num_books = 200;
+  int32_t num_months = 12;
+  int32_t num_states = 5;
+  int32_t cities_per_state = 4;
+  /// Uniform per-region relative noise.
+  double noise = 0.8;
+  /// Mean transactions per (book, city, month); the dataset is "a
+  /// relatively small sample of the actual data warehouse".
+  double density = 0.35;
+  uint64_t seed = 2004;
+};
+
+struct BookStoreDataset {
+  table::Table fact;   // Time, Location, ItemID, Quantity, Profit
+  table::Table items;  // ItemID, Genre, PriceBand, ListPrice
+  std::unique_ptr<olap::RegionSpace> space;
+  std::unique_ptr<olap::CostModel> cost;
+  std::vector<core::ItemHierarchy> item_hierarchies;
+
+  /// Spec with features regional profit (sum) and regional orders (count),
+  /// item feature ListPrice, target total profit.
+  core::BellwetherSpec MakeSpec(double budget, double min_coverage) const;
+};
+
+BookStoreDataset GenerateBookStore(const BookStoreConfig& config);
+
+}  // namespace bellwether::datagen
+
+#endif  // BELLWETHER_DATAGEN_BOOK_STORE_H_

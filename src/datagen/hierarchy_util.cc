@@ -1,0 +1,63 @@
+#include "datagen/hierarchy_util.h"
+
+namespace bellwether::datagen {
+
+olap::HierarchicalDimension BuildBalancedHierarchy(
+    const std::string& name, const std::string& root_label,
+    const std::vector<int32_t>& fanouts, const std::string& label_prefix) {
+  olap::HierarchicalDimension dim(name, root_label);
+  struct Entry {
+    olap::NodeId node;
+    std::string path;
+  };
+  std::vector<Entry> frontier{{dim.root(), label_prefix}};
+  for (size_t level = 0; level < fanouts.size(); ++level) {
+    std::vector<Entry> next;
+    for (const Entry& e : frontier) {
+      for (int32_t c = 1; c <= fanouts[level]; ++c) {
+        const std::string path = e.path + "." + std::to_string(c);
+        next.push_back({dim.AddNode(path, e.node), path});
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dim;
+}
+
+olap::HierarchicalDimension BuildUsCensusLocationHierarchy() {
+  olap::HierarchicalDimension dim("Location", "All");
+  struct Division {
+    const char* name;
+    std::vector<const char*> states;
+  };
+  struct Region {
+    const char* name;
+    std::vector<Division> divisions;
+  };
+  const std::vector<Region> census = {
+      {"Northeast",
+       {{"NewEngland", {"CT", "ME", "MA", "NH", "RI", "VT"}},
+        {"MidAtlantic", {"NJ", "NY", "PA"}}}},
+      {"Midwest",
+       {{"EastNorthCentral", {"IL", "IN", "MI", "OH", "WI"}},
+        {"WestNorthCentral", {"IA", "KS", "MN", "MO", "NE", "ND", "SD"}}}},
+      {"South",
+       {{"SouthAtlantic",
+         {"DE", "FL", "GA", "MD", "NC", "SC", "VA", "WV"}},
+        {"EastSouthCentral", {"AL", "KY", "MS", "TN"}},
+        {"WestSouthCentral", {"AR", "LA", "OK", "TX"}}}},
+      {"West",
+       {{"Mountain", {"AZ", "CO", "ID", "MT", "NV", "NM", "UT", "WY"}},
+        {"Pacific", {"AK", "CA", "HI", "OR", "WA"}}}},
+  };
+  for (const Region& r : census) {
+    const olap::NodeId region = dim.AddNode(r.name, dim.root());
+    for (const Division& d : r.divisions) {
+      const olap::NodeId division = dim.AddNode(d.name, region);
+      for (const char* s : d.states) dim.AddNode(s, division);
+    }
+  }
+  return dim;
+}
+
+}  // namespace bellwether::datagen

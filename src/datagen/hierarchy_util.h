@@ -1,0 +1,23 @@
+#ifndef BELLWETHER_DATAGEN_HIERARCHY_UTIL_H_
+#define BELLWETHER_DATAGEN_HIERARCHY_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "olap/dimension.h"
+
+namespace bellwether::datagen {
+
+/// Builds a balanced tree dimension: level k has fanouts[k] children under
+/// every node of level k-1. Labels are "<prefix><path>" (e.g. "L2.1.3").
+olap::HierarchicalDimension BuildBalancedHierarchy(
+    const std::string& name, const std::string& root_label,
+    const std::vector<int32_t>& fanouts, const std::string& label_prefix);
+
+/// The US Census location hierarchy used by the mail-order experiments:
+/// All -> 4 regions -> 9 divisions -> 50 states (postal abbreviations).
+olap::HierarchicalDimension BuildUsCensusLocationHierarchy();
+
+}  // namespace bellwether::datagen
+
+#endif  // BELLWETHER_DATAGEN_HIERARCHY_UTIL_H_

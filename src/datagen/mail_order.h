@@ -1,0 +1,64 @@
+#ifndef BELLWETHER_DATAGEN_MAIL_ORDER_H_
+#define BELLWETHER_DATAGEN_MAIL_ORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/bellwether_cube.h"
+#include "core/spec.h"
+#include "olap/cost.h"
+#include "olap/region.h"
+#include "table/table.h"
+
+namespace bellwether::datagen {
+
+/// Parameters of the synthetic mail-order catalog dataset — the stand-in for
+/// the proprietary 1996 dataset of §7.1 (1,012 items / 4M transactions).
+/// The generator plants a bellwether: one state's sales track each item's
+/// total profit with far less noise than any other state's, so the basic
+/// search should recover [1-k months, planted state].
+struct MailOrderConfig {
+  int32_t num_items = 400;
+  int32_t num_months = 10;     // interval dimension 1..10 (paper §7.1)
+  int32_t num_catalogs = 40;
+  /// Postal abbreviation of the planted bellwether state.
+  const char* planted_state = "MD";
+  /// Month-level relative noise of the planted state's early sales; longer
+  /// windows average it away. Other states additionally carry a persistent
+  /// per-(item, state) bias that no window length can remove.
+  double planted_noise = 0.3;
+  double other_noise_min = 0.3;
+  double other_noise_max = 0.8;
+  /// Mean transactions per (item, state, month).
+  double density = 1.2;
+  uint64_t seed = 2006;
+};
+
+/// The generated dataset: the star schema, the region space, the cost model,
+/// and the item hierarchies used by the bellwether cube.
+struct MailOrderDataset {
+  table::Table fact;      // Time, Location, ItemID, CatalogNo, Quantity, Profit
+  table::Table items;     // ItemID, Category, ExpenseRange, RDExpense
+  table::Table catalogs;  // CatalogNo, Pages, Circulation
+  std::unique_ptr<olap::RegionSpace> space;
+  std::unique_ptr<olap::CostModel> cost;
+  /// The planted region [1-8, planted_state].
+  olap::RegionId planted_region = olap::kInvalidRegion;
+  /// Node id of the planted state in the location hierarchy.
+  olap::NodeId planted_state_node = olap::kInvalidNode;
+  std::vector<core::ItemHierarchy> item_hierarchies;
+
+  /// Assembles a BellwetherSpec over this dataset (pointers into *this; the
+  /// dataset must outlive the spec). Features: regional profit (sum),
+  /// regional orders (count), regional max catalog pages, regional distinct
+  /// catalogs; item feature: RDExpense. Target: total profit.
+  core::BellwetherSpec MakeSpec(double budget, double min_coverage) const;
+};
+
+/// Generates the dataset deterministically from config.seed.
+MailOrderDataset GenerateMailOrder(const MailOrderConfig& config);
+
+}  // namespace bellwether::datagen
+
+#endif  // BELLWETHER_DATAGEN_MAIL_ORDER_H_

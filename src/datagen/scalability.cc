@@ -1,0 +1,149 @@
+#include "datagen/scalability.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "datagen/hierarchy_util.h"
+
+namespace bellwether::datagen {
+
+namespace {
+
+using olap::HierarchicalDimension;
+using olap::NodeId;
+using olap::RegionId;
+using table::DataType;
+using table::Field;
+using table::Schema;
+using table::Table;
+using table::Value;
+
+// Counter-based uniform value in [0, 10): the regional features of a
+// (region, item, k) triple are a pure hash, so the generator can stream
+// region by region without materializing the whole feature tensor.
+double HashedFeature(uint64_t seed, int64_t region, int32_t item, int32_t k) {
+  uint64_t z = seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(region) + 1));
+  z ^= 0xBF58476D1CE4E5B9ULL * (static_cast<uint64_t>(item) + 1);
+  z ^= 0x94D049BB133111EBULL * (static_cast<uint64_t>(k) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return 10.0 * static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::vector<std::string> ScalabilityDataset::TreeSplitColumns() const {
+  return numeric_feature_columns;
+}
+
+Result<ScalabilityDataset> GenerateScalability(
+    const ScalabilityConfig& config, storage::SpillFileWriter* writer,
+    std::vector<storage::RegionTrainingSet>* memory_sets) {
+  if ((writer == nullptr) == (memory_sets == nullptr)) {
+    return Status::InvalidArgument(
+        "provide exactly one of writer / memory_sets");
+  }
+  Rng rng(config.seed);
+  ScalabilityDataset out;
+
+  // ---- Fact dimensions and region space ----
+  std::vector<olap::Dimension> dims;
+  dims.emplace_back(
+      BuildBalancedHierarchy("Dim1", "All1", config.dim1_fanouts, "A"));
+  dims.emplace_back(
+      BuildBalancedHierarchy("Dim2", "All2", config.dim2_fanouts, "B"));
+  out.space = std::make_unique<olap::RegionSpace>(std::move(dims));
+  out.num_regions = out.space->NumRegions();
+  out.total_examples = out.num_regions * config.num_items;
+
+  // ---- Item hierarchies ----
+  std::vector<HierarchicalDimension> item_dims;
+  for (int32_t h = 0; h < config.num_item_hierarchies; ++h) {
+    item_dims.push_back(BuildBalancedHierarchy(
+        "IH" + std::to_string(h + 1), "Any" + std::to_string(h + 1),
+        config.item_hierarchy_fanouts, "H" + std::to_string(h + 1)));
+  }
+
+  // ---- Item table ----
+  std::vector<Field> fields{{"ItemID", DataType::kInt64}};
+  for (int32_t h = 0; h < config.num_item_hierarchies; ++h) {
+    fields.push_back({"IH" + std::to_string(h + 1), DataType::kString});
+  }
+  for (int32_t k = 0; k < config.num_numeric_item_features; ++k) {
+    const std::string name = "N" + std::to_string(k + 1);
+    fields.push_back({name, DataType::kDouble});
+    out.numeric_feature_columns.push_back(name);
+  }
+  out.items = Table(Schema(fields));
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    std::vector<Value> row{Value(static_cast<int64_t>(i + 1))};
+    for (int32_t h = 0; h < config.num_item_hierarchies; ++h) {
+      const auto& leaves = item_dims[h].leaves();
+      const NodeId leaf = leaves[rng.NextUint64(leaves.size())];
+      row.emplace_back(item_dims[h].label(leaf));
+    }
+    for (int32_t k = 0; k < config.num_numeric_item_features; ++k) {
+      row.emplace_back(rng.NextDouble(0.0, 1.0));
+    }
+    out.items.AppendRow(row);
+  }
+
+  // ---- Four predefined bellwether regions with small error ----
+  const int32_t kGroups = 4;
+  std::vector<RegionId> group_region(kGroups);
+  std::vector<std::vector<double>> group_beta(kGroups);
+  for (int32_t g = 0; g < kGroups; ++g) {
+    group_region[g] = static_cast<RegionId>(rng.NextUint64(out.num_regions));
+    group_beta[g].resize(config.num_regional_features);
+    for (auto& b : group_beta[g]) b = rng.NextDouble(-2.0, 2.0);
+  }
+  std::vector<int32_t> group_of(config.num_items);
+  out.targets.resize(config.num_items);
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    group_of[i] = static_cast<int32_t>(rng.NextUint64(kGroups));
+    const int32_t g = group_of[i];
+    double y = 0.0;
+    for (int32_t k = 0; k < config.num_regional_features; ++k) {
+      y += group_beta[g][k] *
+           HashedFeature(config.seed, group_region[g], i, k);
+    }
+    out.targets[i] = y + config.noise * rng.NextGaussian();
+  }
+
+  // ---- Stream the entire training data, region-major ----
+  const int32_t p = 1 + config.num_regional_features;
+  storage::RegionTrainingSet set;
+  set.num_features = p;
+  set.items.resize(config.num_items);
+  set.targets.resize(config.num_items);
+  set.features.resize(static_cast<size_t>(config.num_items) * p);
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    set.items[i] = i;
+    set.targets[i] = out.targets[i];
+  }
+  for (RegionId r = 0; r < out.num_regions; ++r) {
+    set.region = r;
+    for (int32_t i = 0; i < config.num_items; ++i) {
+      double* row = set.features.data() + static_cast<size_t>(i) * p;
+      row[0] = 1.0;
+      for (int32_t k = 0; k < config.num_regional_features; ++k) {
+        row[1 + k] = HashedFeature(config.seed, r, i, k);
+      }
+    }
+    if (writer != nullptr) {
+      BW_RETURN_IF_ERROR(writer->Append(set));
+    } else {
+      memory_sets->push_back(set);
+    }
+  }
+
+  for (int32_t h = 0; h < config.num_item_hierarchies; ++h) {
+    out.item_hierarchies.push_back(core::ItemHierarchy{
+        "IH" + std::to_string(h + 1), std::move(item_dims[h])});
+  }
+  return out;
+}
+
+}  // namespace bellwether::datagen

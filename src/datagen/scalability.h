@@ -1,0 +1,63 @@
+#ifndef BELLWETHER_DATAGEN_SCALABILITY_H_
+#define BELLWETHER_DATAGEN_SCALABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/bellwether_cube.h"
+#include "olap/region.h"
+#include "storage/training_data.h"
+#include "table/table.h"
+
+namespace bellwether::datagen {
+
+/// Parameters of the §7.4 efficiency/scalability workload. Following the
+/// paper, the *entire training data* is generated directly (the iceberg
+/// feature-generation step is assumed done): one training example per item
+/// per region, so |training data| = #regions * num_items. Targets come from
+/// four predefined bellwether regions with small error; regional features
+/// are random.
+struct ScalabilityConfig {
+  int32_t num_items = 2500;
+  /// Fanouts of the two tree-structured fact dimensions; #regions is the
+  /// product of the two node counts.
+  std::vector<int32_t> dim1_fanouts = {3, 3};
+  std::vector<int32_t> dim2_fanouts = {3, 3};
+  int32_t num_regional_features = 4;
+  /// Item hierarchies (for cube experiments): number and fanouts. The number
+  /// of cube subsets grows with these.
+  int32_t num_item_hierarchies = 3;
+  std::vector<int32_t> item_hierarchy_fanouts = {3, 3};
+  /// Numeric item-table attributes (for tree experiments, Fig. 12(b)).
+  int32_t num_numeric_item_features = 4;
+  double noise = 0.1;
+  uint64_t seed = 42;
+};
+
+struct ScalabilityDataset {
+  table::Table items;
+  std::unique_ptr<olap::RegionSpace> space;
+  std::vector<double> targets;
+  std::vector<core::ItemHierarchy> item_hierarchies;
+  std::vector<std::string> numeric_feature_columns;
+  int64_t num_regions = 0;
+  int64_t total_examples = 0;
+
+  /// Columns of the item table used by tree building.
+  std::vector<std::string> TreeSplitColumns() const;
+};
+
+/// Generates the dataset metadata and streams every region's training set to
+/// `writer` (ascending region order). The caller finalizes the writer and
+/// opens it as a SpilledTrainingData. Pass nullptr `writer` plus a non-null
+/// `memory_sets` to materialize in memory instead.
+Result<ScalabilityDataset> GenerateScalability(
+    const ScalabilityConfig& config, storage::SpillFileWriter* writer,
+    std::vector<storage::RegionTrainingSet>* memory_sets);
+
+}  // namespace bellwether::datagen
+
+#endif  // BELLWETHER_DATAGEN_SCALABILITY_H_

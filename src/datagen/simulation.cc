@@ -1,0 +1,174 @@
+#include "datagen/simulation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "datagen/hierarchy_util.h"
+
+namespace bellwether::datagen {
+
+namespace {
+
+using olap::HierarchicalDimension;
+using olap::IntervalDimension;
+using olap::RegionId;
+using table::DataType;
+using table::Field;
+using table::Schema;
+using table::Table;
+using table::Value;
+
+// The random generator tree: internal nodes test one binary feature; leaves
+// carry a planted bellwether region and linear model.
+struct GenNode {
+  int32_t feature = -1;  // -1 = leaf
+  int32_t child0 = -1;   // feature value 0
+  int32_t child1 = -1;   // feature value 1
+  RegionId region = olap::kInvalidRegion;
+  std::vector<double> beta;  // over the regional features
+};
+
+// Grows a random binary tree with approximately `target_nodes` nodes by
+// repeatedly splitting a random leaf on a random feature.
+std::vector<GenNode> GrowGeneratorTree(int32_t target_nodes,
+                                       int32_t num_features, Rng* rng) {
+  std::vector<GenNode> nodes(1);
+  std::vector<int32_t> leaves{0};
+  while (static_cast<int32_t>(nodes.size()) + 2 <= target_nodes &&
+         !leaves.empty()) {
+    const size_t pick = rng->NextUint64(leaves.size());
+    const int32_t v = leaves[pick];
+    leaves.erase(leaves.begin() + pick);
+    nodes[v].feature = static_cast<int32_t>(rng->NextUint64(num_features));
+    nodes[v].child0 = static_cast<int32_t>(nodes.size());
+    nodes.emplace_back();
+    nodes[v].child1 = static_cast<int32_t>(nodes.size());
+    nodes.emplace_back();
+    leaves.push_back(nodes[v].child0);
+    leaves.push_back(nodes[v].child1);
+  }
+  return nodes;
+}
+
+int32_t RouteToLeaf(const std::vector<GenNode>& tree,
+                    const std::vector<int32_t>& features) {
+  int32_t v = 0;
+  while (tree[v].feature >= 0) {
+    v = features[tree[v].feature] == 0 ? tree[v].child0 : tree[v].child1;
+  }
+  return v;
+}
+
+}  // namespace
+
+SimulationDataset GenerateSimulation(const SimulationConfig& config) {
+  BW_CHECK(config.num_binary_features >= config.num_hierarchies);
+  BW_CHECK(config.num_hierarchies >= 1);
+  Rng rng(config.seed);
+  SimulationDataset out;
+
+  // ---- Region space ----
+  std::vector<olap::Dimension> dims;
+  dims.emplace_back(IntervalDimension("Time", config.num_windows));
+  dims.emplace_back(BuildBalancedHierarchy("Location", "All",
+                                           config.location_fanouts, "L"));
+  out.space = std::make_unique<olap::RegionSpace>(std::move(dims));
+  const int64_t num_regions = out.space->NumRegions();
+
+  // ---- Item table: binary features; the first num_hierarchies double as
+  // 1-level item hierarchies for the bellwether cube ----
+  std::vector<Field> fields{{"ItemID", DataType::kInt64}};
+  for (int32_t f = 0; f < config.num_binary_features; ++f) {
+    const std::string name = "F" + std::to_string(f + 1);
+    fields.push_back({name, DataType::kInt64});
+    out.feature_columns.push_back(name);
+  }
+  for (int32_t h = 0; h < config.num_hierarchies; ++h) {
+    fields.push_back({"H" + std::to_string(h + 1), DataType::kString});
+  }
+  out.items = Table(Schema(fields));
+
+  std::vector<std::vector<int32_t>> item_features(config.num_items);
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    auto& feats = item_features[i];
+    feats.resize(config.num_binary_features);
+    std::vector<Value> row{Value(static_cast<int64_t>(i + 1))};
+    for (int32_t f = 0; f < config.num_binary_features; ++f) {
+      feats[f] = rng.NextBool() ? 1 : 0;
+      row.emplace_back(static_cast<int64_t>(feats[f]));
+    }
+    for (int32_t h = 0; h < config.num_hierarchies; ++h) {
+      row.emplace_back(std::string(feats[h] ? "1" : "0"));
+    }
+    out.items.AppendRow(row);
+  }
+
+  // ---- Generator tree with per-leaf planted bellwether ----
+  std::vector<GenNode> tree = GrowGeneratorTree(
+      config.generator_tree_nodes, config.num_binary_features, &rng);
+  for (auto& n : tree) {
+    if (n.feature >= 0) continue;
+    n.region = static_cast<RegionId>(rng.NextUint64(num_regions));
+    n.beta.resize(config.num_regional_features);
+    for (auto& b : n.beta) b = rng.NextDouble(-2.0, 2.0);
+  }
+
+  // ---- Regional features X(i, r), uniform in [0, 10) everywhere ----
+  const int32_t num_rf = config.num_regional_features;
+  std::vector<double> x(static_cast<size_t>(num_regions) * config.num_items *
+                        num_rf);
+  for (double& v : x) v = rng.NextDouble(0.0, 10.0);
+  auto x_of = [&](RegionId r, int32_t item) {
+    return x.data() +
+           (static_cast<size_t>(r) * config.num_items + item) * num_rf;
+  };
+
+  // ---- Targets from each item's leaf region/model ----
+  out.targets.resize(config.num_items);
+  out.true_region_of_item.resize(config.num_items);
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    const int32_t leaf = RouteToLeaf(tree, item_features[i]);
+    const RegionId r = tree[leaf].region;
+    out.true_region_of_item[i] = r;
+    double y = 0.0;
+    const double* xi = x_of(r, i);
+    for (int32_t k = 0; k < num_rf; ++k) y += tree[leaf].beta[k] * xi[k];
+    out.targets[i] = y + config.noise * rng.NextGaussian();
+  }
+
+  // ---- Materialize the entire training data: one set per region ----
+  // Design matrix: intercept + the regional features (the binary item
+  // features drive partitioning, not the per-region linear model).
+  const int32_t p = 1 + num_rf;
+  out.sets.reserve(num_regions);
+  for (RegionId r = 0; r < num_regions; ++r) {
+    storage::RegionTrainingSet set;
+    set.region = r;
+    set.num_features = p;
+    set.items.resize(config.num_items);
+    set.targets.resize(config.num_items);
+    set.features.resize(static_cast<size_t>(config.num_items) * p);
+    for (int32_t i = 0; i < config.num_items; ++i) {
+      set.items[i] = i;
+      set.targets[i] = out.targets[i];
+      double* row = set.features.data() + static_cast<size_t>(i) * p;
+      row[0] = 1.0;
+      const double* xi = x_of(r, i);
+      for (int32_t k = 0; k < num_rf; ++k) row[1 + k] = xi[k];
+    }
+    out.sets.push_back(std::move(set));
+  }
+
+  // ---- Item hierarchies: All -> {0, 1} over H1..Hk ----
+  for (int32_t h = 0; h < config.num_hierarchies; ++h) {
+    HierarchicalDimension dim("H" + std::to_string(h + 1), "Any");
+    dim.AddNode("0", dim.root());
+    dim.AddNode("1", dim.root());
+    out.item_hierarchies.push_back(
+        core::ItemHierarchy{"H" + std::to_string(h + 1), std::move(dim)});
+  }
+  return out;
+}
+
+}  // namespace bellwether::datagen

@@ -1,0 +1,57 @@
+#ifndef BELLWETHER_DATAGEN_SIMULATION_H_
+#define BELLWETHER_DATAGEN_SIMULATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/bellwether_cube.h"
+#include "olap/region.h"
+#include "storage/training_data.h"
+#include "table/table.h"
+
+namespace bellwether::datagen {
+
+/// Parameters of the §7.3 simulation: the target of each item is generated
+/// by a random decision tree over binary item-table features; each leaf of
+/// the generator tree carries its own planted bellwether region and linear
+/// model over four regional features. Varying the tree size controls the
+/// complexity of the bellwether distribution; varying `noise` controls the
+/// irreducible error.
+struct SimulationConfig {
+  int32_t num_items = 1000;
+  int32_t num_binary_features = 8;
+  /// Number of nodes of the generator decision tree (paper: 3..63).
+  int32_t generator_tree_nodes = 15;
+  /// Standard deviation of the additive error term (paper: 0.05..2).
+  double noise = 0.5;
+  int32_t num_regional_features = 4;
+  /// How many of the binary features double as 1-level item hierarchies for
+  /// the bellwether cube (the paper's cube partitions on item hierarchies
+  /// derived from the item-table features).
+  int32_t num_hierarchies = 3;
+  /// Region space: prefix windows x a balanced location tree.
+  int32_t num_windows = 5;
+  std::vector<int32_t> location_fanouts = {3, 3};
+  uint64_t seed = 7;
+};
+
+/// The generated "entire training data" (one training set per region — all
+/// regions are feasible in this experiment) plus the item-table structures.
+struct SimulationDataset {
+  table::Table items;  // ItemID, F1..Fk (int64 0/1), H1..Hk (string "0"/"1")
+  std::vector<double> targets;  // per dense item (= item row)
+  std::unique_ptr<olap::RegionSpace> space;
+  std::vector<storage::RegionTrainingSet> sets;
+  std::vector<core::ItemHierarchy> item_hierarchies;  // first k features
+  /// Ground truth: the leaf bellwether region of every item.
+  std::vector<olap::RegionId> true_region_of_item;
+  /// Names of the binary feature columns (tree split columns).
+  std::vector<std::string> feature_columns;
+};
+
+SimulationDataset GenerateSimulation(const SimulationConfig& config);
+
+}  // namespace bellwether::datagen
+
+#endif  // BELLWETHER_DATAGEN_SIMULATION_H_

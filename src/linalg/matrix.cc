@@ -1,0 +1,265 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bellwether::linalg {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    BW_CHECK(rows[r].size() == m.cols());
+    for (size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  BW_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  BW_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVector(const Vector& v) const {
+  BW_CHECK(cols_ == v.size());
+  Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double Matrix::DistanceTo(const Matrix& other) const {
+  BW_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::string Matrix::ToString() const {
+  std::string out;
+  char buf[64];
+  for (size_t r = 0; r < rows_; ++r) {
+    out += "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%s%.6g", c ? ", " : "", (*this)(r, c));
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() && a.data() == b.data();
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  BW_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void AddScaledOuterProduct(const Vector& x, double w, Matrix* accum) {
+  BW_CHECK(accum != nullptr && accum->rows() == x.size() &&
+           accum->cols() == x.size());
+  for (size_t r = 0; r < x.size(); ++r) {
+    const double wr = w * x[r];
+    if (wr == 0.0) continue;
+    for (size_t c = 0; c < x.size(); ++c) {
+      (*accum)(r, c) += wr * x[c];
+    }
+  }
+}
+
+void AddScaledVector(const Vector& x, double w, Vector* accum) {
+  BW_CHECK(accum != nullptr && accum->size() == x.size());
+  for (size_t i = 0; i < x.size(); ++i) (*accum)[i] += w * x[i];
+}
+
+namespace {
+
+// In-place Cholesky of a copy of `a`; returns false if a non-positive pivot
+// is encountered.
+bool CholeskyFactor(Matrix* a) {
+  const size_t n = a->rows();
+  for (size_t j = 0; j < n; ++j) {
+    double d = (*a)(j, j);
+    for (size_t k = 0; k < j; ++k) d -= (*a)(j, k) * (*a)(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double dj = std::sqrt(d);
+    (*a)(j, j) = dj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = (*a)(i, j);
+      for (size_t k = 0; k < j; ++k) s -= (*a)(i, k) * (*a)(j, k);
+      (*a)(i, j) = s / dj;
+    }
+  }
+  return true;
+}
+
+// Solves L L' x = b given the lower-triangular factor L stored in `l`.
+Vector CholeskySolve(const Matrix& l, const Vector& b) {
+  const size_t n = l.rows();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b, double max_ridge) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveSpd requires a square matrix");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveSpd shape mismatch");
+  }
+  if (a.rows() == 0) return Vector{};
+  const size_t n = a.rows();
+  // Jacobi equilibration: solve (D^-1/2 A D^-1/2) y = D^-1/2 b and map the
+  // solution back with x = D^-1/2 y. Normal-equation matrices of regression
+  // designs mix wildly different feature scales (an intercept next to a
+  // dollar amount); equilibration makes the factorization's success
+  // deterministic instead of knife-edge and keeps the ridge meaningful.
+  Vector d(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double diag = a(i, i);
+    d[i] = diag > 0.0 && std::isfinite(diag) ? 1.0 / std::sqrt(diag) : 1.0;
+  }
+  Matrix scaled(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) scaled(r, c) = a(r, c) * d[r] * d[c];
+  }
+  Vector rhs(n);
+  for (size_t i = 0; i < n; ++i) rhs[i] = b[i] * d[i];
+
+  double ridge = 0.0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    Matrix l = scaled;
+    if (ridge > 0.0) {
+      for (size_t i = 0; i < n; ++i) l(i, i) += ridge;
+    }
+    if (CholeskyFactor(&l)) {
+      Vector y = CholeskySolve(l, rhs);
+      for (size_t i = 0; i < n; ++i) y[i] *= d[i];
+      return y;
+    }
+    // The equilibrated matrix has a unit diagonal, so the ridge is already
+    // relative to the problem scale.
+    ridge = (ridge == 0.0) ? 1e-10 : ridge * 10.0;
+    if (ridge > max_ridge) break;
+  }
+  return Status::NumericError(
+      "SolveSpd: matrix not positive definite even with ridge");
+}
+
+Result<Vector> SolveLu(const Matrix& a, const Vector& b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveLu shape mismatch");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  Vector x = b;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::fabs(lu(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      return Status::NumericError("SolveLu: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu(col, c), lu(pivot, c));
+      std::swap(x[col], x[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = lu(r, col) / lu(col, col);
+      lu(r, col) = f;
+      for (size_t c = col + 1; c < n; ++c) lu(r, c) -= f * lu(col, c);
+      x[r] -= f * x[col];
+    }
+  }
+  // Back substitution.
+  for (size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (size_t c = ii + 1; c < n; ++c) s -= lu(ii, c) * x[c];
+    x[ii] = s / lu(ii, ii);
+  }
+  return x;
+}
+
+Result<Matrix> InvertSpd(const Matrix& a, double max_ridge) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("InvertSpd requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix inv(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    Vector e(n, 0.0);
+    e[c] = 1.0;
+    BW_ASSIGN_OR_RETURN(Vector col, SolveSpd(a, e, max_ridge));
+    for (size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+}  // namespace bellwether::linalg

@@ -1,0 +1,103 @@
+#ifndef BELLWETHER_LINALG_MATRIX_H_
+#define BELLWETHER_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace bellwether::linalg {
+
+/// Column vector of doubles.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles. Sized for regression normal equations
+/// (p x p with small p), not for large-scale numerical work.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer data; all rows must have equal
+  /// length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of order n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    BW_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    BW_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Element-wise addition. Precondition: same shape.
+  Matrix& operator+=(const Matrix& other);
+
+  /// Scales every element by s.
+  Matrix& operator*=(double s);
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  /// Matrix-matrix product; shapes must be conformable.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; v.size() must equal cols().
+  Vector MultiplyVector(const Vector& v) const;
+
+  /// Frobenius-norm distance to another same-shaped matrix.
+  double DistanceTo(const Matrix& other) const;
+
+  /// Human-readable dump for debugging/tests.
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+bool operator==(const Matrix& a, const Matrix& b);
+
+/// Dot product. Precondition: equal sizes.
+double Dot(const Vector& a, const Vector& b);
+
+/// Adds w * x * x' into `accum` (symmetric rank-1 update); `accum` must be
+/// square with order x.size().
+void AddScaledOuterProduct(const Vector& x, double w, Matrix* accum);
+
+/// Adds w * x * y into `accum` (scaled vector accumulate); sizes must match.
+void AddScaledVector(const Vector& x, double w, Vector* accum);
+
+/// Solves A x = b for symmetric positive definite A via Cholesky
+/// factorization. If A is singular or indefinite, retries with a small ridge
+/// (A + lambda I) escalating up to `max_ridge`; returns NumericError if the
+/// system is still unsolvable. This mirrors the pseudo-inverse fallback
+/// statistics packages apply to collinear regression designs.
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b,
+                        double max_ridge = 1e-4);
+
+/// Solves A x = b for a general square A by partial-pivot LU.
+Result<Vector> SolveLu(const Matrix& a, const Vector& b);
+
+/// Inverse of a symmetric positive definite matrix (with the same ridge
+/// fallback as SolveSpd).
+Result<Matrix> InvertSpd(const Matrix& a, double max_ridge = 1e-4);
+
+}  // namespace bellwether::linalg
+
+#endif  // BELLWETHER_LINALG_MATRIX_H_

@@ -1,0 +1,77 @@
+#include "olap/cost.h"
+
+#include "olap/cube.h"
+
+namespace bellwether::olap {
+
+Result<CostModel> CostModel::Create(const RegionSpace* space,
+                                    std::vector<double> finest_cell_costs) {
+  if (static_cast<int64_t>(finest_cell_costs.size()) !=
+      space->NumFinestCells()) {
+    return Status::InvalidArgument(
+        "cost table must have one entry per finest cell");
+  }
+  for (double c : finest_cell_costs) {
+    if (c < 0.0) {
+      return Status::InvalidArgument("finest-cell costs must be >= 0");
+    }
+  }
+  // Aggregate the cost of every region with one cube rollup: base cells of
+  // the region space are exactly the finest cells, so we reuse the same
+  // bottom-up machinery with a single pseudo-item.
+  RegionItemCube<NumericAgg> cube(space, /*num_items=*/1);
+  // Map finest-cell ids back to base-region coordinates by enumerating the
+  // finest cells of the full region (which covers everything).
+  const std::vector<int64_t> all_cells = space->FinestCellsIn(space->FullRegion());
+  // FinestCellsIn enumerates the full cross product; we need the base-region
+  // coordinates of each. Rebuild them from per-dimension leaf/time lists.
+  // Simpler: walk every base region and map it to its finest cell id.
+  (void)all_cells;
+  const size_t nd = space->num_dims();
+  std::vector<std::vector<int32_t>> base_choices(nd);   // region coords
+  std::vector<std::vector<int32_t>> point_choices(nd);  // fact-point coords
+  for (size_t d = 0; d < nd; ++d) {
+    if (const auto* h = std::get_if<HierarchicalDimension>(&space->dim(d))) {
+      for (NodeId leaf : h->leaves()) {
+        base_choices[d].push_back(leaf);
+        point_choices[d].push_back(leaf);
+      }
+    } else {
+      const auto& iv = std::get<IntervalDimension>(space->dim(d));
+      for (int32_t t = 1; t <= iv.max_time(); ++t) {
+        base_choices[d].push_back(t - 1);
+        point_choices[d].push_back(t);
+      }
+    }
+  }
+  std::vector<size_t> pos(nd, 0);
+  RegionCoords coords(nd);
+  PointCoords point(nd);
+  for (;;) {
+    for (size_t d = 0; d < nd; ++d) {
+      coords[d] = base_choices[d][pos[d]];
+      point[d] = point_choices[d][pos[d]];
+    }
+    const int64_t cell = space->FinestCellOf(point);
+    cube.Cell(space->Encode(coords), 0).Add(finest_cell_costs[cell]);
+    size_t d = nd;
+    bool done = true;
+    while (d-- > 0) {
+      if (++pos[d] < base_choices[d].size()) {
+        done = false;
+        break;
+      }
+      pos[d] = 0;
+    }
+    if (done) break;
+  }
+  cube.Rollup();
+  std::vector<double> region_costs(space->NumRegions());
+  for (RegionId r = 0; r < space->NumRegions(); ++r) {
+    region_costs[r] = cube.Cell(r, 0).sum;
+  }
+  return CostModel(space, std::move(finest_cell_costs),
+                   std::move(region_costs));
+}
+
+}  // namespace bellwether::olap

@@ -1,0 +1,48 @@
+#ifndef BELLWETHER_OLAP_COST_H_
+#define BELLWETHER_OLAP_COST_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "olap/region.h"
+
+namespace bellwether::olap {
+
+/// The cost query kappa_r(DB) of the paper (§3.2, §4.1): the user provides a
+/// cost for each finest-grained cell of the region space (e.g. each
+/// [month, state] pair); the cost of a larger region is the sum of the costs
+/// of the finest cells it covers.
+class CostModel {
+ public:
+  /// `finest_cell_costs` must have space->NumFinestCells() entries, all >= 0.
+  static Result<CostModel> Create(const RegionSpace* space,
+                                  std::vector<double> finest_cell_costs);
+
+  /// Cost of one region (precomputed; O(1)).
+  double RegionCost(RegionId r) const { return region_costs_[r]; }
+
+  /// Costs of all regions, indexed by RegionId.
+  const std::vector<double>& region_costs() const { return region_costs_; }
+
+  /// The user-supplied cost table: one entry per finest cell.
+  const std::vector<double>& finest_cell_costs() const {
+    return finest_cell_costs_;
+  }
+
+  const RegionSpace& space() const { return *space_; }
+
+ private:
+  CostModel(const RegionSpace* space, std::vector<double> finest,
+            std::vector<double> region_costs)
+      : space_(space),
+        finest_cell_costs_(std::move(finest)),
+        region_costs_(std::move(region_costs)) {}
+
+  const RegionSpace* space_;
+  std::vector<double> finest_cell_costs_;
+  std::vector<double> region_costs_;
+};
+
+}  // namespace bellwether::olap
+
+#endif  // BELLWETHER_OLAP_COST_H_

@@ -1,0 +1,199 @@
+#ifndef BELLWETHER_OLAP_CUBE_H_
+#define BELLWETHER_OLAP_CUBE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "olap/region.h"
+#include "table/ops.h"
+
+namespace bellwether::olap {
+
+/// Distributive numeric accumulator covering SUM / COUNT / MIN / MAX and the
+/// algebraic AVG. One instance per (region, item) cell.
+struct NumericAgg {
+  double sum = 0.0;
+  int64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    sum += v;
+    ++count;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  void Merge(const NumericAgg& o) {
+    sum += o.sum;
+    count += o.count;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+
+  bool empty() const { return count == 0; }
+
+  /// Aggregate result; nullopt when no values were accumulated (except
+  /// kCount, which is 0).
+  std::optional<double> Finish(table::AggFn fn) const {
+    using table::AggFn;
+    if (fn == AggFn::kCount) return static_cast<double>(count);
+    if (count == 0) return std::nullopt;
+    switch (fn) {
+      case AggFn::kSum:
+        return sum;
+      case AggFn::kMin:
+        return min;
+      case AggFn::kMax:
+        return max;
+      case AggFn::kAvg:
+        return sum / static_cast<double>(count);
+      default:
+        BW_CHECK(false);
+    }
+    return std::nullopt;
+  }
+};
+
+/// Accumulator for the pi_FK feature queries (paper §4.1, third form): the
+/// set of distinct foreign keys an item references within a region. Set
+/// union is distributive, so rollup stays exact even when the same key
+/// appears in several child cells.
+struct FkSetAgg {
+  std::set<int64_t> keys;
+
+  void Add(int64_t fk) { keys.insert(fk); }
+  void Merge(const FkSetAgg& o) { keys.insert(o.keys.begin(), o.keys.end()); }
+  bool empty() const { return keys.empty(); }
+};
+
+/// Maps external item ids to dense indices [0, size).
+class ItemDictionary {
+ public:
+  /// Index of `id`, inserting it if new.
+  int32_t GetOrAdd(int64_t id) {
+    auto [it, inserted] = index_.emplace(id, ids_.size());
+    if (inserted) ids_.push_back(id);
+    return static_cast<int32_t>(it->second);
+  }
+
+  /// Index of `id`, or -1 if unknown.
+  int32_t Find(int64_t id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? -1 : static_cast<int32_t>(it->second);
+  }
+
+  int64_t IdAt(int32_t index) const { return ids_[index]; }
+  int32_t size() const { return static_cast<int32_t>(ids_.size()); }
+
+ private:
+  std::unordered_map<int64_t, size_t> index_;
+  std::vector<int64_t> ids_;
+};
+
+/// A dense cube of accumulators over (candidate region, item) implementing
+/// the CUBE operation of the rewritten feature queries (paper §4.2):
+/// alpha_{Z, ID, f(A)} with the aggregate computed for *every* region, not
+/// only the finest ones. Fill base cells from fact rows, then call Rollup()
+/// once; afterwards Cell(r, i) holds the aggregate over all fact rows of
+/// item i falling inside region r.
+///
+/// Rollup runs one in-place pass per dimension: child tree nodes merge into
+/// their parents bottom-up (hierarchical dimensions), and window t merges
+/// into window t+1 (incremental-interval dimensions). Both are exact because
+/// the accumulators are distributive.
+template <typename Acc>
+class RegionItemCube {
+ public:
+  RegionItemCube(const RegionSpace* space, int32_t num_items)
+      : space_(space),
+        num_items_(num_items),
+        cells_(static_cast<size_t>(space->NumRegions()) * num_items) {
+    BW_CHECK(num_items >= 0);
+    // Region-id strides, identical to RegionSpace's row-major layout.
+    const size_t nd = space->num_dims();
+    cards_.resize(nd);
+    strides_.assign(nd, 1);
+    for (size_t d = 0; d < nd; ++d) cards_[d] = DimensionCardinality(space->dim(d));
+    for (size_t d = nd - 1; d-- > 0;) strides_[d] = strides_[d + 1] * cards_[d + 1];
+  }
+
+  int32_t num_items() const { return num_items_; }
+  const RegionSpace& space() const { return *space_; }
+
+  /// Cell for the *base* region of a fact point; use during the fill phase.
+  Acc& BaseCell(const PointCoords& point, int32_t item) {
+    return Cell(space_->Encode(space_->BaseCellOf(point)), item);
+  }
+
+  Acc& Cell(RegionId r, int32_t item) {
+    BW_DCHECK(item >= 0 && item < num_items_);
+    return cells_[static_cast<size_t>(r) * num_items_ + item];
+  }
+  const Acc& Cell(RegionId r, int32_t item) const {
+    BW_DCHECK(item >= 0 && item < num_items_);
+    return cells_[static_cast<size_t>(r) * num_items_ + item];
+  }
+
+  /// Performs the bottom-up CUBE rollup. Call exactly once, after all base
+  /// cells are filled.
+  void Rollup() {
+    BW_CHECK(!rolled_up_);
+    rolled_up_ = true;
+    for (size_t d = 0; d < space_->num_dims(); ++d) {
+      if (const auto* h =
+              std::get_if<HierarchicalDimension>(&space_->dim(d))) {
+        for (NodeId n : h->NodesBottomUp()) {
+          if (n == h->root()) continue;
+          MergeSlice(d, n, h->parent(n));
+        }
+      } else {
+        const auto& iv = std::get<IntervalDimension>(space_->dim(d));
+        // Window-kind-specific merge schedule (prefix accumulation for
+        // incremental windows; shorter-into-longer for sliding ones).
+        for (const auto& [from, to] : iv.RollupMerges()) {
+          MergeSlice(d, from, to);
+        }
+      }
+    }
+  }
+
+  bool rolled_up() const { return rolled_up_; }
+
+ private:
+  // Merges every cell whose dim-d coordinate is `from` into the cell with
+  // coordinate `to` (all other coordinates and the item fixed).
+  void MergeSlice(size_t d, int32_t from, int32_t to) {
+    const int64_t stride = strides_[d];               // in region units
+    const int64_t block = stride * cards_[d];         // one full digit cycle
+    const int64_t num_regions = space_->NumRegions();
+    for (int64_t hi = 0; hi < num_regions; hi += block) {
+      const int64_t from_base = hi + from * stride;
+      const int64_t to_base = hi + to * stride;
+      for (int64_t lo = 0; lo < stride; ++lo) {
+        Acc* src = &cells_[static_cast<size_t>(from_base + lo) * num_items_];
+        Acc* dst = &cells_[static_cast<size_t>(to_base + lo) * num_items_];
+        for (int32_t i = 0; i < num_items_; ++i) {
+          if (!src[i].empty()) dst[i].Merge(src[i]);
+        }
+      }
+    }
+  }
+
+  const RegionSpace* space_;
+  int32_t num_items_;
+  std::vector<Acc> cells_;
+  std::vector<int32_t> cards_;
+  std::vector<int64_t> strides_;
+  bool rolled_up_ = false;
+};
+
+}  // namespace bellwether::olap
+
+#endif  // BELLWETHER_OLAP_CUBE_H_

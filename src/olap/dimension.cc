@@ -1,0 +1,194 @@
+#include "olap/dimension.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bellwether::olap {
+
+HierarchicalDimension::HierarchicalDimension(std::string name,
+                                             std::string root_label)
+    : name_(std::move(name)) {
+  labels_.push_back(std::move(root_label));
+  parents_.push_back(kInvalidNode);
+  children_.emplace_back();
+  depths_.push_back(0);
+}
+
+NodeId HierarchicalDimension::AddNode(const std::string& label,
+                                      NodeId parent) {
+  BW_CHECK(parent >= 0 && parent < num_nodes());
+  BW_CHECK(std::find(labels_.begin(), labels_.end(), label) == labels_.end());
+  const NodeId id = num_nodes();
+  labels_.push_back(label);
+  parents_.push_back(parent);
+  children_.emplace_back();
+  depths_.push_back(depths_[parent] + 1);
+  children_[parent].push_back(id);
+  leaves_dirty_ = true;
+  return id;
+}
+
+const std::vector<NodeId>& HierarchicalDimension::leaves() const {
+  if (leaves_dirty_) {
+    leaves_cache_.clear();
+    for (NodeId n = 0; n < num_nodes(); ++n) {
+      if (IsLeaf(n)) leaves_cache_.push_back(n);
+    }
+    leaves_dirty_ = false;
+  }
+  return leaves_cache_;
+}
+
+std::vector<NodeId> HierarchicalDimension::LeavesUnder(NodeId n) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{n};
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    if (IsLeaf(cur)) {
+      out.push_back(cur);
+    } else {
+      for (NodeId c : children_[cur]) stack.push_back(c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> HierarchicalDimension::AncestorsOf(NodeId n) const {
+  std::vector<NodeId> out;
+  for (NodeId cur = n; cur != kInvalidNode; cur = parents_[cur]) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+bool HierarchicalDimension::Contains(NodeId ancestor, NodeId node) const {
+  for (NodeId cur = node; cur != kInvalidNode; cur = parents_[cur]) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+Result<NodeId> HierarchicalDimension::FindNode(
+    const std::string& label) const {
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (labels_[n] == label) return n;
+  }
+  return Status::NotFound("no node labelled '" + label + "' in dimension " +
+                          name_);
+}
+
+std::vector<NodeId> HierarchicalDimension::NodesBottomUp() const {
+  std::vector<NodeId> order(num_nodes());
+  for (NodeId n = 0; n < num_nodes(); ++n) order[n] = n;
+  std::stable_sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+    return depths_[a] > depths_[b];
+  });
+  return order;
+}
+
+int32_t HierarchicalDimension::max_depth() const {
+  int32_t m = 0;
+  for (int32_t d : depths_) m = std::max(m, d);
+  return m;
+}
+
+IntervalDimension::IntervalDimension(std::string name, int32_t max_time,
+                                     WindowKind kind)
+    : name_(std::move(name)), max_time_(max_time), kind_(kind) {
+  BW_CHECK(max_time >= 1);
+}
+
+int32_t IntervalDimension::num_windows() const {
+  if (kind_ == WindowKind::kIncremental) return max_time_;
+  return max_time_ * (max_time_ + 1) / 2;
+}
+
+std::pair<int32_t, int32_t> IntervalDimension::WindowBounds(
+    int32_t window_id) const {
+  BW_DCHECK(window_id >= 0 && window_id < num_windows());
+  if (kind_ == WindowKind::kIncremental) return {1, window_id + 1};
+  // Sliding windows are ordered by length then start: length-L windows
+  // occupy a block of max_time - L + 1 consecutive ids.
+  int32_t length = 1;
+  int32_t id = window_id;
+  while (id >= max_time_ - length + 1) {
+    id -= max_time_ - length + 1;
+    ++length;
+  }
+  const int32_t start = id + 1;
+  return {start, start + length - 1};
+}
+
+int32_t IntervalDimension::FindWindow(int32_t start, int32_t end) const {
+  if (start < 1 || end > max_time_ || start > end) return -1;
+  if (kind_ == WindowKind::kIncremental) {
+    return start == 1 ? end - 1 : -1;
+  }
+  const int32_t length = end - start + 1;
+  int32_t id = 0;
+  for (int32_t l = 1; l < length; ++l) id += max_time_ - l + 1;
+  return id + start - 1;
+}
+
+bool IntervalDimension::ContainsWindow(int32_t window_id, int32_t t) const {
+  const auto [start, end] = WindowBounds(window_id);
+  return t >= start && t <= end;
+}
+
+bool IntervalDimension::WindowContainsWindow(int32_t outer,
+                                             int32_t inner) const {
+  const auto [os, oe] = WindowBounds(outer);
+  const auto [is, ie] = WindowBounds(inner);
+  return os <= is && ie <= oe;
+}
+
+void IntervalDimension::ForEachWindowContaining(
+    int32_t t, const std::function<void(int32_t)>& fn) const {
+  for (int32_t w = 0; w < num_windows(); ++w) {
+    if (ContainsWindow(w, t)) fn(w);
+  }
+}
+
+std::vector<std::pair<int32_t, int32_t>> IntervalDimension::RollupMerges()
+    const {
+  std::vector<std::pair<int32_t, int32_t>> merges;
+  if (kind_ == WindowKind::kIncremental) {
+    // [1..t] = [1..t-1] + base contribution already in the cell.
+    for (int32_t t = 0; t + 1 < max_time_; ++t) merges.emplace_back(t, t + 1);
+    return merges;
+  }
+  // Sliding: [s..e] = [s..e-1] + [e..e]; lengths ascending so the shorter
+  // source window is already complete.
+  for (int32_t length = 2; length <= max_time_; ++length) {
+    for (int32_t s = 1; s + length - 1 <= max_time_; ++s) {
+      const int32_t to = FindWindow(s, s + length - 1);
+      merges.emplace_back(FindWindow(s, s + length - 2), to);
+      merges.emplace_back(FindWindow(s + length - 1, s + length - 1), to);
+    }
+  }
+  return merges;
+}
+
+std::string IntervalDimension::WindowLabelById(int32_t window_id) const {
+  const auto [start, end] = WindowBounds(window_id);
+  return "[" + std::to_string(start) + "-" + std::to_string(end) + "]";
+}
+
+int32_t DimensionCardinality(const Dimension& dim) {
+  if (const auto* h = std::get_if<HierarchicalDimension>(&dim)) {
+    return h->num_nodes();
+  }
+  return std::get<IntervalDimension>(dim).num_windows();
+}
+
+const std::string& DimensionName(const Dimension& dim) {
+  if (const auto* h = std::get_if<HierarchicalDimension>(&dim)) {
+    return h->name();
+  }
+  return std::get<IntervalDimension>(dim).name();
+}
+
+}  // namespace bellwether::olap

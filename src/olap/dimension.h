@@ -1,0 +1,159 @@
+#ifndef BELLWETHER_OLAP_DIMENSION_H_
+#define BELLWETHER_OLAP_DIMENSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bellwether::olap {
+
+/// Node index within a hierarchical dimension.
+using NodeId = int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+/// A tree-structured dimension (paper §4.1, "hierarchical dimension"), e.g.
+/// Location: All -> Country -> State. Values recorded in the fact table are
+/// leaves; every tree node is a candidate region coordinate. Node 0 is the
+/// root. Also used for the item hierarchies of bellwether cubes (§6.1).
+class HierarchicalDimension {
+ public:
+  /// Creates a dimension containing only the root node.
+  explicit HierarchicalDimension(std::string name, std::string root_label);
+
+  /// Adds a child of `parent`; returns the new node id. Labels must be
+  /// unique within the dimension (they name region coordinates).
+  NodeId AddNode(const std::string& label, NodeId parent);
+
+  const std::string& name() const { return name_; }
+  int32_t num_nodes() const { return static_cast<int32_t>(labels_.size()); }
+  NodeId root() const { return 0; }
+
+  const std::string& label(NodeId n) const { return labels_[n]; }
+  NodeId parent(NodeId n) const { return parents_[n]; }
+  const std::vector<NodeId>& children(NodeId n) const { return children_[n]; }
+  /// Depth of `n` (root = 0).
+  int32_t depth(NodeId n) const { return depths_[n]; }
+  bool IsLeaf(NodeId n) const { return children_[n].empty(); }
+
+  /// All leaves, in insertion order.
+  const std::vector<NodeId>& leaves() const;
+
+  /// Leaves in the subtree rooted at `n`.
+  std::vector<NodeId> LeavesUnder(NodeId n) const;
+
+  /// Chain n, parent(n), ..., root.
+  std::vector<NodeId> AncestorsOf(NodeId n) const;
+
+  /// True if `node` lies in the subtree rooted at `ancestor` (inclusive).
+  bool Contains(NodeId ancestor, NodeId node) const;
+
+  /// Node with the given label.
+  Result<NodeId> FindNode(const std::string& label) const;
+
+  /// Nodes ordered by decreasing depth (children before parents); this is
+  /// the processing order for bottom-up cube rollup.
+  std::vector<NodeId> NodesBottomUp() const;
+
+  /// Maximum depth over all nodes.
+  int32_t max_depth() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> labels_;
+  std::vector<NodeId> parents_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<int32_t> depths_;
+  mutable std::vector<NodeId> leaves_cache_;
+  mutable bool leaves_dirty_ = true;
+};
+
+/// The window family of an interval dimension (paper §4.1: "Currently, we
+/// only consider incremental intervals, but in general they can be defined
+/// by different kinds of windows").
+enum class WindowKind {
+  /// Prefix windows [1..t], one per t — the paper's incremental intervals.
+  kIncremental,
+  /// All contiguous windows [s..e] with 1 <= s <= e <= max_time.
+  kSliding,
+};
+
+/// An interval dimension: values recorded in the fact table are time points
+/// 1..max_time; candidate coordinates are windows. Window ids are 0-based
+/// and ordered by length then start, so ids 0..max_time-1 are always the
+/// single-contribution base windows ([1..t] for incremental, [t..t] for
+/// sliding) and the last id is the full window [1..max_time].
+class IntervalDimension {
+ public:
+  IntervalDimension(std::string name, int32_t max_time,
+                    WindowKind kind = WindowKind::kIncremental);
+
+  const std::string& name() const { return name_; }
+  int32_t max_time() const { return max_time_; }
+  WindowKind kind() const { return kind_; }
+
+  /// Number of candidate windows: max_time (incremental) or
+  /// max_time*(max_time+1)/2 (sliding).
+  int32_t num_windows() const;
+
+  /// Inclusive 1-based [start, end] of the window with the given id.
+  std::pair<int32_t, int32_t> WindowBounds(int32_t window_id) const;
+
+  /// Id of the window [start..end]; returns -1 when the window is not a
+  /// candidate of this kind (e.g. start != 1 for incremental).
+  int32_t FindWindow(int32_t start, int32_t end) const;
+
+  /// True if time point `t` falls inside the window with the given id.
+  bool ContainsWindow(int32_t window_id, int32_t t) const;
+
+  /// True if every point of window `inner` lies inside window `outer`.
+  bool WindowContainsWindow(int32_t outer, int32_t inner) const;
+
+  /// Invokes fn(id) for every window containing time point t, ascending id.
+  void ForEachWindowContaining(int32_t t,
+                               const std::function<void(int32_t)>& fn) const;
+
+  /// The bottom-up cube rollup schedule: ordered (from_id, to_id) merges
+  /// that extend the base windows (ids 0..max_time-1) to all windows. After
+  /// applying them in order, a cell at id w aggregates exactly the time
+  /// points of WindowBounds(w).
+  std::vector<std::pair<int32_t, int32_t>> RollupMerges() const;
+
+  /// True when window cost is non-decreasing in the window id (given
+  /// non-negative cell costs) — enables the iceberg budget break. Holds for
+  /// incremental windows; not for sliding ones.
+  bool CostMonotoneByIndex() const {
+    return kind_ == WindowKind::kIncremental;
+  }
+
+  /// "[s-e]".
+  std::string WindowLabelById(int32_t window_id) const;
+
+  /// Legacy incremental helper: true if t falls in [1..window_end].
+  bool Contains(int32_t window_end, int32_t t) const {
+    return t >= 1 && t <= window_end;
+  }
+
+ private:
+  std::string name_;
+  int32_t max_time_;
+  WindowKind kind_;
+};
+
+/// A dimension of the fact-table region space: either hierarchical or an
+/// incremental interval.
+using Dimension = std::variant<HierarchicalDimension, IntervalDimension>;
+
+/// Number of candidate coordinates of a dimension (tree nodes or windows).
+int32_t DimensionCardinality(const Dimension& dim);
+
+/// Name of a dimension.
+const std::string& DimensionName(const Dimension& dim);
+
+}  // namespace bellwether::olap
+
+#endif  // BELLWETHER_OLAP_DIMENSION_H_

@@ -1,0 +1,174 @@
+#include "olap/iceberg.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bellwether::olap {
+
+FeasibleRegions FindFeasibleRegionsBruteForce(
+    const RegionSpace& space, const std::vector<double>& region_costs,
+    const std::vector<double>& region_coverage, double budget,
+    double min_coverage) {
+  BW_CHECK(static_cast<int64_t>(region_costs.size()) == space.NumRegions());
+  BW_CHECK(static_cast<int64_t>(region_coverage.size()) ==
+           space.NumRegions());
+  FeasibleRegions out;
+  for (RegionId r = 0; r < space.NumRegions(); ++r) {
+    ++out.regions_examined;
+    if (region_costs[r] <= budget && region_coverage[r] >= min_coverage) {
+      out.regions.push_back(r);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// DFS state shared across the recursion of the pruned search.
+struct Search {
+  const RegionSpace* space;
+  const std::vector<double>* costs;
+  const std::vector<double>* coverage;
+  double budget;
+  double min_coverage;
+  FeasibleRegions* out;
+
+  std::vector<size_t> hier_dims;      // dimension indices that are trees
+  std::vector<size_t> interval_dims;  // dimension indices that are windows
+  std::vector<std::vector<int64_t>> subtree_sizes;  // per hier dim, per node
+  std::vector<int64_t> tree_sizes;                  // per hier dim
+  std::vector<int32_t> max_windows;                 // per interval dim
+  /// True when every interval dimension's window cost is monotone in the
+  /// window id — the precondition of the budget break below.
+  bool windows_cost_monotone = true;
+  int64_t windows_product = 1;
+
+  RegionCoords coords;  // working coordinates
+
+  // Upper bound on the coverage of any region whose hierarchical
+  // coordinates for dims [0..k] equal the current choices (or lie in their
+  // subtrees for dim k) and are arbitrary for dims (k..): the current
+  // choices with roots for the remaining tree dims and maximal windows.
+  bool CoverageBoundOk(size_t k) {
+    const RegionCoords saved = coords;
+    for (size_t j = k + 1; j < hier_dims.size(); ++j) {
+      coords[hier_dims[j]] = 0;  // root
+    }
+    for (size_t j = 0; j < interval_dims.size(); ++j) {
+      coords[interval_dims[j]] = max_windows[j] - 1;
+    }
+    const bool ok = (*coverage)[space->Encode(coords)] >= min_coverage;
+    coords = saved;
+    return ok;
+  }
+
+  // Number of regions covered by pruning the subtree of the dim-k node
+  // currently selected (dims < k fixed, dims > k unconstrained).
+  int64_t PrunedCount(size_t k) const {
+    int64_t n = windows_product * subtree_sizes[k][coords[hier_dims[k]]];
+    for (size_t j = k + 1; j < hier_dims.size(); ++j) n *= tree_sizes[j];
+    return n;
+  }
+
+  // Enumerates windows for interval dims [k..), with monotone cost pruning.
+  void RecurseWindows(size_t k) {
+    if (k == interval_dims.size()) {
+      const RegionId r = space->Encode(coords);
+      ++out->regions_examined;
+      if ((*costs)[r] <= budget && (*coverage)[r] >= min_coverage) {
+        out->regions.push_back(r);
+      }
+      return;
+    }
+    int64_t later = 1;
+    for (size_t j = k + 1; j < interval_dims.size(); ++j) {
+      later *= max_windows[j];
+    }
+    for (int32_t t = 0; t < max_windows[k]; ++t) {
+      coords[interval_dims[k]] = t;
+      // Cheapest completion: remaining windows at their first (shortest)
+      // id. For incremental windows, costs grow with the id (non-negative
+      // finest-cell costs), so once the cheapest completion exceeds the
+      // budget, every later window does too. Sliding windows are not
+      // id-monotone, so the break is disabled for them.
+      if (windows_cost_monotone) {
+        for (size_t j = k + 1; j < interval_dims.size(); ++j) {
+          coords[interval_dims[j]] = 0;
+        }
+        if ((*costs)[space->Encode(coords)] > budget) {
+          out->regions_pruned +=
+              static_cast<int64_t>(max_windows[k] - t) * later;
+          break;
+        }
+      }
+      RecurseWindows(k + 1);
+    }
+  }
+
+  // Enumerates the hierarchical node tuples depth-first. For dim k, walks
+  // the tree from the current coordinate's subtree root; a node failing the
+  // coverage bound prunes its entire subtree.
+  void RecurseNodes(size_t k) {
+    if (k == hier_dims.size()) {
+      RecurseWindows(0);
+      return;
+    }
+    const auto& h = std::get<HierarchicalDimension>(space->dim(hier_dims[k]));
+    std::vector<NodeId> stack{h.root()};
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      coords[hier_dims[k]] = n;
+      if (!CoverageBoundOk(k)) {
+        out->regions_pruned += PrunedCount(k);
+        continue;  // skip children too: their coverage is no larger
+      }
+      RecurseNodes(k + 1);
+      for (NodeId c : h.children(n)) stack.push_back(c);
+    }
+    coords[hier_dims[k]] = h.root();
+  }
+};
+
+}  // namespace
+
+FeasibleRegions FindFeasibleRegionsPruned(
+    const RegionSpace& space, const std::vector<double>& region_costs,
+    const std::vector<double>& region_coverage, double budget,
+    double min_coverage) {
+  BW_CHECK(static_cast<int64_t>(region_costs.size()) == space.NumRegions());
+  BW_CHECK(static_cast<int64_t>(region_coverage.size()) ==
+           space.NumRegions());
+  FeasibleRegions out;
+  Search s;
+  s.space = &space;
+  s.costs = &region_costs;
+  s.coverage = &region_coverage;
+  s.budget = budget;
+  s.min_coverage = min_coverage;
+  s.out = &out;
+  s.coords.assign(space.num_dims(), 0);
+  for (size_t d = 0; d < space.num_dims(); ++d) {
+    if (const auto* h = std::get_if<HierarchicalDimension>(&space.dim(d))) {
+      s.hier_dims.push_back(d);
+      std::vector<int64_t> sizes(h->num_nodes(), 1);
+      for (NodeId n : h->NodesBottomUp()) {
+        for (NodeId c : h->children(n)) sizes[n] += sizes[c];
+      }
+      s.tree_sizes.push_back(sizes[h->root()]);
+      s.subtree_sizes.push_back(std::move(sizes));
+    } else {
+      const auto& iv = std::get<IntervalDimension>(space.dim(d));
+      s.interval_dims.push_back(d);
+      s.max_windows.push_back(iv.num_windows());
+      s.windows_cost_monotone &= iv.CostMonotoneByIndex();
+      s.windows_product *= iv.num_windows();
+    }
+  }
+  s.RecurseNodes(0);
+  std::sort(out.regions.begin(), out.regions.end());
+  return out;
+}
+
+}  // namespace bellwether::olap

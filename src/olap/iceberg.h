@@ -1,0 +1,41 @@
+#ifndef BELLWETHER_OLAP_ICEBERG_H_
+#define BELLWETHER_OLAP_ICEBERG_H_
+
+#include <vector>
+
+#include "olap/region.h"
+
+namespace bellwether::olap {
+
+/// Result of the feasible-region (iceberg) search: regions r with
+/// cost(r) <= budget and coverage(r) >= min_coverage (paper §4.2), plus
+/// counters showing how much of the region space the pruned search skipped.
+struct FeasibleRegions {
+  std::vector<RegionId> regions;  // ascending RegionId order
+  int64_t regions_examined = 0;   // regions whose constraints were evaluated
+  int64_t regions_pruned = 0;     // regions skipped by monotonicity pruning
+};
+
+/// Brute-force reference: evaluates the constraints on every region.
+FeasibleRegions FindFeasibleRegionsBruteForce(
+    const RegionSpace& space, const std::vector<double>& region_costs,
+    const std::vector<double>& region_coverage, double budget,
+    double min_coverage);
+
+/// BUC-style pruned search. Exploits two monotonicity properties of the
+/// OLAP region space:
+///  * coverage is anti-monotone when descending a hierarchical dimension or
+///    shrinking a window (fewer items have data in a smaller region), so a
+///    subtree is pruned once its most-covering region falls below the
+///    threshold;
+///  * cost is monotone when growing a window (non-negative finest-cell
+///    costs), so the window scan stops at the first window over budget.
+/// Produces exactly the same region set as the brute-force search.
+FeasibleRegions FindFeasibleRegionsPruned(
+    const RegionSpace& space, const std::vector<double>& region_costs,
+    const std::vector<double>& region_coverage, double budget,
+    double min_coverage);
+
+}  // namespace bellwether::olap
+
+#endif  // BELLWETHER_OLAP_ICEBERG_H_

@@ -1,0 +1,21 @@
+#include "regression/dataset.h"
+
+namespace bellwether::regression {
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out(num_features_);
+  out.Reserve(indices.size());
+  std::vector<double> row(num_features_);
+  for (size_t i : indices) {
+    BW_DCHECK(i < num_examples());
+    row.assign(x(i), x(i) + num_features_);
+    if (weighted()) {
+      out.AddWeighted(row, y_[i], w_[i]);
+    } else {
+      out.Add(row, y_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace bellwether::regression

@@ -1,0 +1,95 @@
+#include "regression/linear_model.h"
+
+#include <cmath>
+
+namespace bellwether::regression {
+
+RegressionSuffStats::RegressionSuffStats(size_t num_features)
+    : p_(num_features),
+      xtwx_(num_features, num_features),
+      xtwy_(num_features, 0.0),
+      ytwy_(0.0),
+      n_(0),
+      sum_w_(0.0) {}
+
+void RegressionSuffStats::Reset() {
+  xtwx_ = linalg::Matrix(p_, p_);
+  xtwy_.assign(p_, 0.0);
+  ytwy_ = 0.0;
+  n_ = 0;
+  sum_w_ = 0.0;
+}
+
+void RegressionSuffStats::Add(const double* x, double y, double w) {
+  BW_DCHECK(w > 0.0);
+  for (size_t r = 0; r < p_; ++r) {
+    const double wr = w * x[r];
+    if (wr != 0.0) {
+      for (size_t c = 0; c < p_; ++c) xtwx_(r, c) += wr * x[c];
+    }
+    xtwy_[r] += w * x[r] * y;
+  }
+  ytwy_ += w * y * y;
+  ++n_;
+  sum_w_ += w;
+}
+
+void RegressionSuffStats::AddDataset(const Dataset& data) {
+  BW_CHECK(data.num_features() == p_);
+  for (size_t i = 0; i < data.num_examples(); ++i) {
+    Add(data.x(i), data.y(i), data.w(i));
+  }
+}
+
+void RegressionSuffStats::Merge(const RegressionSuffStats& other) {
+  if (other.empty()) return;
+  if (empty() && p_ == 0) {
+    *this = other;
+    return;
+  }
+  BW_CHECK(p_ == other.p_);
+  xtwx_ += other.xtwx_;
+  for (size_t j = 0; j < p_; ++j) xtwy_[j] += other.xtwy_[j];
+  ytwy_ += other.ytwy_;
+  n_ += other.n_;
+  sum_w_ += other.sum_w_;
+}
+
+Result<LinearModel> RegressionSuffStats::Fit() const {
+  if (n_ == 0) {
+    return Status::FailedPrecondition("cannot fit a model on 0 examples");
+  }
+  BW_ASSIGN_OR_RETURN(linalg::Vector beta, linalg::SolveSpd(xtwx_, xtwy_));
+  return LinearModel(std::move(beta));
+}
+
+Result<double> RegressionSuffStats::TrainingSse() const {
+  if (n_ == 0) {
+    return Status::FailedPrecondition("SSE of an empty training set");
+  }
+  BW_ASSIGN_OR_RETURN(linalg::Vector beta, linalg::SolveSpd(xtwx_, xtwy_));
+  // Y'WY - (X'WY)' beta, with beta = (X'WX)^-1 (X'WY).
+  const double sse = ytwy_ - linalg::Dot(xtwy_, beta);
+  // Guard tiny negative values from floating-point cancellation.
+  return sse < 0.0 ? 0.0 : sse;
+}
+
+Result<double> RegressionSuffStats::TrainingMse() const {
+  BW_ASSIGN_OR_RETURN(double sse, TrainingSse());
+  const int64_t dof = n_ - static_cast<int64_t>(p_);
+  if (dof <= 0) return 0.0;  // interpolating model
+  return sse / static_cast<double>(dof);
+}
+
+Result<double> RegressionSuffStats::TrainingRmse() const {
+  BW_ASSIGN_OR_RETURN(double mse, TrainingMse());
+  return std::sqrt(mse);
+}
+
+Result<LinearModel> FitLeastSquares(const Dataset& data) {
+  RegressionSuffStats stats(data.num_features());
+  stats.AddDataset(data);
+  return stats.Fit();
+}
+
+}  // namespace bellwether::regression

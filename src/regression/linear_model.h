@@ -1,0 +1,101 @@
+#ifndef BELLWETHER_REGRESSION_LINEAR_MODEL_H_
+#define BELLWETHER_REGRESSION_LINEAR_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "regression/dataset.h"
+
+namespace bellwether::regression {
+
+/// A fitted (weighted) least-squares linear model: y_hat = sum_j x_j beta_j.
+/// The intercept, when wanted, is feature 0 with constant value 1 (the
+/// dataset builders in the bellwether layer add it).
+class LinearModel {
+ public:
+  LinearModel() = default;
+  explicit LinearModel(linalg::Vector beta) : beta_(std::move(beta)) {}
+
+  const linalg::Vector& beta() const { return beta_; }
+  size_t num_features() const { return beta_.size(); }
+
+  /// Prediction for one feature row (x must have num_features() entries).
+  double Predict(const double* x) const {
+    double acc = 0.0;
+    for (size_t j = 0; j < beta_.size(); ++j) acc += x[j] * beta_[j];
+    return acc;
+  }
+  double Predict(const std::vector<double>& x) const {
+    BW_DCHECK(x.size() == beta_.size());
+    return Predict(x.data());
+  }
+
+ private:
+  linalg::Vector beta_;
+};
+
+/// The sufficient statistic of Theorem 1: g(S) = <Y'WY, X'WX, X'WY> plus the
+/// example count. Fixed size (1 + p*p + p values), independent of |S|;
+/// merging two statistics is element-wise addition, which makes the weighted
+/// SSE of a WLS linear model an *algebraic* aggregate function and powers
+/// the optimized bellwether-cube algorithm (paper §6.4).
+class RegressionSuffStats {
+ public:
+  RegressionSuffStats() : p_(0), ytwy_(0.0), n_(0), sum_w_(0.0) {}
+  explicit RegressionSuffStats(size_t num_features);
+
+  size_t num_features() const { return p_; }
+  int64_t num_examples() const { return n_; }
+  double sum_weights() const { return sum_w_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Clears the accumulated values, keeping the feature arity.
+  void Reset();
+
+  /// Accumulates one example (weight w > 0; pass 1.0 for OLS).
+  void Add(const double* x, double y, double w = 1.0);
+
+  /// Accumulates a whole dataset.
+  void AddDataset(const Dataset& data);
+
+  /// The q-combine of Theorem 1: element-wise sum of the statistics. The
+  /// other statistic must have the same feature arity (or be empty).
+  void Merge(const RegressionSuffStats& other);
+
+  /// Fits the WLS model beta = (X'WX)^-1 (X'WY). Fails if there are no
+  /// examples or the normal equations are unsolvable.
+  Result<LinearModel> Fit() const;
+
+  /// Weighted sum of squared errors of the fitted model on the accumulated
+  /// data: Y'WY - (X'WY)' (X'WX)^-1 (X'WY), computed directly from the
+  /// statistic without revisiting examples (Theorem 1).
+  Result<double> TrainingSse() const;
+
+  /// Training-set weighted mean squared error: SSE / (n - p), the
+  /// degrees-of-freedom-corrected estimate used by the paper. When n <= p
+  /// the model interpolates and the error is reported as 0.
+  Result<double> TrainingMse() const;
+
+  /// sqrt(TrainingMse()).
+  Result<double> TrainingRmse() const;
+
+  const linalg::Matrix& xtwx() const { return xtwx_; }
+  const linalg::Vector& xtwy() const { return xtwy_; }
+  double ytwy() const { return ytwy_; }
+
+ private:
+  size_t p_;
+  linalg::Matrix xtwx_;   // X'WX, p x p
+  linalg::Vector xtwy_;   // X'WY, p
+  double ytwy_;           // Y'WY
+  int64_t n_;
+  double sum_w_;
+};
+
+/// Convenience: fit a (W)LS model on a dataset via the sufficient statistic.
+Result<LinearModel> FitLeastSquares(const Dataset& data);
+
+}  // namespace bellwether::regression
+
+#endif  // BELLWETHER_REGRESSION_LINEAR_MODEL_H_

@@ -1,0 +1,254 @@
+#include "storage/training_data.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace bellwether::storage {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x42574C5350494C31ULL;  // "BWLSPIL1"
+
+Status WriteRaw(std::FILE* f, const void* data, size_t bytes) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::IoError(std::string("spill write failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ReadRaw(std::FILE* f, void* data, size_t bytes) {
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    return Status::IoError("spill read failed (truncated file?)");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WritePod(std::FILE* f, const T& v) {
+  return WriteRaw(f, &v, sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::FILE* f, T* v) {
+  return ReadRaw(f, v, sizeof(T));
+}
+
+void BusyWaitMicros(int64_t micros) {
+  if (micros <= 0) return;
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(micros);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+}  // namespace
+
+size_t RegionTrainingSet::ByteSize() const {
+  return sizeof(int64_t) + sizeof(int32_t) + 2 * sizeof(int64_t) + 1 +
+         items.size() * sizeof(int32_t) + features.size() * sizeof(double) +
+         targets.size() * sizeof(double) + weights.size() * sizeof(double);
+}
+
+MemoryTrainingData::MemoryTrainingData(std::vector<RegionTrainingSet> sets)
+    : sets_(std::move(sets)) {}
+
+Status MemoryTrainingData::Scan(
+    const std::function<Status(const RegionTrainingSet&)>& fn) {
+  ++io_stats_.sequential_scans;
+  for (const auto& s : sets_) {
+    ++io_stats_.region_reads;
+    io_stats_.bytes_read += static_cast<int64_t>(s.ByteSize());
+    BW_RETURN_IF_ERROR(fn(s));
+  }
+  return Status::OK();
+}
+
+Result<RegionTrainingSet> MemoryTrainingData::Read(size_t index) {
+  if (index >= sets_.size()) {
+    return Status::OutOfRange("region set index out of range");
+  }
+  ++io_stats_.region_reads;
+  io_stats_.bytes_read += static_cast<int64_t>(sets_[index].ByteSize());
+  return sets_[index];
+}
+
+std::vector<olap::RegionId> MemoryTrainingData::RegionIds() {
+  std::vector<olap::RegionId> out;
+  out.reserve(sets_.size());
+  for (const auto& s : sets_) out.push_back(s.region);
+  return out;
+}
+
+Result<std::unique_ptr<SpillFileWriter>> SpillFileWriter::Create(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create spill file " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto writer = std::unique_ptr<SpillFileWriter>(
+      new SpillFileWriter(path, f));
+  BW_RETURN_IF_ERROR(WritePod(f, kMagic));
+  return writer;
+}
+
+SpillFileWriter::~SpillFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillFileWriter::Append(const RegionTrainingSet& set) {
+  BW_CHECK(!finished_);
+  BW_CHECK(set.targets.size() == set.items.size());
+  BW_CHECK(set.features.size() ==
+           set.items.size() * static_cast<size_t>(set.num_features));
+  BW_CHECK(set.weights.empty() || set.weights.size() == set.items.size());
+  offsets_.push_back(std::ftell(file_));
+  region_ids_.push_back(set.region);
+  BW_RETURN_IF_ERROR(WritePod(file_, static_cast<int64_t>(set.region)));
+  BW_RETURN_IF_ERROR(WritePod(file_, set.num_features));
+  BW_RETURN_IF_ERROR(WritePod(file_, static_cast<int64_t>(set.items.size())));
+  const uint8_t has_weights = set.weighted() ? 1 : 0;
+  BW_RETURN_IF_ERROR(WritePod(file_, has_weights));
+  BW_RETURN_IF_ERROR(WriteRaw(file_, set.items.data(),
+                              set.items.size() * sizeof(int32_t)));
+  BW_RETURN_IF_ERROR(WriteRaw(file_, set.features.data(),
+                              set.features.size() * sizeof(double)));
+  BW_RETURN_IF_ERROR(WriteRaw(file_, set.targets.data(),
+                              set.targets.size() * sizeof(double)));
+  if (has_weights) {
+    BW_RETURN_IF_ERROR(WriteRaw(file_, set.weights.data(),
+                                set.weights.size() * sizeof(double)));
+  }
+  return Status::OK();
+}
+
+Status SpillFileWriter::Finish() {
+  BW_CHECK(!finished_);
+  finished_ = true;
+  const int64_t index_offset = std::ftell(file_);
+  const int64_t count = static_cast<int64_t>(offsets_.size());
+  BW_RETURN_IF_ERROR(WriteRaw(file_, offsets_.data(),
+                              offsets_.size() * sizeof(int64_t)));
+  BW_RETURN_IF_ERROR(WriteRaw(file_, region_ids_.data(),
+                              region_ids_.size() * sizeof(int64_t)));
+  BW_RETURN_IF_ERROR(WritePod(file_, index_offset));
+  BW_RETURN_IF_ERROR(WritePod(file_, count));
+  if (std::fflush(file_) != 0) return Status::IoError("spill flush failed");
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SpilledTrainingData>> SpilledTrainingData::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open spill file " + path + ": " +
+                           std::strerror(errno));
+  }
+  uint64_t magic = 0;
+  if (!ReadPod(f, &magic).ok() || magic != kMagic) {
+    std::fclose(f);
+    return Status::IoError("bad spill file magic: " + path);
+  }
+  // Footer: [offsets][region_ids][index_offset][count].
+  if (std::fseek(f, -2 * static_cast<long>(sizeof(int64_t)), SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek spill footer: " + path);
+  }
+  int64_t index_offset = 0;
+  int64_t count = 0;
+  Status st = ReadPod(f, &index_offset);
+  if (st.ok()) st = ReadPod(f, &count);
+  if (!st.ok() || count < 0) {
+    std::fclose(f);
+    return Status::IoError("corrupt spill footer: " + path);
+  }
+  std::vector<int64_t> offsets(count);
+  std::vector<int64_t> region_ids(count);
+  if (std::fseek(f, static_cast<long>(index_offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek spill index: " + path);
+  }
+  st = ReadRaw(f, offsets.data(), offsets.size() * sizeof(int64_t));
+  if (st.ok()) {
+    st = ReadRaw(f, region_ids.data(), region_ids.size() * sizeof(int64_t));
+  }
+  if (!st.ok()) {
+    std::fclose(f);
+    return st;
+  }
+  return std::unique_ptr<SpilledTrainingData>(new SpilledTrainingData(
+      path, f, std::move(offsets), std::move(region_ids)));
+}
+
+SpilledTrainingData::~SpilledTrainingData() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpilledTrainingData::ReadRecordAt(int64_t offset,
+                                         RegionTrainingSet* out) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IoError("seek failed in spill file");
+  }
+  int64_t region = 0;
+  int64_t n = 0;
+  uint8_t has_weights = 0;
+  BW_RETURN_IF_ERROR(ReadPod(file_, &region));
+  BW_RETURN_IF_ERROR(ReadPod(file_, &out->num_features));
+  BW_RETURN_IF_ERROR(ReadPod(file_, &n));
+  BW_RETURN_IF_ERROR(ReadPod(file_, &has_weights));
+  if (n < 0 || out->num_features < 0 || has_weights > 1) {
+    return Status::IoError("corrupt spill record");
+  }
+  out->region = region;
+  out->items.resize(n);
+  out->features.resize(static_cast<size_t>(n) * out->num_features);
+  out->targets.resize(n);
+  out->weights.resize(has_weights ? n : 0);
+  BW_RETURN_IF_ERROR(
+      ReadRaw(file_, out->items.data(), out->items.size() * sizeof(int32_t)));
+  BW_RETURN_IF_ERROR(ReadRaw(file_, out->features.data(),
+                             out->features.size() * sizeof(double)));
+  BW_RETURN_IF_ERROR(ReadRaw(file_, out->targets.data(),
+                             out->targets.size() * sizeof(double)));
+  if (has_weights) {
+    BW_RETURN_IF_ERROR(ReadRaw(file_, out->weights.data(),
+                               out->weights.size() * sizeof(double)));
+  }
+  BusyWaitMicros(simulated_latency_micros_);
+  ++io_stats_.region_reads;
+  io_stats_.bytes_read += static_cast<int64_t>(out->ByteSize());
+  return Status::OK();
+}
+
+Status SpilledTrainingData::Scan(
+    const std::function<Status(const RegionTrainingSet&)>& fn) {
+  ++io_stats_.sequential_scans;
+  RegionTrainingSet set;
+  for (int64_t offset : offsets_) {
+    BW_RETURN_IF_ERROR(ReadRecordAt(offset, &set));
+    BW_RETURN_IF_ERROR(fn(set));
+  }
+  return Status::OK();
+}
+
+Result<RegionTrainingSet> SpilledTrainingData::Read(size_t index) {
+  if (index >= offsets_.size()) {
+    return Status::OutOfRange("region set index out of range");
+  }
+  RegionTrainingSet set;
+  BW_RETURN_IF_ERROR(ReadRecordAt(offsets_[index], &set));
+  return set;
+}
+
+std::vector<olap::RegionId> SpilledTrainingData::RegionIds() {
+  return std::vector<olap::RegionId>(region_ids_.begin(), region_ids_.end());
+}
+
+}  // namespace bellwether::storage

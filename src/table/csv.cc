@@ -1,0 +1,152 @@
+#include "table/csv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace bellwether::table {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Splits one CSV record honoring quotes.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote in CSV");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& t, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for write: " + path + ": " +
+                           std::strerror(errno));
+  }
+  for (size_t c = 0; c < t.schema().num_fields(); ++c) {
+    if (c) out << ',';
+    out << t.schema().field(c).name;
+  }
+  out << '\n';
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      if (c) out << ',';
+      const Value v = t.ValueAt(r, c);
+      if (v.is_null()) continue;
+      const std::string s = v.ToString();
+      out << (NeedsQuoting(s) ? QuoteField(s) : s);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for read: " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty CSV (missing header): " + path);
+  }
+  Table out(schema);
+  std::vector<Value> row(schema.num_fields());
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    BW_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
+    if (fields.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": expected " +
+          std::to_string(schema.num_fields()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string& f = fields[c];
+      if (f.empty()) {
+        row[c] = Value::Null();
+        continue;
+      }
+      switch (schema.field(c).type) {
+        case DataType::kInt64: {
+          errno = 0;
+          char* end = nullptr;
+          const long long v = std::strtoll(f.c_str(), &end, 10);
+          if (errno != 0 || end == f.c_str() || *end != '\0') {
+            return Status::InvalidArgument(path + ":" +
+                                           std::to_string(line_no) +
+                                           ": bad int64 '" + f + "'");
+          }
+          row[c] = Value(static_cast<int64_t>(v));
+          break;
+        }
+        case DataType::kDouble: {
+          errno = 0;
+          char* end = nullptr;
+          const double v = std::strtod(f.c_str(), &end);
+          if (errno != 0 || end == f.c_str() || *end != '\0') {
+            return Status::InvalidArgument(path + ":" +
+                                           std::to_string(line_no) +
+                                           ": bad double '" + f + "'");
+          }
+          row[c] = Value(v);
+          break;
+        }
+        case DataType::kString:
+          row[c] = Value(f);
+          break;
+      }
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace bellwether::table

@@ -1,0 +1,22 @@
+#ifndef BELLWETHER_TABLE_CSV_H_
+#define BELLWETHER_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace bellwether::table {
+
+/// Writes `t` as CSV with a header row. Strings containing commas, quotes, or
+/// newlines are quoted; nulls are written as empty fields.
+Status WriteCsv(const Table& t, const std::string& path);
+
+/// Reads a CSV written by WriteCsv (header required) into a table with the
+/// given schema. Field count per row must match the schema; empty fields
+/// become nulls.
+Result<Table> ReadCsv(const std::string& path, const Schema& schema);
+
+}  // namespace bellwether::table
+
+#endif  // BELLWETHER_TABLE_CSV_H_

@@ -1,0 +1,42 @@
+#include "table/schema.h"
+
+#include "common/check.h"
+
+namespace bellwether::table {
+
+Schema::Schema(std::vector<Field> fields) {
+  for (auto& f : fields) AddField(std::move(f));
+}
+
+std::optional<size_t> Schema::FindField(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Schema::FieldIndexOrDie(const std::string& name) const {
+  auto idx = FindField(name);
+  BW_CHECK(idx.has_value());
+  return *idx;
+}
+
+size_t Schema::AddField(Field field) {
+  BW_CHECK(index_.find(field.name) == index_.end());
+  const size_t idx = fields_.size();
+  index_.emplace(field.name, idx);
+  fields_.push_back(std::move(field));
+  return idx;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace bellwether::table

@@ -1,0 +1,57 @@
+#ifndef BELLWETHER_TABLE_SCHEMA_H_
+#define BELLWETHER_TABLE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/value.h"
+
+namespace bellwether::table {
+
+/// A named, typed column descriptor.
+struct Field {
+  std::string name;
+  DataType type;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// An ordered list of fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or nullopt.
+  std::optional<size_t> FindField(const std::string& name) const;
+
+  /// Index of the field named `name`; aborts if absent (programmer error).
+  size_t FieldIndexOrDie(const std::string& name) const;
+
+  /// Appends a field; returns the index of the new field. Duplicate names are
+  /// a programmer error.
+  size_t AddField(Field field);
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace bellwether::table
+
+#endif  // BELLWETHER_TABLE_SCHEMA_H_

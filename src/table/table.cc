@@ -1,0 +1,139 @@
+#include "table/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bellwether::table {
+
+void Column::AppendInt64(int64_t v) {
+  BW_DCHECK(type_ == DataType::kInt64);
+  ints_.push_back(v);
+  nulls_.push_back(false);
+}
+
+void Column::AppendDouble(double v) {
+  BW_DCHECK(type_ == DataType::kDouble);
+  doubles_.push_back(v);
+  nulls_.push_back(false);
+}
+
+void Column::AppendString(std::string v) {
+  BW_DCHECK(type_ == DataType::kString);
+  strings_.push_back(std::move(v));
+  nulls_.push_back(false);
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+  }
+  nulls_.push_back(true);
+}
+
+void Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      BW_CHECK(v.is_int64());
+      AppendInt64(v.int64());
+      break;
+    case DataType::kDouble:
+      // Allow widening int64 -> double for convenience.
+      AppendDouble(v.is_int64() ? static_cast<double>(v.int64()) : v.dbl());
+      break;
+    case DataType::kString:
+      BW_CHECK(v.is_string());
+      AppendString(v.str());
+      break;
+  }
+}
+
+double Column::NumericAt(size_t row) const {
+  BW_DCHECK(!IsNull(row));
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(ints_[row]);
+    case DataType::kDouble:
+      return doubles_[row];
+    case DataType::kString:
+      BW_CHECK(false);
+  }
+  return 0.0;
+}
+
+Value Column::ValueAt(size_t row) const {
+  if (nulls_[row]) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[row]);
+    case DataType::kDouble:
+      return Value(doubles_[row]);
+    case DataType::kString:
+      return Value(strings_[row]);
+  }
+  return Value::Null();
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    columns_.emplace_back(schema_.field(i).type);
+  }
+}
+
+const Column& Table::ColumnByName(const std::string& name) const {
+  return columns_[schema_.FieldIndexOrDie(name)];
+}
+
+void Table::AppendRow(const std::vector<Value>& row) {
+  BW_CHECK(row.size() == columns_.size());
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].AppendValue(row[i]);
+  ++num_rows_;
+}
+
+std::vector<Value> Table::RowAt(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col.ValueAt(row));
+  return out;
+}
+
+Table Table::TakeRows(const std::vector<size_t>& row_indices) const {
+  Table out(schema_);
+  for (size_t r : row_indices) {
+    BW_DCHECK(r < num_rows_);
+    out.AppendRow(RowAt(r));
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString();
+  out += "\n";
+  const size_t n = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c) out += " | ";
+      out += columns_[c].ValueAt(r).ToString();
+    }
+    out += "\n";
+  }
+  if (n < num_rows_) {
+    out += "... (" + std::to_string(num_rows_ - n) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace bellwether::table

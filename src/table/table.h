@@ -1,0 +1,97 @@
+#ifndef BELLWETHER_TABLE_TABLE_H_
+#define BELLWETHER_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace bellwether::table {
+
+/// A single typed column with a null mask. Storage is one of the typed
+/// vectors according to type().
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return nulls_.size(); }
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void AppendNull();
+  /// Appends `v`, which must match type() or be null.
+  void AppendValue(const Value& v);
+
+  bool IsNull(size_t row) const { return nulls_[row]; }
+  /// Typed accessors; precondition: matching type and non-null row.
+  int64_t Int64At(size_t row) const { return ints_[row]; }
+  double DoubleAt(size_t row) const { return doubles_[row]; }
+  const std::string& StringAt(size_t row) const { return strings_[row]; }
+
+  /// Numeric value widened to double; precondition: numeric, non-null.
+  double NumericAt(size_t row) const;
+
+  /// Boxed value (null-aware).
+  Value ValueAt(size_t row) const;
+
+  /// Raw typed storage for fast scans.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<bool> nulls_;
+};
+
+/// A columnar, append-only table. This is the in-memory relation used for
+/// fact tables, dimension/reference tables, and generated training sets.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& mutable_column(size_t i) { return columns_[i]; }
+  /// Column by field name; aborts on unknown name.
+  const Column& ColumnByName(const std::string& name) const;
+
+  /// Appends a row of boxed values; row.size() must equal num_columns() and
+  /// each value must match its column type or be null.
+  void AppendRow(const std::vector<Value>& row);
+
+  /// Value at (row, col), null-aware.
+  Value ValueAt(size_t row, size_t col) const {
+    return columns_[col].ValueAt(row);
+  }
+
+  /// Extracts one row as boxed values.
+  std::vector<Value> RowAt(size_t row) const;
+
+  /// Returns a table with the same schema containing the listed rows.
+  Table TakeRows(const std::vector<size_t>& row_indices) const;
+
+  /// Renders up to `max_rows` rows as an aligned text table (debugging).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace bellwether::table
+
+#endif  // BELLWETHER_TABLE_TABLE_H_

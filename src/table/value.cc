@@ -1,0 +1,33 @@
+#include "table/value.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace bellwether::table {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  BW_CHECK(is_double());
+  return dbl();
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) return FormatDouble(dbl());
+  return str();
+}
+
+}  // namespace bellwether::table

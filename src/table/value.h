@@ -1,0 +1,57 @@
+#ifndef BELLWETHER_TABLE_VALUE_H_
+#define BELLWETHER_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace bellwether::table {
+
+/// Column data types supported by the relational layer.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns "int64", "double", or "string".
+const char* DataTypeToString(DataType type);
+
+/// A dynamically typed cell value. Null is represented by monostate.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  /// Precondition: the corresponding is_*() holds.
+  int64_t int64() const { return std::get<int64_t>(v_); }
+  double dbl() const { return std::get<double>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: int64 widened to double; precondition: numeric non-null.
+  double AsDouble() const;
+
+  /// Renders the value for CSV / debug output; null renders as "".
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace bellwether::table
+
+#endif  // BELLWETHER_TABLE_VALUE_H_

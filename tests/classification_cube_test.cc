@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+
+#include <cmath>
+#include "core/classification_cube.h"
+#include "core/classification_search.h"
+#include "core/eval_util.h"
+#include "core/training_data_gen.h"
+#include "datagen/mail_order.h"
+#include "datagen/simulation.h"
+#include "storage/training_data.h"
+
+namespace bellwether::core {
+namespace {
+
+class ClassificationCubeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::MailOrderConfig config;
+    config.num_items = 120;
+    config.density = 1.0;
+    config.seed = 301;
+    dataset_ =
+        new datagen::MailOrderDataset(datagen::GenerateMailOrder(config));
+    spec_ = new BellwetherSpec(dataset_->MakeSpec(50.0, 0.5));
+    auto data = GenerateTrainingData(*spec_);
+    ASSERT_TRUE(data.ok());
+    data_ = new GeneratedTrainingData(std::move(data).value());
+    auto subsets = ItemSubsetSpace::Create(dataset_->items,
+                                           dataset_->item_hierarchies);
+    ASSERT_TRUE(subsets.ok());
+    subsets_ = new std::shared_ptr<const ItemSubsetSpace>(*subsets);
+  }
+  static void TearDownTestSuite() {
+    delete subsets_;
+    delete data_;
+    delete spec_;
+    delete dataset_;
+  }
+  static ClassificationCubeConfig MakeConfig() {
+    ClassificationCubeConfig config;
+    config.labeler = ThresholdLabeler(MedianTarget(data_->targets));
+    config.num_classes = 2;
+    config.min_subset_size = 25;
+    config.min_examples_per_model = 15;
+    return config;
+  }
+
+  static datagen::MailOrderDataset* dataset_;
+  static BellwetherSpec* spec_;
+  static GeneratedTrainingData* data_;
+  static std::shared_ptr<const ItemSubsetSpace>* subsets_;
+};
+
+datagen::MailOrderDataset* ClassificationCubeTest::dataset_ = nullptr;
+BellwetherSpec* ClassificationCubeTest::spec_ = nullptr;
+GeneratedTrainingData* ClassificationCubeTest::data_ = nullptr;
+std::shared_ptr<const ItemSubsetSpace>* ClassificationCubeTest::subsets_ =
+    nullptr;
+
+TEST_F(ClassificationCubeTest, OptimizedMatchesNaive) {
+  storage::MemoryTrainingData s1(data_->sets), s2(data_->sets);
+  const auto config = MakeConfig();
+  auto naive = BuildClassificationCubeNaive(&s1, *subsets_, config);
+  auto opt = BuildClassificationCubeOptimized(&s2, *subsets_, config);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  ASSERT_EQ(naive->cells().size(), opt->cells().size());
+  for (size_t i = 0; i < naive->cells().size(); ++i) {
+    const auto& a = naive->cells()[i];
+    const auto& b = opt->cells()[i];
+    EXPECT_EQ(a.subset, b.subset);
+    EXPECT_EQ(a.subset_size, b.subset_size);
+    EXPECT_EQ(a.has_model, b.has_model) << "cell " << i;
+    if (a.has_model && b.has_model) {
+      // Misclassification counts are integers over identical rows: the
+      // errors must agree almost exactly; region ties may break either way
+      // when two regions share the same error, so compare errors by region.
+      EXPECT_NEAR(a.error, b.error, 1e-9) << "cell " << i;
+    }
+  }
+}
+
+TEST_F(ClassificationCubeTest, OptimizedScansOnceNaiveScansPerSubset) {
+  storage::MemoryTrainingData s1(data_->sets), s2(data_->sets);
+  const auto config = MakeConfig();
+  auto opt = BuildClassificationCubeOptimized(&s1, *subsets_, config);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(s1.io_stats().sequential_scans, 1);
+  auto naive = BuildClassificationCubeNaive(&s2, *subsets_, config);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(s2.io_stats().region_reads,
+            static_cast<int64_t>(naive->cells().size() * data_->sets.size()));
+}
+
+TEST_F(ClassificationCubeTest, RootCellFindsPlantedState) {
+  storage::MemoryTrainingData source(data_->sets);
+  auto cube =
+      BuildClassificationCubeOptimized(&source, *subsets_, MakeConfig());
+  ASSERT_TRUE(cube.ok());
+  const auto* root =
+      cube->FindCell((*subsets_)->space().Encode({0, 0}));
+  ASSERT_NE(root, nullptr);
+  ASSERT_TRUE(root->has_model);
+  EXPECT_EQ(spec_->space->Decode(root->region)[1],
+            dataset_->planted_state_node)
+      << spec_->space->RegionLabel(root->region);
+  EXPECT_LT(root->error, 0.25);  // far better than the 0.5 coin flip
+}
+
+TEST_F(ClassificationCubeTest, PredictsHeldOutLabelsAboveChance) {
+  storage::MemoryTrainingData source(data_->sets);
+  const auto config = MakeConfig();
+  auto cube = BuildClassificationCubeOptimized(&source, *subsets_, config);
+  ASSERT_TRUE(cube.ok());
+  const RegionFeatureLookup lookup(&data_->sets);
+  int64_t correct = 0, total = 0;
+  for (int32_t i = 0; i < static_cast<int32_t>(data_->targets.size()); ++i) {
+    if (std::isnan(data_->targets[i])) continue;
+    auto p = cube->PredictItem(i, lookup);
+    if (!p.ok()) continue;
+    ++total;
+    if (*p == config.labeler(data_->targets[i])) ++correct;
+  }
+  ASSERT_GT(total, 80);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.7);
+}
+
+TEST_F(ClassificationCubeTest, ValidatesConfig) {
+  storage::MemoryTrainingData source(data_->sets);
+  ClassificationCubeConfig config;  // no labeler
+  EXPECT_FALSE(
+      BuildClassificationCubeOptimized(&source, *subsets_, config).ok());
+}
+
+}  // namespace
+}  // namespace bellwether::core

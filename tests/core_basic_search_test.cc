@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/baselines.h"
+#include "core/basic_search.h"
+#include "core/training_data_gen.h"
+#include "datagen/mail_order.h"
+#include "storage/training_data.h"
+
+namespace bellwether::core {
+namespace {
+
+// Shared small mail-order dataset + generated training data (generation is
+// the slow part; share it across tests).
+class BasicSearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::MailOrderConfig config;
+    config.num_items = 150;
+    config.density = 1.2;
+    config.seed = 99;
+    dataset_ = new datagen::MailOrderDataset(
+        datagen::GenerateMailOrder(config));
+    spec_ = new BellwetherSpec(dataset_->MakeSpec(/*budget=*/60.0,
+                                                  /*min_coverage=*/0.5));
+    auto data = GenerateTrainingData(*spec_);
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    data_ = new GeneratedTrainingData(std::move(data).value());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete spec_;
+    delete dataset_;
+    data_ = nullptr;
+    spec_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static datagen::MailOrderDataset* dataset_;
+  static BellwetherSpec* spec_;
+  static GeneratedTrainingData* data_;
+};
+
+datagen::MailOrderDataset* BasicSearchTest::dataset_ = nullptr;
+BellwetherSpec* BasicSearchTest::spec_ = nullptr;
+GeneratedTrainingData* BasicSearchTest::data_ = nullptr;
+
+TEST_F(BasicSearchTest, FindsAMinimumErrorRegion) {
+  storage::MemoryTrainingData source(data_->sets);
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kTrainingSet;
+  auto result = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found());
+  // The winner really is the minimum over usable scores.
+  for (const auto& s : result->scores) {
+    if (s.usable) {
+      EXPECT_GE(s.error.rmse, result->error.rmse - 1e-12);
+    }
+  }
+  EXPECT_EQ(result->scores.size(), data_->sets.size());
+}
+
+TEST_F(BasicSearchTest, BellwetherIsInThePlantedState) {
+  // The planted state's data tracks total profit with far less noise than
+  // any other state, so the chosen region's location coordinate must be the
+  // planted state (windows may differ).
+  storage::MemoryTrainingData source(data_->sets);
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kCrossValidation;
+  options.cv_folds = 10;
+  options.min_examples = 40;
+  auto result = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found());
+  const olap::RegionCoords coords = spec_->space->Decode(result->bellwether);
+  EXPECT_EQ(coords[1], dataset_->planted_state_node)
+      << "found " << spec_->space->RegionLabel(result->bellwether);
+}
+
+TEST_F(BasicSearchTest, BellwetherBeatsTheAverageRegion) {
+  storage::MemoryTrainingData source(data_->sets);
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kCrossValidation;
+  auto result = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found());
+  EXPECT_LT(result->error.rmse, 0.5 * result->AverageError());
+}
+
+TEST_F(BasicSearchTest, PlantedBellwetherIsNearlyUnique) {
+  storage::MemoryTrainingData source(data_->sets);
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kCrossValidation;
+  auto result = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(result.ok());
+  // Only regions inside the planted state can match the bellwether model,
+  // i.e. a small fraction of all feasible regions (Fig. 7(b)'s "low
+  // fraction of indistinguishables" regime).
+  EXPECT_LT(result->FractionIndistinguishable(0.95), 0.3);
+}
+
+TEST_F(BasicSearchTest, SelectUnderBudgetRestrictsAndRefits) {
+  storage::MemoryTrainingData source(data_->sets);
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kTrainingSet;
+  auto full = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(full.ok());
+  const double tight_budget = 10.0;
+  auto tight =
+      SelectUnderBudget(*full, &source, data_->region_costs, tight_budget);
+  ASSERT_TRUE(tight.ok());
+  for (const auto& s : tight->scores) {
+    EXPECT_LE(data_->region_costs[s.region], tight_budget);
+  }
+  if (tight->found()) {
+    EXPECT_GE(tight->error.rmse, full->error.rmse - 1e-12);
+  }
+}
+
+TEST_F(BasicSearchTest, ErrorDecreasesWithBudget) {
+  storage::MemoryTrainingData source(data_->sets);
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kTrainingSet;
+  auto full = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(full.ok());
+  double prev = std::numeric_limits<double>::infinity();
+  for (double budget : {10.0, 25.0, 45.0, 60.0}) {
+    auto r = SelectUnderBudget(*full, &source, data_->region_costs, budget);
+    ASSERT_TRUE(r.ok());
+    if (!r->found()) continue;
+    EXPECT_LE(r->error.rmse, prev + 1e-12);
+    prev = r->error.rmse;
+  }
+}
+
+TEST_F(BasicSearchTest, ItemMaskRestrictsTrainingRows) {
+  storage::MemoryTrainingData source(data_->sets);
+  std::vector<uint8_t> mask(data_->targets.size(), 0);
+  for (size_t i = 0; i < mask.size(); i += 2) mask[i] = 1;
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kTrainingSet;
+  auto masked = RunBasicBellwetherSearch(&source, options, &mask);
+  ASSERT_TRUE(masked.ok());
+  auto unmasked = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(unmasked.ok());
+  for (size_t i = 0; i < masked->scores.size(); ++i) {
+    EXPECT_LE(masked->scores[i].num_examples,
+              unmasked->scores[i].num_examples);
+  }
+}
+
+TEST_F(BasicSearchTest, TrainingErrorTracksCvError) {
+  // Fig. 7(c): for linear models, the training-set error curve is almost
+  // identical to the cross-validation curve. Check region-level agreement.
+  storage::MemoryTrainingData source(data_->sets);
+  BasicSearchOptions cv_opts;
+  cv_opts.estimate = regression::ErrorEstimate::kCrossValidation;
+  BasicSearchOptions tr_opts;
+  tr_opts.estimate = regression::ErrorEstimate::kTrainingSet;
+  auto cv = RunBasicBellwetherSearch(&source, cv_opts);
+  auto tr = RunBasicBellwetherSearch(&source, tr_opts);
+  ASSERT_TRUE(cv.ok());
+  ASSERT_TRUE(tr.ok());
+  ASSERT_TRUE(cv->found());
+  ASSERT_TRUE(tr->found());
+  int64_t compared = 0;
+  for (size_t i = 0; i < cv->scores.size(); ++i) {
+    if (!cv->scores[i].usable || !tr->scores[i].usable) continue;
+    // The agreement claim is asymptotic; compare well-populated regions.
+    if (cv->scores[i].num_examples < 100) continue;
+    EXPECT_NEAR(tr->scores[i].error.rmse, cv->scores[i].error.rmse,
+                0.35 * cv->scores[i].error.rmse + 1e-9);
+    ++compared;
+  }
+  EXPECT_GT(compared, 10);
+}
+
+TEST_F(BasicSearchTest, RandomSamplingBaselineIsWorseThanBellwether) {
+  storage::MemoryTrainingData source(data_->sets);
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kCrossValidation;
+  auto result = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found());
+  Rng rng(5);
+  auto smp = RandomSamplingError(*spec_, /*budget=*/30.0, /*trials=*/3, &rng);
+  ASSERT_TRUE(smp.ok()) << smp.status().ToString();
+  EXPECT_GT(smp->rmse, result->error.rmse);
+}
+
+TEST(BasicSearchEdgeTest, EmptySourceFindsNothing) {
+  storage::MemoryTrainingData source({});
+  BasicSearchOptions options;
+  auto result = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->found());
+}
+
+TEST(BasicSearchEdgeTest, TooFewExamplesIsUnusable) {
+  storage::RegionTrainingSet tiny;
+  tiny.region = 0;
+  tiny.num_features = 2;
+  tiny.items = {0, 1};
+  tiny.targets = {1.0, 2.0};
+  tiny.features = {1.0, 0.5, 1.0, 0.7};
+  storage::MemoryTrainingData source({tiny});
+  BasicSearchOptions options;
+  options.min_examples = 5;
+  auto result = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->found());
+  EXPECT_FALSE(result->scores[0].usable);
+}
+
+}  // namespace
+}  // namespace bellwether::core

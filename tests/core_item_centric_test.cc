@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/item_centric_eval.h"
+#include "datagen/simulation.h"
+
+namespace bellwether::core {
+namespace {
+
+datagen::SimulationDataset MakeSim(int32_t tree_nodes, double noise,
+                                   uint64_t seed) {
+  datagen::SimulationConfig config;
+  config.num_items = 300;
+  config.generator_tree_nodes = tree_nodes;
+  config.noise = noise;
+  config.num_windows = 3;
+  config.location_fanouts = {2, 2};
+  config.seed = seed;
+  return datagen::GenerateSimulation(config);
+}
+
+ItemCentricOptions MakeOptions(const datagen::SimulationDataset& sim) {
+  ItemCentricOptions opts;
+  opts.folds = 5;
+  opts.tree.split_columns = sim.feature_columns;
+  opts.tree.min_items = 40;
+  opts.tree.max_depth = 4;
+  opts.tree.min_examples_per_model = 8;
+  opts.cube.min_subset_size = 20;
+  opts.cube.min_examples_per_model = 8;
+  opts.cube.compute_cv_stats = true;
+  opts.cube.cv_folds = 5;
+  opts.basic.estimate = regression::ErrorEstimate::kTrainingSet;
+  return opts;
+}
+
+ItemCentricInput MakeInput(const datagen::SimulationDataset& sim,
+                           std::shared_ptr<const ItemSubsetSpace> subsets) {
+  ItemCentricInput input;
+  input.sets = &sim.sets;
+  input.targets = &sim.targets;
+  input.item_table = &sim.items;
+  input.subsets = std::move(subsets);
+  return input;
+}
+
+TEST(ItemCentricEvalTest, RunsAndPredictsMostItems) {
+  datagen::SimulationDataset sim = MakeSim(7, 0.3, 51);
+  auto subsets = ItemSubsetSpace::Create(sim.items, sim.item_hierarchies);
+  ASSERT_TRUE(subsets.ok());
+  auto result =
+      EvaluateItemCentric(MakeInput(sim, *subsets), MakeOptions(sim));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const int64_t total = 300;
+  EXPECT_GT(result->basic.predicted, total * 8 / 10);
+  EXPECT_GT(result->tree.predicted, total * 8 / 10);
+  EXPECT_GT(result->cube.predicted, total * 8 / 10);
+  EXPECT_GT(result->basic.rmse, 0.0);
+}
+
+TEST(ItemCentricEvalTest, TreeAndCubeBeatBasicOnComplexLowNoiseData) {
+  // Fig. 10's main claim: with a complex bellwether distribution and low
+  // noise, the item-centric methods out-predict the single global region.
+  datagen::SimulationDataset sim = MakeSim(15, 0.1, 53);
+  auto subsets = ItemSubsetSpace::Create(sim.items, sim.item_hierarchies);
+  ASSERT_TRUE(subsets.ok());
+  auto result =
+      EvaluateItemCentric(MakeInput(sim, *subsets), MakeOptions(sim));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->tree.rmse, result->basic.rmse);
+  EXPECT_LT(result->cube.rmse, result->basic.rmse);
+}
+
+TEST(ItemCentricEvalTest, TreeAdvantageShrinksAsNoiseGrows) {
+  // Fig. 10(a): as noise grows, the *relative* advantage of the
+  // item-centric methods over the basic search shrinks (all methods
+  // approach the noise floor).
+  auto relative_gap = [](uint64_t seed, double noise) {
+    datagen::SimulationDataset sim = MakeSim(15, noise, seed);
+    auto subsets = ItemSubsetSpace::Create(sim.items, sim.item_hierarchies);
+    EXPECT_TRUE(subsets.ok());
+    auto result =
+        EvaluateItemCentric(MakeInput(sim, *subsets), MakeOptions(sim));
+    EXPECT_TRUE(result.ok());
+    return (result->basic.rmse - result->tree.rmse) / result->basic.rmse;
+  };
+  const double gap_quiet = relative_gap(55, 0.1);
+  const double gap_loud = relative_gap(55, 20.0);
+  EXPECT_GT(gap_quiet, gap_loud);
+}
+
+TEST(ItemCentricEvalTest, CanSkipTreeAndCube) {
+  datagen::SimulationDataset sim = MakeSim(7, 0.3, 57);
+  ItemCentricOptions opts = MakeOptions(sim);
+  opts.run_tree = false;
+  opts.run_cube = false;
+  auto result = EvaluateItemCentric(MakeInput(sim, nullptr), opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tree.predicted, 0);
+  EXPECT_EQ(result->cube.predicted, 0);
+  EXPECT_GT(result->basic.predicted, 0);
+}
+
+TEST(ItemCentricEvalTest, ValidatesInputs) {
+  datagen::SimulationDataset sim = MakeSim(7, 0.3, 59);
+  ItemCentricOptions opts = MakeOptions(sim);
+  ItemCentricInput input = MakeInput(sim, nullptr);
+  // Cube requested without hierarchies.
+  EXPECT_FALSE(EvaluateItemCentric(input, opts).ok());
+  opts.run_cube = false;
+  opts.folds = 1;
+  EXPECT_FALSE(EvaluateItemCentric(input, opts).ok());
+}
+
+TEST(FilterSetsByBudgetTest, KeepsOnlyAffordableRegions) {
+  datagen::SimulationDataset sim = MakeSim(7, 0.3, 61);
+  std::vector<double> costs(sim.space->NumRegions(), 0.0);
+  for (size_t r = 0; r < costs.size(); ++r) costs[r] = static_cast<double>(r);
+  const auto filtered = FilterSetsByBudget(sim.sets, costs, 5.0);
+  EXPECT_EQ(filtered.size(), 6u);  // regions 0..5
+  for (const auto& s : filtered) EXPECT_LE(costs[s.region], 5.0);
+}
+
+}  // namespace
+}  // namespace bellwether::core

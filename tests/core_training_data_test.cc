@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/training_data_gen.h"
+#include "olap/cost.h"
+#include "olap/dimension.h"
+#include "olap/region.h"
+#include "table/table.h"
+
+namespace bellwether::core {
+namespace {
+
+using olap::HierarchicalDimension;
+using olap::IntervalDimension;
+using olap::NodeId;
+using table::AggFn;
+using table::DataType;
+using table::Schema;
+using table::Table;
+using table::Value;
+
+// A tiny handcrafted star schema exercising all three feature-query forms.
+struct TinyDb {
+  Table fact{Schema({{"Time", DataType::kInt64},
+                     {"Location", DataType::kInt64},
+                     {"ItemID", DataType::kInt64},
+                     {"AdNo", DataType::kInt64},
+                     {"Profit", DataType::kDouble}})};
+  Table items{Schema({{"ItemID", DataType::kInt64},
+                      {"RDExpense", DataType::kDouble}})};
+  Table ads{Schema(
+      {{"AdNo", DataType::kInt64}, {"AdSize", DataType::kDouble}})};
+  std::unique_ptr<olap::RegionSpace> space;
+  std::unique_ptr<olap::CostModel> cost;
+  NodeId wi = 0, md = 0;
+
+  TinyDb() {
+    HierarchicalDimension loc("Location", "All");
+    const NodeId us = loc.AddNode("US", loc.root());
+    wi = loc.AddNode("WI", us);
+    md = loc.AddNode("MD", us);
+    std::vector<olap::Dimension> dims;
+    dims.emplace_back(IntervalDimension("Time", 2));
+    dims.emplace_back(loc);
+    space = std::make_unique<olap::RegionSpace>(std::move(dims));
+    std::vector<double> cell_costs(space->NumFinestCells(), 1.0);
+    cost = std::make_unique<olap::CostModel>(
+        std::move(olap::CostModel::Create(space.get(), cell_costs)).value());
+
+    items.AppendRow({Value(int64_t{1}), Value(10.0)});
+    items.AppendRow({Value(int64_t{2}), Value(20.0)});
+    items.AppendRow({Value(int64_t{3}), Value(30.0)});
+    ads.AppendRow({Value(int64_t{100}), Value(1.0)});
+    ads.AppendRow({Value(int64_t{101}), Value(4.0)});
+    ads.AppendRow({Value(int64_t{102}), Value(9.0)});
+
+    AddOrder(1, wi, 1, 100, 10.0);
+    AddOrder(1, wi, 1, 101, 20.0);   // item 1, week 1, WI, two ads
+    AddOrder(2, wi, 1, 100, 5.0);    // same ad again in week 2
+    AddOrder(1, md, 1, 102, 40.0);
+    AddOrder(1, md, 2, 100, 7.0);
+    AddOrder(2, md, 2, 101, 9.0);
+    AddOrder(2, wi, 3, 102, -2.0);   // item 3 only appears in week 2 WI
+  }
+
+  void AddOrder(int64_t t, NodeId loc, int64_t item, int64_t ad, double p) {
+    fact.AppendRow({Value(t), Value(static_cast<int64_t>(loc)), Value(item),
+                    Value(ad), Value(p)});
+  }
+
+  BellwetherSpec MakeSpec(double budget, double min_coverage) const {
+    BellwetherSpec spec;
+    spec.space = space.get();
+    spec.fact = &fact;
+    spec.item_id_column = "ItemID";
+    spec.dimension_columns = {"Time", "Location"};
+    spec.references["ads"] = ReferenceTable{&ads, "AdNo"};
+    spec.item_table = &items;
+    spec.item_table_id_column = "ItemID";
+    spec.item_feature_columns = {"RDExpense"};
+    spec.regional_features = {
+        {FeatureQuery::Kind::kFactMeasure, AggFn::kSum, "RegionalProfit",
+         "Profit", "", ""},
+        {FeatureQuery::Kind::kReferenceMeasure, AggFn::kMax, "RegionalMaxAd",
+         "AdSize", "ads", "AdNo"},
+        {FeatureQuery::Kind::kFkDistinctMeasure, AggFn::kSum,
+         "RegionalTotalAdSize", "AdSize", "ads", "AdNo"},
+    };
+    spec.target_fn = AggFn::kSum;
+    spec.target_column = "Profit";
+    spec.cost = cost.get();
+    spec.budget = budget;
+    spec.min_coverage = min_coverage;
+    return spec;
+  }
+};
+
+TEST(TrainingDataGenTest, TargetsAreWholeSpaceAggregates) {
+  TinyDb db;
+  auto data = GenerateTrainingData(db.MakeSpec(100.0, 0.0));
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->targets.size(), 3u);
+  EXPECT_NEAR(data->targets[0], 10 + 20 + 5 + 40, 1e-9);  // item 1
+  EXPECT_NEAR(data->targets[1], 7 + 9, 1e-9);             // item 2
+  EXPECT_NEAR(data->targets[2], -2, 1e-9);                // item 3
+}
+
+TEST(TrainingDataGenTest, FeatureNamesLayout) {
+  TinyDb db;
+  const auto names = FeatureNames(db.MakeSpec(100.0, 0.0));
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "(intercept)");
+  EXPECT_EQ(names[1], "RDExpense");
+  EXPECT_EQ(names[2], "RegionalProfit");
+  EXPECT_EQ(names[4], "RegionalTotalAdSize");
+}
+
+TEST(TrainingDataGenTest, RegionalFeatureValues) {
+  TinyDb db;
+  auto data = GenerateTrainingData(db.MakeSpec(100.0, 0.0));
+  ASSERT_TRUE(data.ok());
+  // Region [1-2, WI]: item 1 has rows (10, ad100), (20, ad101), (5, ad100).
+  const olap::RegionId r = *db.space->FindRegion({"1-2", "WI"});
+  const int64_t idx = data->FindSet(r);
+  ASSERT_GE(idx, 0);
+  const auto& set = data->sets[idx];
+  // Items present: 1 and 3.
+  ASSERT_EQ(set.items.size(), 2u);
+  EXPECT_EQ(set.items[0], 0);
+  EXPECT_EQ(set.items[1], 2);
+  const double* row = set.row(0);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);    // intercept
+  EXPECT_DOUBLE_EQ(row[1], 10.0);   // RDExpense
+  EXPECT_DOUBLE_EQ(row[2], 35.0);   // regional profit 10+20+5
+  EXPECT_DOUBLE_EQ(row[3], 4.0);    // max ad size among {1, 4, 1}
+  // Distinct ads {100, 101} -> sizes 1 + 4 (ad 100 counted once).
+  EXPECT_DOUBLE_EQ(row[4], 5.0);
+  EXPECT_DOUBLE_EQ(set.targets[0], 75.0);
+}
+
+TEST(TrainingDataGenTest, CoverageCountsItemsWithData) {
+  TinyDb db;
+  auto data = GenerateTrainingData(db.MakeSpec(100.0, 0.0));
+  ASSERT_TRUE(data.ok());
+  // [1-1, WI]: only item 1 -> 1/3. [1-2, All]: all items -> 1.
+  EXPECT_NEAR(data->region_coverage[*db.space->FindRegion({"1-1", "WI"})],
+              1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(data->region_coverage[*db.space->FindRegion({"1-2", "All"})],
+              1.0, 1e-12);
+}
+
+TEST(TrainingDataGenTest, BudgetAndCoveragePruneRegions) {
+  TinyDb db;
+  // Each finest cell costs 1; [1-2, All] costs 2*3=6.
+  auto all = GenerateTrainingData(db.MakeSpec(100.0, 0.0));
+  ASSERT_TRUE(all.ok());
+  auto tight = GenerateTrainingData(db.MakeSpec(2.0, 0.0));
+  ASSERT_TRUE(tight.ok());
+  EXPECT_LT(tight->sets.size(), all->sets.size());
+  for (const auto& set : tight->sets) {
+    EXPECT_LE(all->region_costs[set.region], 2.0);
+  }
+  auto covered = GenerateTrainingData(db.MakeSpec(100.0, 0.9));
+  ASSERT_TRUE(covered.ok());
+  for (const auto& set : covered->sets) {
+    EXPECT_GE(all->region_coverage[set.region], 0.9);
+  }
+}
+
+// The §4.2 rewrite equivalence: the single-pass CUBE path produces exactly
+// the same training set as evaluating the original per-region queries with
+// plain relational operators.
+TEST(TrainingDataGenTest, CubePathMatchesNaiveQueriesEverywhere) {
+  TinyDb db;
+  const BellwetherSpec spec = db.MakeSpec(100.0, 0.0);
+  auto data = GenerateTrainingData(spec);
+  ASSERT_TRUE(data.ok());
+  ASSERT_GT(data->sets.size(), 0u);
+  for (const auto& set : data->sets) {
+    auto naive = GenerateRegionTrainingSetNaive(spec, set.region);
+    ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+    ASSERT_EQ(naive->items, set.items)
+        << "region " << db.space->RegionLabel(set.region);
+    ASSERT_EQ(naive->num_features, set.num_features);
+    for (size_t i = 0; i < set.features.size(); ++i) {
+      EXPECT_NEAR(naive->features[i], set.features[i], 1e-9)
+          << "feature flat index " << i << " in region "
+          << db.space->RegionLabel(set.region);
+    }
+    for (size_t i = 0; i < set.targets.size(); ++i) {
+      EXPECT_NEAR(naive->targets[i], set.targets[i], 1e-9);
+    }
+  }
+}
+
+TEST(TrainingDataGenTest, CellSetTrainingSetMatchesRegionWhenEquivalent) {
+  TinyDb db;
+  const BellwetherSpec spec = db.MakeSpec(100.0, 0.0);
+  // The cell set covering exactly [1-2, WI].
+  const olap::RegionId r = *db.space->FindRegion({"1-2", "WI"});
+  auto via_cells = GenerateCellSetTrainingSet(spec, db.space->FinestCellsIn(r));
+  auto via_region = GenerateRegionTrainingSetNaive(spec, r);
+  ASSERT_TRUE(via_cells.ok());
+  ASSERT_TRUE(via_region.ok());
+  EXPECT_EQ(via_cells->items, via_region->items);
+  EXPECT_EQ(via_cells->features, via_region->features);
+}
+
+TEST(TrainingDataGenTest, ValidatesSpec) {
+  TinyDb db;
+  BellwetherSpec spec = db.MakeSpec(10.0, 0.0);
+  spec.target_column = "Nope";
+  EXPECT_FALSE(GenerateTrainingData(spec).ok());
+  spec = db.MakeSpec(10.0, 0.0);
+  spec.dimension_columns = {"Time"};
+  EXPECT_FALSE(GenerateTrainingData(spec).ok());
+  spec = db.MakeSpec(10.0, 0.0);
+  spec.regional_features[1].reference = "unknown";
+  EXPECT_FALSE(GenerateTrainingData(spec).ok());
+}
+
+TEST(TrainingDataGenTest, MemorySourceRoundTrip) {
+  TinyDb db;
+  auto data = GenerateTrainingData(db.MakeSpec(100.0, 0.0));
+  ASSERT_TRUE(data.ok());
+  auto source = data->ToMemorySource();
+  EXPECT_EQ(source->num_region_sets(), data->sets.size());
+  auto ids = source->RegionIds();
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+}  // namespace
+}  // namespace bellwether::core

@@ -1,0 +1,160 @@
+// Randomized equivalence properties: for randomly shaped region spaces and
+// randomly generated star schemas, the single-pass CUBE training-data
+// generator must agree with the original per-region relational queries
+// (§4.2), for both window kinds, with and without WLS support weights.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+#include "core/training_data_gen.h"
+#include "datagen/hierarchy_util.h"
+#include "olap/cost.h"
+#include "table/table.h"
+
+namespace bellwether::core {
+namespace {
+
+using olap::HierarchicalDimension;
+using olap::IntervalDimension;
+using olap::NodeId;
+using table::AggFn;
+using table::DataType;
+using table::Schema;
+using table::Table;
+using table::Value;
+
+// A randomly generated star schema with random dimensions.
+struct RandomDb {
+  Table fact{Schema({{"T", DataType::kInt64},
+                     {"L", DataType::kInt64},
+                     {"Item", DataType::kInt64},
+                     {"Ref", DataType::kInt64},
+                     {"M", DataType::kDouble}})};
+  Table items{Schema({{"Item", DataType::kInt64},
+                      {"F", DataType::kDouble}})};
+  Table refs{Schema({{"Ref", DataType::kInt64}, {"V", DataType::kDouble}})};
+  std::unique_ptr<olap::RegionSpace> space;
+  std::unique_ptr<olap::CostModel> cost;
+
+  BellwetherSpec MakeSpec(double budget, double coverage,
+                          bool weighted) const {
+    BellwetherSpec spec;
+    spec.space = space.get();
+    spec.fact = &fact;
+    spec.item_id_column = "Item";
+    spec.dimension_columns = {"T", "L"};
+    spec.references["refs"] = ReferenceTable{&refs, "Ref"};
+    spec.item_table = &items;
+    spec.item_table_id_column = "Item";
+    spec.item_feature_columns = {"F"};
+    spec.regional_features = {
+        {FeatureQuery::Kind::kFactMeasure, AggFn::kSum, "Sum", "M", "", ""},
+        {FeatureQuery::Kind::kFactMeasure, AggFn::kMin, "Min", "M", "", ""},
+        {FeatureQuery::Kind::kFactMeasure, AggFn::kAvg, "Avg", "M", "", ""},
+        {FeatureQuery::Kind::kReferenceMeasure, AggFn::kMax, "RefMax", "V",
+         "refs", "Ref"},
+        {FeatureQuery::Kind::kFkDistinctMeasure, AggFn::kSum, "RefDistinct",
+         "V", "refs", "Ref"},
+    };
+    spec.target_fn = AggFn::kSum;
+    spec.target_column = "M";
+    spec.weight_by_support = weighted;
+    spec.cost = cost.get();
+    spec.budget = budget;
+    spec.min_coverage = coverage;
+    return spec;
+  }
+};
+
+RandomDb MakeRandomDb(Rng* rng, olap::WindowKind kind) {
+  RandomDb db;
+  // Random hierarchy: 1-2 levels, fanouts 2-3.
+  std::vector<int32_t> fanouts{
+      static_cast<int32_t>(2 + rng->NextUint64(2))};
+  if (rng->NextBool()) {
+    fanouts.push_back(static_cast<int32_t>(2 + rng->NextUint64(2)));
+  }
+  HierarchicalDimension loc =
+      datagen::BuildBalancedHierarchy("L", "All", fanouts, "N");
+  const int32_t max_time = static_cast<int32_t>(2 + rng->NextUint64(3));
+  std::vector<olap::Dimension> dims;
+  dims.emplace_back(IntervalDimension("T", max_time, kind));
+  dims.emplace_back(loc);
+  db.space = std::make_unique<olap::RegionSpace>(std::move(dims));
+
+  std::vector<double> cell_costs(db.space->NumFinestCells());
+  for (auto& c : cell_costs) c = rng->NextDouble(0.1, 2.0);
+  db.cost = std::make_unique<olap::CostModel>(
+      std::move(olap::CostModel::Create(db.space.get(), cell_costs)).value());
+
+  const int32_t num_items = static_cast<int32_t>(4 + rng->NextUint64(8));
+  for (int32_t i = 1; i <= num_items; ++i) {
+    db.items.AppendRow({Value(static_cast<int64_t>(i)),
+                        Value(rng->NextDouble(-5, 5))});
+  }
+  const int32_t num_refs = static_cast<int32_t>(3 + rng->NextUint64(4));
+  for (int32_t r = 1; r <= num_refs; ++r) {
+    db.refs.AppendRow({Value(static_cast<int64_t>(r)),
+                       Value(rng->NextDouble(0, 10))});
+  }
+  const auto& leaves = loc.leaves();
+  const int32_t rows = static_cast<int32_t>(30 + rng->NextUint64(120));
+  for (int32_t k = 0; k < rows; ++k) {
+    const int64_t item = 1 + static_cast<int64_t>(rng->NextUint64(num_items));
+    // ~10% null FKs and a few unknown FKs exercise the null/missing paths.
+    Value fk = Value::Null();
+    if (!rng->NextBool(0.1)) {
+      fk = Value(static_cast<int64_t>(1 + rng->NextUint64(num_refs + 1)));
+    }
+    db.fact.AppendRow({Value(static_cast<int64_t>(1 + rng->NextUint64(max_time))),
+                       Value(static_cast<int64_t>(
+                           leaves[rng->NextUint64(leaves.size())])),
+                       Value(item), fk, Value(rng->NextDouble(-20, 20))});
+  }
+  return db;
+}
+
+void ExpectEquivalent(const RandomDb& db, const BellwetherSpec& spec) {
+  auto data = GenerateTrainingData(spec);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  for (const auto& set : data->sets) {
+    auto naive = GenerateRegionTrainingSetNaive(spec, set.region);
+    ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+    ASSERT_EQ(naive->items, set.items)
+        << "region " << db.space->RegionLabel(set.region);
+    ASSERT_EQ(naive->weights.size(), set.weights.size());
+    for (size_t i = 0; i < set.features.size(); ++i) {
+      ASSERT_NEAR(naive->features[i], set.features[i],
+                  1e-9 * (1.0 + std::fabs(set.features[i])))
+          << "flat feature " << i << " in "
+          << db.space->RegionLabel(set.region);
+    }
+    for (size_t i = 0; i < set.weights.size(); ++i) {
+      ASSERT_DOUBLE_EQ(naive->weights[i], set.weights[i]);
+    }
+    for (size_t i = 0; i < set.targets.size(); ++i) {
+      ASSERT_NEAR(naive->targets[i], set.targets[i], 1e-9);
+    }
+  }
+}
+
+class FuzzEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEquivalenceTest, CubePathMatchesNaiveOnRandomSchemas) {
+  Rng rng(10000 + GetParam());
+  const auto kind = GetParam() % 2 == 0 ? olap::WindowKind::kIncremental
+                                        : olap::WindowKind::kSliding;
+  RandomDb db = MakeRandomDb(&rng, kind);
+  const double budget = rng.NextDouble(1.0, 20.0);
+  const double coverage = rng.NextDouble(0.0, 0.5);
+  const bool weighted = GetParam() % 3 == 0;
+  ExpectEquivalent(db, db.MakeSpec(budget, coverage, weighted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace bellwether::core

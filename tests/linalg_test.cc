@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+
+namespace bellwether::linalg {
+namespace {
+
+TEST(MatrixTest, FromRowsAndAccess) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(MatrixTest, IdentityMultiplyIsNoop) {
+  Matrix m = Matrix::FromRows({{2, -1}, {3, 5}});
+  Matrix prod = Matrix::Identity(2).Multiply(m);
+  EXPECT_TRUE(prod == m);
+}
+
+TEST(MatrixTest, TransposeTwiceIsIdentity) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_TRUE(m.Transposed().Transposed() == m);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Vector v = a.MultiplyVector({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(MatrixTest, PlusEqualsAndScale) {
+  Matrix a = Matrix::FromRows({{1, 1}, {1, 1}});
+  Matrix b = Matrix::FromRows({{2, 0}, {0, 2}});
+  a += b;
+  a *= 0.5;
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.5);
+}
+
+TEST(MatrixTest, OuterProductAccumulation) {
+  Matrix acc(2, 2);
+  AddScaledOuterProduct({1.0, 2.0}, 2.0, &acc);
+  EXPECT_DOUBLE_EQ(acc(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(acc(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(acc(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(acc(1, 1), 8.0);
+}
+
+TEST(MatrixTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+TEST(SolveTest, SolveSpdKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5].
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  auto x = SolveSpd(a, {10, 8});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.75, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.5, 1e-12);
+}
+
+TEST(SolveTest, SolveLuWithPivoting) {
+  // Requires pivoting: zero on the initial diagonal.
+  Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  auto x = SolveLu(a, {3, 5});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 5.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, SolveLuRejectsSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  auto x = SolveLu(a, {1, 2});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericError);
+}
+
+TEST(SolveTest, SolveSpdRidgeFallbackOnSingular) {
+  // Rank-deficient PSD matrix: the ridge fallback should still produce a
+  // finite solution with a small residual on the range of A.
+  Matrix a = Matrix::FromRows({{1, 1}, {1, 1}});
+  auto x = SolveSpd(a, {2, 2});
+  ASSERT_TRUE(x.ok());
+  const Vector r = a.MultiplyVector(*x);
+  EXPECT_NEAR(r[0], 2.0, 1e-3);
+  EXPECT_NEAR(r[1], 2.0, 1e-3);
+}
+
+TEST(SolveTest, SolveSpdShapeMismatch) {
+  Matrix a = Matrix::FromRows({{1, 0}, {0, 1}});
+  EXPECT_FALSE(SolveSpd(a, {1.0}).ok());
+}
+
+TEST(SolveTest, InvertSpdTimesSelfIsIdentity) {
+  Matrix a = Matrix::FromRows({{5, 1, 0}, {1, 4, 1}, {0, 1, 3}});
+  auto inv = InvertSpd(a);
+  ASSERT_TRUE(inv.ok());
+  const Matrix prod = a.Multiply(*inv);
+  EXPECT_LT(prod.DistanceTo(Matrix::Identity(3)), 1e-9);
+}
+
+// Property: SolveSpd solves random SPD systems (A = B'B + I) to high
+// accuracy, across sizes.
+class SolveSpdPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveSpdPropertyTest, RandomSpdSystemsSolve) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix b(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) b(r, c) = rng.NextGaussian();
+    }
+    Matrix a = b.Transposed().Multiply(b);
+    for (int i = 0; i < n; ++i) a(i, i) += 1.0;
+    Vector rhs(n);
+    for (auto& v : rhs) v = rng.NextGaussian();
+    auto x = SolveSpd(a, rhs);
+    ASSERT_TRUE(x.ok());
+    const Vector back = a.MultiplyVector(*x);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(back[i], rhs[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveSpdPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace bellwether::linalg
