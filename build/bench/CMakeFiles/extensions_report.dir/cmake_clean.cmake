@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_report.dir/extensions_report.cc.o"
+  "CMakeFiles/extensions_report.dir/extensions_report.cc.o.d"
+  "extensions_report"
+  "extensions_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_basic_mailorder.dir/fig07_basic_mailorder.cc.o"
+  "CMakeFiles/fig07_basic_mailorder.dir/fig07_basic_mailorder.cc.o.d"
+  "fig07_basic_mailorder"
+  "fig07_basic_mailorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_basic_mailorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

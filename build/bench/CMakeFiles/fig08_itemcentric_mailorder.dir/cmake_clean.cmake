@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_itemcentric_mailorder.dir/fig08_itemcentric_mailorder.cc.o"
+  "CMakeFiles/fig08_itemcentric_mailorder.dir/fig08_itemcentric_mailorder.cc.o.d"
+  "fig08_itemcentric_mailorder"
+  "fig08_itemcentric_mailorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_itemcentric_mailorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

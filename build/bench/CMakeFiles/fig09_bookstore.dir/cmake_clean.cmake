@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bookstore.dir/fig09_bookstore.cc.o"
+  "CMakeFiles/fig09_bookstore.dir/fig09_bookstore.cc.o.d"
+  "fig09_bookstore"
+  "fig09_bookstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bookstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

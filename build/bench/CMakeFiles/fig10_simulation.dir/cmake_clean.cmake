@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_simulation.dir/fig10_simulation.cc.o"
+  "CMakeFiles/fig10_simulation.dir/fig10_simulation.cc.o.d"
+  "fig10_simulation"
+  "fig10_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellwether_cli.dir/bellwether_cli.cpp.o"
+  "CMakeFiles/bellwether_cli.dir/bellwether_cli.cpp.o.d"
+  "bellwether_cli"
+  "bellwether_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellwether_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

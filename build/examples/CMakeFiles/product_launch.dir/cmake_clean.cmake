@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_launch.dir/product_launch.cpp.o"
+  "CMakeFiles/product_launch.dir/product_launch.cpp.o.d"
+  "product_launch"
+  "product_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/error.cc" "src/classify/CMakeFiles/bellwether_classify.dir/error.cc.o" "gcc" "src/classify/CMakeFiles/bellwether_classify.dir/error.cc.o.d"
+  "/root/repo/src/classify/gaussian_nb.cc" "src/classify/CMakeFiles/bellwether_classify.dir/gaussian_nb.cc.o" "gcc" "src/classify/CMakeFiles/bellwether_classify.dir/gaussian_nb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bellwether_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/regression/CMakeFiles/bellwether_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bellwether_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellwether_classify.dir/error.cc.o"
+  "CMakeFiles/bellwether_classify.dir/error.cc.o.d"
+  "CMakeFiles/bellwether_classify.dir/gaussian_nb.cc.o"
+  "CMakeFiles/bellwether_classify.dir/gaussian_nb.cc.o.d"
+  "libbellwether_classify.a"
+  "libbellwether_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellwether_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

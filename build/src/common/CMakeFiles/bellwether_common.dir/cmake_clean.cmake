@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellwether_common.dir/random.cc.o"
+  "CMakeFiles/bellwether_common.dir/random.cc.o.d"
+  "CMakeFiles/bellwether_common.dir/status.cc.o"
+  "CMakeFiles/bellwether_common.dir/status.cc.o.d"
+  "CMakeFiles/bellwether_common.dir/string_util.cc.o"
+  "CMakeFiles/bellwether_common.dir/string_util.cc.o.d"
+  "libbellwether_common.a"
+  "libbellwether_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellwether_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

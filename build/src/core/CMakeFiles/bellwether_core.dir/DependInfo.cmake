@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/bellwether_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/basic_search.cc" "src/core/CMakeFiles/bellwether_core.dir/basic_search.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/basic_search.cc.o.d"
+  "/root/repo/src/core/bellwether_cube.cc" "src/core/CMakeFiles/bellwether_core.dir/bellwether_cube.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/bellwether_cube.cc.o.d"
+  "/root/repo/src/core/bellwether_tree.cc" "src/core/CMakeFiles/bellwether_core.dir/bellwether_tree.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/bellwether_tree.cc.o.d"
+  "/root/repo/src/core/classification_cube.cc" "src/core/CMakeFiles/bellwether_core.dir/classification_cube.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/classification_cube.cc.o.d"
+  "/root/repo/src/core/classification_search.cc" "src/core/CMakeFiles/bellwether_core.dir/classification_search.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/classification_search.cc.o.d"
+  "/root/repo/src/core/combinatorial.cc" "src/core/CMakeFiles/bellwether_core.dir/combinatorial.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/combinatorial.cc.o.d"
+  "/root/repo/src/core/eval_util.cc" "src/core/CMakeFiles/bellwether_core.dir/eval_util.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/eval_util.cc.o.d"
+  "/root/repo/src/core/item_centric_eval.cc" "src/core/CMakeFiles/bellwether_core.dir/item_centric_eval.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/item_centric_eval.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/bellwether_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/multi_instance.cc" "src/core/CMakeFiles/bellwether_core.dir/multi_instance.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/multi_instance.cc.o.d"
+  "/root/repo/src/core/training_data_gen.cc" "src/core/CMakeFiles/bellwether_core.dir/training_data_gen.cc.o" "gcc" "src/core/CMakeFiles/bellwether_core.dir/training_data_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bellwether_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bellwether_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/bellwether_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/bellwether_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/regression/CMakeFiles/bellwether_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/bellwether_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bellwether_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

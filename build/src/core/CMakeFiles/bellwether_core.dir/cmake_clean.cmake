@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellwether_core.dir/baselines.cc.o"
+  "CMakeFiles/bellwether_core.dir/baselines.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/basic_search.cc.o"
+  "CMakeFiles/bellwether_core.dir/basic_search.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/bellwether_cube.cc.o"
+  "CMakeFiles/bellwether_core.dir/bellwether_cube.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/bellwether_tree.cc.o"
+  "CMakeFiles/bellwether_core.dir/bellwether_tree.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/classification_cube.cc.o"
+  "CMakeFiles/bellwether_core.dir/classification_cube.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/classification_search.cc.o"
+  "CMakeFiles/bellwether_core.dir/classification_search.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/combinatorial.cc.o"
+  "CMakeFiles/bellwether_core.dir/combinatorial.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/eval_util.cc.o"
+  "CMakeFiles/bellwether_core.dir/eval_util.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/item_centric_eval.cc.o"
+  "CMakeFiles/bellwether_core.dir/item_centric_eval.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/model_io.cc.o"
+  "CMakeFiles/bellwether_core.dir/model_io.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/multi_instance.cc.o"
+  "CMakeFiles/bellwether_core.dir/multi_instance.cc.o.d"
+  "CMakeFiles/bellwether_core.dir/training_data_gen.cc.o"
+  "CMakeFiles/bellwether_core.dir/training_data_gen.cc.o.d"
+  "libbellwether_core.a"
+  "libbellwether_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellwether_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

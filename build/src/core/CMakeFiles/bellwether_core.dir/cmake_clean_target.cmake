@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbellwether_core.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/book_store.cc" "src/datagen/CMakeFiles/bellwether_datagen.dir/book_store.cc.o" "gcc" "src/datagen/CMakeFiles/bellwether_datagen.dir/book_store.cc.o.d"
+  "/root/repo/src/datagen/hierarchy_util.cc" "src/datagen/CMakeFiles/bellwether_datagen.dir/hierarchy_util.cc.o" "gcc" "src/datagen/CMakeFiles/bellwether_datagen.dir/hierarchy_util.cc.o.d"
+  "/root/repo/src/datagen/mail_order.cc" "src/datagen/CMakeFiles/bellwether_datagen.dir/mail_order.cc.o" "gcc" "src/datagen/CMakeFiles/bellwether_datagen.dir/mail_order.cc.o.d"
+  "/root/repo/src/datagen/scalability.cc" "src/datagen/CMakeFiles/bellwether_datagen.dir/scalability.cc.o" "gcc" "src/datagen/CMakeFiles/bellwether_datagen.dir/scalability.cc.o.d"
+  "/root/repo/src/datagen/simulation.cc" "src/datagen/CMakeFiles/bellwether_datagen.dir/simulation.cc.o" "gcc" "src/datagen/CMakeFiles/bellwether_datagen.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bellwether_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/bellwether_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/regression/CMakeFiles/bellwether_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bellwether_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bellwether_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/bellwether_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/bellwether_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bellwether_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellwether_datagen.dir/book_store.cc.o"
+  "CMakeFiles/bellwether_datagen.dir/book_store.cc.o.d"
+  "CMakeFiles/bellwether_datagen.dir/hierarchy_util.cc.o"
+  "CMakeFiles/bellwether_datagen.dir/hierarchy_util.cc.o.d"
+  "CMakeFiles/bellwether_datagen.dir/mail_order.cc.o"
+  "CMakeFiles/bellwether_datagen.dir/mail_order.cc.o.d"
+  "CMakeFiles/bellwether_datagen.dir/scalability.cc.o"
+  "CMakeFiles/bellwether_datagen.dir/scalability.cc.o.d"
+  "CMakeFiles/bellwether_datagen.dir/simulation.cc.o"
+  "CMakeFiles/bellwether_datagen.dir/simulation.cc.o.d"
+  "libbellwether_datagen.a"
+  "libbellwether_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellwether_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellwether_linalg.dir/matrix.cc.o"
+  "CMakeFiles/bellwether_linalg.dir/matrix.cc.o.d"
+  "libbellwether_linalg.a"
+  "libbellwether_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellwether_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olap/cost.cc" "src/olap/CMakeFiles/bellwether_olap.dir/cost.cc.o" "gcc" "src/olap/CMakeFiles/bellwether_olap.dir/cost.cc.o.d"
+  "/root/repo/src/olap/dimension.cc" "src/olap/CMakeFiles/bellwether_olap.dir/dimension.cc.o" "gcc" "src/olap/CMakeFiles/bellwether_olap.dir/dimension.cc.o.d"
+  "/root/repo/src/olap/iceberg.cc" "src/olap/CMakeFiles/bellwether_olap.dir/iceberg.cc.o" "gcc" "src/olap/CMakeFiles/bellwether_olap.dir/iceberg.cc.o.d"
+  "/root/repo/src/olap/region.cc" "src/olap/CMakeFiles/bellwether_olap.dir/region.cc.o" "gcc" "src/olap/CMakeFiles/bellwether_olap.dir/region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bellwether_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/bellwether_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellwether_olap.dir/cost.cc.o"
+  "CMakeFiles/bellwether_olap.dir/cost.cc.o.d"
+  "CMakeFiles/bellwether_olap.dir/dimension.cc.o"
+  "CMakeFiles/bellwether_olap.dir/dimension.cc.o.d"
+  "CMakeFiles/bellwether_olap.dir/iceberg.cc.o"
+  "CMakeFiles/bellwether_olap.dir/iceberg.cc.o.d"
+  "CMakeFiles/bellwether_olap.dir/region.cc.o"
+  "CMakeFiles/bellwether_olap.dir/region.cc.o.d"
+  "libbellwether_olap.a"
+  "libbellwether_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellwether_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

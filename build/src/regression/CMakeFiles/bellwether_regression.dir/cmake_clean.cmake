@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellwether_regression.dir/dataset.cc.o"
+  "CMakeFiles/bellwether_regression.dir/dataset.cc.o.d"
+  "CMakeFiles/bellwether_regression.dir/error.cc.o"
+  "CMakeFiles/bellwether_regression.dir/error.cc.o.d"
+  "CMakeFiles/bellwether_regression.dir/linear_model.cc.o"
+  "CMakeFiles/bellwether_regression.dir/linear_model.cc.o.d"
+  "libbellwether_regression.a"
+  "libbellwether_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellwether_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/training_data.cc" "src/storage/CMakeFiles/bellwether_storage.dir/training_data.cc.o" "gcc" "src/storage/CMakeFiles/bellwether_storage.dir/training_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bellwether_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/bellwether_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/bellwether_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellwether_storage.dir/training_data.cc.o"
+  "CMakeFiles/bellwether_storage.dir/training_data.cc.o.d"
+  "libbellwether_storage.a"
+  "libbellwether_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellwether_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

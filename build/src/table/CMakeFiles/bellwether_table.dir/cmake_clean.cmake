@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellwether_table.dir/csv.cc.o"
+  "CMakeFiles/bellwether_table.dir/csv.cc.o.d"
+  "CMakeFiles/bellwether_table.dir/ops.cc.o"
+  "CMakeFiles/bellwether_table.dir/ops.cc.o.d"
+  "CMakeFiles/bellwether_table.dir/schema.cc.o"
+  "CMakeFiles/bellwether_table.dir/schema.cc.o.d"
+  "CMakeFiles/bellwether_table.dir/table.cc.o"
+  "CMakeFiles/bellwether_table.dir/table.cc.o.d"
+  "CMakeFiles/bellwether_table.dir/value.cc.o"
+  "CMakeFiles/bellwether_table.dir/value.cc.o.d"
+  "libbellwether_table.a"
+  "libbellwether_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellwether_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

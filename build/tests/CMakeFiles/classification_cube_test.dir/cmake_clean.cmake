@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classification_cube_test.dir/classification_cube_test.cc.o"
+  "CMakeFiles/classification_cube_test.dir/classification_cube_test.cc.o.d"
+  "classification_cube_test"
+  "classification_cube_test.pdb"
+  "classification_cube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classification_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

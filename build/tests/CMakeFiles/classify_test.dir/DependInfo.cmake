@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/classify_test.cc" "tests/CMakeFiles/classify_test.dir/classify_test.cc.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bellwether_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/bellwether_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/bellwether_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/regression/CMakeFiles/bellwether_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bellwether_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bellwether_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/bellwether_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/bellwether_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bellwether_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cube_test.dir/core_cube_test.cc.o"
+  "CMakeFiles/core_cube_test.dir/core_cube_test.cc.o.d"
+  "core_cube_test"
+  "core_cube_test.pdb"
+  "core_cube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

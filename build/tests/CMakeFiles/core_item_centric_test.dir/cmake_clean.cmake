@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_item_centric_test.dir/core_item_centric_test.cc.o"
+  "CMakeFiles/core_item_centric_test.dir/core_item_centric_test.cc.o.d"
+  "core_item_centric_test"
+  "core_item_centric_test.pdb"
+  "core_item_centric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_item_centric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

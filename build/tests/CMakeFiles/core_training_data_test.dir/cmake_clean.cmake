@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_training_data_test.dir/core_training_data_test.cc.o"
+  "CMakeFiles/core_training_data_test.dir/core_training_data_test.cc.o.d"
+  "core_training_data_test"
+  "core_training_data_test.pdb"
+  "core_training_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_training_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

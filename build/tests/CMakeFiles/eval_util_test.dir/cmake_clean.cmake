@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_util_test.dir/eval_util_test.cc.o"
+  "CMakeFiles/eval_util_test.dir/eval_util_test.cc.o.d"
+  "eval_util_test"
+  "eval_util_test.pdb"
+  "eval_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
