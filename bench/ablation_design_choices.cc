@@ -106,5 +106,6 @@ int main(int argc, char** argv) {
          Fmt(static_cast<double>(pruned.regions_examined), "%.0f"),
          Fmt(static_cast<double>(pruned.regions_pruned), "%.0f")});
   }
+  DumpTelemetryIfRequested(argc, argv);
   return 0;
 }

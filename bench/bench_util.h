@@ -4,8 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
+
+#include "common/stopwatch.h"
+#include "obs/export.h"
 
 namespace bellwether::bench {
 
@@ -16,6 +20,17 @@ inline double FlagDouble(int argc, char** argv, const char* name,
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
       return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline std::string FlagString(int argc, char** argv, const char* name,
+                              const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
     }
   }
   return fallback;
@@ -46,6 +61,34 @@ inline std::string Fmt(double v, const char* fmt = "%.4g") {
   char buf[64];
   std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
+}
+
+/// Wall-clock time of one call, in seconds.
+inline double TimeIt(const std::function<void()>& fn) {
+  Stopwatch sw;
+  fn();
+  return sw.ElapsedSeconds();
+}
+
+/// Telemetry hook shared by the bench mains: when --metrics-out=<path> was
+/// passed, writes the process metrics registry as JSON to <path> and the
+/// trace buffer as Chrome trace JSON next to it (or to --trace-out=<path>).
+/// Call once at the end of main.
+inline void DumpTelemetryIfRequested(int argc, char** argv) {
+  const std::string metrics_path = FlagString(argc, argv, "metrics-out", "");
+  if (metrics_path.empty()) return;
+  const std::string trace_path = FlagString(argc, argv, "trace-out", "");
+  const Status st = obs::DumpDefaultTelemetry(metrics_path, trace_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "telemetry dump failed: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  std::printf("\nmetrics written to %s\ntrace written to %s\n",
+              metrics_path.c_str(),
+              (trace_path.empty() ? obs::DeriveTracePath(metrics_path)
+                                  : trace_path)
+                  .c_str());
 }
 
 }  // namespace bellwether::bench

@@ -119,5 +119,6 @@ int main(int argc, char** argv) {
                 spec.space->RegionLabel(cls->bellwether).c_str(),
                 cls->error.rmse, cls->AverageError());
   }
+  DumpTelemetryIfRequested(argc, argv);
   return 0;
 }

@@ -126,5 +126,6 @@ int main(int argc, char** argv) {
                   /*with_sampling=*/false, config.seed);
 
   std::printf("\ntotal: %.1fs\n", total.ElapsedSeconds());
+  DumpTelemetryIfRequested(argc, argv);
   return 0;
 }

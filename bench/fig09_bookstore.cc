@@ -122,5 +122,6 @@ int main(int argc, char** argv) {
          Fmt(r->cube.rmse)});
   }
   std::printf("\ntotal: %.1fs\n", total.ElapsedSeconds());
+  DumpTelemetryIfRequested(argc, argv);
   return 0;
 }

@@ -89,5 +89,6 @@ int main(int argc, char** argv) {
     Row({Fmt(nodes, "%.0f"), Fmt(p.cube), Fmt(p.basic), Fmt(p.tree)});
   }
   std::printf("\ntotal: %.1fs\n", total.ElapsedSeconds());
+  DumpTelemetryIfRequested(argc, argv);
   return 0;
 }

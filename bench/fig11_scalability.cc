@@ -84,12 +84,6 @@ core::CubeBuildConfig CubeConfig() {
   return config;
 }
 
-double TimeIt(const std::function<void()>& fn) {
-  Stopwatch sw;
-  fn();
-  return sw.ElapsedSeconds();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -201,5 +195,6 @@ int main(int argc, char** argv) {
          Fmt(t, "%.2f")});
     std::remove(g.path.c_str());
   }
+  DumpTelemetryIfRequested(argc, argv);
   return 0;
 }

@@ -81,5 +81,6 @@ int main(int argc, char** argv) {
     if (!tree.ok()) return 1;
     Row({Fmt(features, "%.0f"), Fmt(sw.ElapsedSeconds(), "%.2f")});
   }
+  DumpTelemetryIfRequested(argc, argv);
   return 0;
 }

@@ -34,14 +34,7 @@ using namespace bellwether;  // NOLINT: example brevity
 
 namespace {
 
-std::string FlagString(int argc, char** argv, const char* name,
-                       const std::string& fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (StartsWith(argv[i], prefix)) return argv[i] + prefix.size();
-  }
-  return fallback;
-}
+using bench::FlagString;
 
 // Reads "child<TAB>parent" lines into a hierarchy; first line is the root.
 Result<olap::HierarchicalDimension> ReadHierarchy(const std::string& path) {
@@ -281,6 +274,7 @@ Status Run(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Status st = Run(argc, argv);
+  bench::DumpTelemetryIfRequested(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;

@@ -5,25 +5,54 @@
 
 namespace bellwether {
 
-/// Wall-clock stopwatch used by the benchmark harnesses.
+/// Wall-clock stopwatch with accumulated-time semantics, used by the
+/// benchmark harnesses and the observability layer. Starts running on
+/// construction; Pause()/Resume() let multi-phase loops exclude setup work
+/// from the measured time.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
-  /// Resets the start point to now.
-  void Restart() { start_ = Clock::now(); }
-
-  /// Seconds elapsed since construction or the last Restart().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+  /// Discards accumulated time and restarts the running segment at now.
+  void Restart() {
+    accumulated_ = Duration::zero();
+    running_ = true;
+    start_ = Clock::now();
   }
 
-  /// Milliseconds elapsed since construction or the last Restart().
+  /// Stops the clock, banking the current segment. No-op when paused.
+  void Pause() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Restarts the clock after a Pause(). No-op when already running.
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  bool running() const { return running_; }
+
+  /// Seconds accumulated across all running segments, including the
+  /// currently running one.
+  double ElapsedSeconds() const {
+    Duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+  /// Milliseconds; see ElapsedSeconds().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
   Clock::time_point start_;
+  Duration accumulated_ = Duration::zero();
+  bool running_ = true;
 };
 
 }  // namespace bellwether

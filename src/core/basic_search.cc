@@ -3,7 +3,11 @@
 #include <limits>
 
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "core/eval_util.h"
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bellwether::core {
 
@@ -62,22 +66,72 @@ Result<regression::LinearModel> RefitModel(
   return regression::FitLeastSquares(ToDataset(set, item_mask));
 }
 
+// Registry counters mirrored alongside the per-search SearchTelemetry;
+// resolved once and cached (registry pointers are stable).
+struct SearchMetrics {
+  obs::Counter* enumerated;
+  obs::Counter* scored;
+  obs::Counter* pruned_cost;
+  obs::Counter* fit_failures;
+  obs::Counter* rows;
+  obs::Histogram* fit_seconds;
+};
+
+const SearchMetrics& Metrics() {
+  static const SearchMetrics m{
+      obs::DefaultMetrics().GetCounter(obs::kMSearchRegionsEnumerated),
+      obs::DefaultMetrics().GetCounter(obs::kMSearchRegionsScored),
+      obs::DefaultMetrics().GetCounter(obs::kMSearchRegionsPrunedCost),
+      obs::DefaultMetrics().GetCounter(obs::kMSearchFitFailures),
+      obs::DefaultMetrics().GetCounter(obs::kMSearchRowsScanned),
+      obs::DefaultMetrics().GetHistogram(obs::kMSearchRegionFitSeconds,
+                                         obs::LatencyBucketsSeconds())};
+  return m;
+}
+
 }  // namespace
 
 Result<BasicSearchResult> RunBasicBellwetherSearch(
     storage::TrainingDataSource* source, const BasicSearchOptions& options,
     const std::vector<uint8_t>* item_mask) {
+  obs::TraceSpan span("RunBasicBellwetherSearch", "search");
   BasicSearchResult result;
+  SearchTelemetry& t = result.telemetry;
   result.scores.reserve(source->num_region_sets());
   size_t index = 0;
+  Stopwatch scan_watch;
   BW_RETURN_IF_ERROR(
       source->Scan([&](const storage::RegionTrainingSet& set) -> Status {
         RegionScore score;
         score.source_index = index++;
+        Stopwatch fit_watch;
         ScoreRegion(set, options, item_mask, &score);
+        Metrics().fit_seconds->Observe(fit_watch.ElapsedSeconds());
+        ++t.regions_enumerated;
+        t.rows_scanned += static_cast<int64_t>(set.num_examples());
+        if (score.usable) {
+          ++t.regions_scored;
+        } else if (score.num_examples <
+                   static_cast<size_t>(
+                       std::max<int32_t>(options.min_examples, 2))) {
+          ++t.skipped_min_examples;
+        } else {
+          ++t.model_fit_failures;
+        }
         result.scores.push_back(score);
         return Status::OK();
       }));
+  t.scan_seconds = scan_watch.ElapsedSeconds();
+  Metrics().enumerated->Increment(t.regions_enumerated);
+  Metrics().scored->Increment(t.regions_scored);
+  Metrics().fit_failures->Increment(t.model_fit_failures);
+  Metrics().rows->Increment(t.rows_scanned);
+  BW_LOG(obs::LogLevel::kInfo, "search")
+      .Field("regions", t.regions_enumerated)
+      .Field("scored", t.regions_scored)
+      .Field("fit_failures", t.model_fit_failures)
+      .Field("seconds", t.scan_seconds)
+      << "basic search scan done";
 
   double best = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < result.scores.size(); ++i) {
@@ -102,14 +156,20 @@ Result<BasicSearchResult> SelectUnderBudget(
     const BasicSearchResult& full, storage::TrainingDataSource* source,
     const std::vector<double>& region_costs, double budget,
     const std::vector<uint8_t>* item_mask) {
+  obs::TraceSpan span("SelectUnderBudget", "search");
   BasicSearchResult result;
+  result.telemetry = full.telemetry;
+  result.telemetry.pruned_by_cost = 0;
   double best = std::numeric_limits<double>::infinity();
   for (const auto& s : full.scores) {
     if (s.region < 0 ||
         static_cast<size_t>(s.region) >= region_costs.size()) {
       return Status::OutOfRange("score region outside cost table");
     }
-    if (region_costs[s.region] > budget) continue;
+    if (region_costs[s.region] > budget) {
+      ++result.telemetry.pruned_by_cost;
+      continue;
+    }
     result.scores.push_back(s);
     if (s.usable && s.error.rmse < best) {
       best = s.error.rmse;
@@ -118,6 +178,7 @@ Result<BasicSearchResult> SelectUnderBudget(
       result.error = s.error;
     }
   }
+  Metrics().pruned_cost->Increment(result.telemetry.pruned_by_cost);
   if (result.found()) {
     BW_ASSIGN_OR_RETURN(
         result.model,
@@ -135,8 +196,10 @@ Result<BasicSearchResult> SelectLinearCriterion(
   if (region_costs.size() != region_coverage.size()) {
     return Status::InvalidArgument("cost/coverage table size mismatch");
   }
+  obs::TraceSpan span("SelectLinearCriterion", "search");
   BasicSearchResult result;
   result.scores = full.scores;
+  result.telemetry = full.telemetry;
   double best = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < result.scores.size(); ++i) {
     const auto& s = result.scores[i];

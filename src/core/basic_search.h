@@ -21,6 +21,19 @@ struct RegionScore {
   bool usable = false;  // model fit / error estimation succeeded
 };
 
+/// Per-search telemetry, filled by RunBasicBellwetherSearch and the
+/// re-selection helpers. The same quantities are mirrored into the process
+/// MetricsRegistry (see obs/metrics.h) so benchmarks can export them.
+struct SearchTelemetry {
+  int64_t regions_enumerated = 0;  // region training sets visited
+  int64_t regions_scored = 0;      // usable scores produced
+  int64_t skipped_min_examples = 0;  // too few rows to fit a model
+  int64_t model_fit_failures = 0;    // error estimation failed
+  int64_t pruned_by_cost = 0;      // budget re-selection skips
+  int64_t rows_scanned = 0;        // training rows seen across all sets
+  double scan_seconds = 0.0;       // wall time of the scoring scan
+};
+
 /// Output of the basic bellwether search (Definition 1 with the constrained
 /// optimization criterion): the minimum-error feasible region, its model,
 /// and — for analysis — the score of every feasible region.
@@ -30,6 +43,7 @@ struct BasicSearchResult {
   regression::ErrorStats error;
   regression::LinearModel model;
   std::vector<RegionScore> scores;
+  SearchTelemetry telemetry;
 
   bool found() const { return bellwether != olap::kInvalidRegion; }
 

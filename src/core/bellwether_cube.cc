@@ -5,6 +5,10 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bellwether::core {
 
@@ -65,14 +69,36 @@ bool ItemMasked(const std::vector<uint8_t>* item_mask, int32_t item) {
           (*item_mask)[item] == 0);
 }
 
+// Registry counters mirrored alongside the per-build CubeBuildTelemetry;
+// resolved once and cached (registry pointers are stable).
+struct CubeMetrics {
+  obs::Counter* naive_passes;
+  obs::Counter* single_scan_passes;
+  obs::Counter* optimized_passes;
+  obs::Counter* significant;
+  obs::Counter* cells;
+};
+
+const CubeMetrics& Metrics() {
+  static const CubeMetrics m{
+      obs::DefaultMetrics().GetCounter(obs::kMCubeNaiveScans),
+      obs::DefaultMetrics().GetCounter(obs::kMCubeSingleScanScans),
+      obs::DefaultMetrics().GetCounter(obs::kMCubeOptimizedScans),
+      obs::DefaultMetrics().GetCounter(obs::kMCubeSignificantSubsets),
+      obs::DefaultMetrics().GetCounter(obs::kMCubeCellsMaterialized)};
+  return m;
+}
+
 // Converts per-subset picks into the final cube, optionally attaching
 // cross-validated error statistics for the confidence-bound prediction rule.
+// Completes and attaches `telemetry` (cells, wall time from `build_watch`).
 Result<BellwetherCube> FinalizeCube(
     storage::TrainingDataSource* source,
     std::shared_ptr<const ItemSubsetSpace> subsets,
     const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask,
     const std::vector<int32_t>& sizes,
-    const std::vector<SubsetId>& significant, std::vector<Pick> picks) {
+    const std::vector<SubsetId>& significant, std::vector<Pick> picks,
+    CubeBuildTelemetry telemetry, const Stopwatch& build_watch) {
   std::vector<int64_t> cell_of(subsets->NumSubsets(), -1);
   std::vector<CubeCell> cells;
   cells.reserve(significant.size());
@@ -132,8 +158,21 @@ Result<BellwetherCube> FinalizeCube(
     cell_of[sid] = static_cast<int64_t>(cells.size());
     cells.push_back(std::move(cell));
   }
-  return BellwetherCube(std::move(subsets), std::move(cell_of),
-                        std::move(cells));
+  telemetry.significant_subsets = static_cast<int64_t>(significant.size());
+  telemetry.cells_materialized = static_cast<int64_t>(cells.size());
+  telemetry.build_seconds = build_watch.ElapsedSeconds();
+  Metrics().significant->Increment(telemetry.significant_subsets);
+  Metrics().cells->Increment(telemetry.cells_materialized);
+  BW_LOG(obs::LogLevel::kInfo, "cube")
+      .Field("passes", telemetry.data_passes)
+      .Field("significant", telemetry.significant_subsets)
+      .Field("cells", telemetry.cells_materialized)
+      .Field("seconds", telemetry.build_seconds)
+      << "cube built";
+  BellwetherCube cube(std::move(subsets), std::move(cell_of),
+                      std::move(cells));
+  cube.set_build_telemetry(telemetry);
+  return cube;
 }
 
 // In-place lattice rollup of per-subset sufficient statistics: child node
@@ -287,6 +326,9 @@ Result<BellwetherCube> BuildBellwetherCubeNaive(
     storage::TrainingDataSource* source,
     std::shared_ptr<const ItemSubsetSpace> subsets,
     const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
+  obs::TraceSpan span("BuildBellwetherCubeNaive", "cube");
+  Stopwatch build_watch;
+  CubeBuildTelemetry telemetry;
   const std::vector<int32_t> sizes = SubsetSizes(*subsets, item_mask);
   const std::vector<SubsetId> significant =
       SignificantSubsets(sizes, config.min_subset_size);
@@ -296,6 +338,7 @@ Result<BellwetherCube> BuildBellwetherCubeNaive(
   std::vector<uint8_t> member(subsets->num_items(), 0);
   for (size_t k = 0; k < significant.size(); ++k) {
     const SubsetId sid = significant[k];
+    ++telemetry.data_passes;
     for (int32_t i = 0; i < subsets->num_items(); ++i) {
       member[i] = !ItemMasked(item_mask, i) &&
                   subsets->SubsetContainsItem(sid, i);
@@ -314,14 +357,18 @@ Result<BellwetherCube> BuildBellwetherCubeNaive(
           set.region, stats);
     }
   }
+  Metrics().naive_passes->Increment(telemetry.data_passes);
   return FinalizeCube(source, std::move(subsets), config, item_mask, sizes,
-                      significant, std::move(picks));
+                      significant, std::move(picks), telemetry, build_watch);
 }
 
 Result<BellwetherCube> BuildBellwetherCubeSingleScan(
     storage::TrainingDataSource* source,
     std::shared_ptr<const ItemSubsetSpace> subsets,
     const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
+  obs::TraceSpan span("BuildBellwetherCubeSingleScan", "cube");
+  Stopwatch build_watch;
+  CubeBuildTelemetry telemetry;
   const std::vector<int32_t> sizes = SubsetSizes(*subsets, item_mask);
   const std::vector<SubsetId> significant =
       SignificantSubsets(sizes, config.min_subset_size);
@@ -366,14 +413,19 @@ Result<BellwetherCube> BuildBellwetherCubeSingleScan(
     }
     return Status::OK();
   }));
+  telemetry.data_passes = 1;
+  Metrics().single_scan_passes->Increment(1);
   return FinalizeCube(source, std::move(subsets), config, item_mask, sizes,
-                      significant, std::move(picks));
+                      significant, std::move(picks), telemetry, build_watch);
 }
 
 Result<BellwetherCube> BuildBellwetherCubeOptimized(
     storage::TrainingDataSource* source,
     std::shared_ptr<const ItemSubsetSpace> subsets,
     const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
+  obs::TraceSpan span("BuildBellwetherCubeOptimized", "cube");
+  Stopwatch build_watch;
+  CubeBuildTelemetry telemetry;
   const std::vector<int32_t> sizes = SubsetSizes(*subsets, item_mask);
   const std::vector<SubsetId> significant =
       SignificantSubsets(sizes, config.min_subset_size);
@@ -411,8 +463,10 @@ Result<BellwetherCube> BuildBellwetherCubeOptimized(
     }
     return Status::OK();
   }));
+  telemetry.data_passes = 1;
+  Metrics().optimized_passes->Increment(1);
   return FinalizeCube(source, std::move(subsets), config, item_mask, sizes,
-                      significant, std::move(picks));
+                      significant, std::move(picks), telemetry, build_watch);
 }
 
 }  // namespace bellwether::core

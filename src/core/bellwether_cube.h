@@ -122,6 +122,17 @@ struct CrossTabRow {
   int32_t subset_size = 0;
 };
 
+/// Build-time telemetry of a cube construction, mirrored into the process
+/// MetricsRegistry. `data_passes` counts logical passes over the entire
+/// training data: the single-scan and optimized builders perform exactly
+/// one (Lemma 2 / Theorem 1), the naive builder one per significant subset.
+struct CubeBuildTelemetry {
+  int64_t data_passes = 0;
+  int64_t significant_subsets = 0;
+  int64_t cells_materialized = 0;
+  double build_seconds = 0.0;
+};
+
 /// The bellwether cube: {<S, r_S>} for every significant cube subset S.
 class BellwetherCube {
  public:
@@ -159,10 +170,14 @@ class BellwetherCube {
       const std::vector<int32_t>& level_depths,
       const olap::RegionSpace* region_space) const;
 
+  const CubeBuildTelemetry& build_telemetry() const { return telemetry_; }
+  void set_build_telemetry(const CubeBuildTelemetry& t) { telemetry_ = t; }
+
  private:
   std::shared_ptr<const ItemSubsetSpace> subsets_;
   std::vector<int64_t> cell_of_;  // SubsetId -> index into cells_, or -1
   std::vector<CubeCell> cells_;
+  CubeBuildTelemetry telemetry_;
 };
 
 /// Naive algorithm (§6.2): one basic bellwether search per significant

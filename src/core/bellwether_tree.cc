@@ -7,6 +7,10 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bellwether::core {
 
@@ -332,6 +336,27 @@ std::vector<int32_t> RootItems(const ItemSplitFeatures& feats,
   return items;
 }
 
+// Registry counters mirrored alongside the per-build TreeBuildTelemetry;
+// resolved once and cached (registry pointers are stable).
+struct TreeMetrics {
+  obs::Counter* naive_passes;
+  obs::Counter* rf_passes;
+  obs::Counter* nodes_created;
+  obs::Gauge* suff_stats_peak;
+  obs::Histogram* level_scan_seconds;
+};
+
+const TreeMetrics& Metrics() {
+  static const TreeMetrics m{
+      obs::DefaultMetrics().GetCounter(obs::kMTreeNaiveScans),
+      obs::DefaultMetrics().GetCounter(obs::kMTreeRfScans),
+      obs::DefaultMetrics().GetCounter(obs::kMTreeNodesCreated),
+      obs::DefaultMetrics().GetGauge(obs::kMTreeSuffStatsPeak),
+      obs::DefaultMetrics().GetHistogram(obs::kMTreeLevelScanSeconds,
+                                         obs::LatencyBucketsSeconds())};
+  return m;
+}
+
 // Builds the children of `node_index` once a split was chosen; appends the
 // new PendingNodes to `next`.
 void ExpandChildren(const ItemSplitFeatures& feats, PendingNode&& work,
@@ -361,6 +386,9 @@ void ExpandChildren(const ItemSplitFeatures& feats, PendingNode&& work,
 Result<BellwetherTree> BuildBellwetherTreeNaive(
     storage::TrainingDataSource* source, const table::Table& item_table,
     const TreeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
+  obs::TraceSpan span("BuildBellwetherTreeNaive", "tree");
+  Stopwatch build_watch;
+  TreeBuildTelemetry telemetry;
   BW_ASSIGN_OR_RETURN(
       std::shared_ptr<ItemSplitFeatures> feats,
       ItemSplitFeatures::Create(item_table, config.split_columns));
@@ -387,8 +415,11 @@ Result<BellwetherTree> BuildBellwetherTreeNaive(
     // 1. The node's own bellwether: one pass over the entire training data.
     BellwetherPick self;
     int32_t p_features = 0;
+    ++telemetry.data_passes;
+    telemetry.suff_stats_peak = std::max<int64_t>(telemetry.suff_stats_peak, 1);
     for (size_t s = 0; s < num_sets; ++s) {
       BW_ASSIGN_OR_RETURN(RegionTrainingSet set, source->Read(s));
+      ++telemetry.region_reads;
       p_features = set.num_features;
       RegressionSuffStats stats(set.num_features);
       for (size_t row = 0; row < set.num_examples(); ++row) {
@@ -418,8 +449,13 @@ Result<BellwetherTree> BuildBellwetherTreeNaive(
         min_error[c].assign(crit.num_partitions, kInf);
         std::vector<RegressionSuffStats> part_stats(
             crit.num_partitions, RegressionSuffStats(p_features));
+        ++telemetry.data_passes;
+        ++telemetry.candidates_evaluated;
+        telemetry.suff_stats_peak = std::max<int64_t>(
+            telemetry.suff_stats_peak, crit.num_partitions);
         for (size_t s = 0; s < num_sets; ++s) {
           BW_ASSIGN_OR_RETURN(RegionTrainingSet set, source->Read(s));
+          ++telemetry.region_reads;
           for (auto& st : part_stats) st.Reset();
           for (size_t row = 0; row < set.num_examples(); ++row) {
             const int32_t m = membership[set.items[row]];
@@ -443,12 +479,30 @@ Result<BellwetherTree> BuildBellwetherTreeNaive(
                      &queue);
     }
   }
-  return BellwetherTree(std::move(feats), std::move(nodes));
+  BellwetherTree tree(std::move(feats), std::move(nodes));
+  telemetry.nodes_created = static_cast<int64_t>(tree.nodes().size());
+  telemetry.levels = tree.NumLevels();
+  telemetry.build_seconds = build_watch.ElapsedSeconds();
+  Metrics().naive_passes->Increment(telemetry.data_passes);
+  Metrics().nodes_created->Increment(telemetry.nodes_created);
+  Metrics().suff_stats_peak->SetMax(
+      static_cast<double>(telemetry.suff_stats_peak));
+  BW_LOG(obs::LogLevel::kInfo, "tree")
+      .Field("passes", telemetry.data_passes)
+      .Field("nodes", telemetry.nodes_created)
+      .Field("levels", telemetry.levels)
+      .Field("seconds", telemetry.build_seconds)
+      << "naive tree built";
+  tree.set_build_telemetry(telemetry);
+  return tree;
 }
 
 Result<BellwetherTree> BuildBellwetherTreeRainForest(
     storage::TrainingDataSource* source, const table::Table& item_table,
     const TreeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
+  obs::TraceSpan span("BuildBellwetherTreeRainForest", "tree");
+  Stopwatch build_watch;
+  TreeBuildTelemetry telemetry;
   BW_ASSIGN_OR_RETURN(
       std::shared_ptr<ItemSplitFeatures> feats,
       ItemSplitFeatures::Create(item_table, config.split_columns));
@@ -491,6 +545,18 @@ Result<BellwetherTree> BuildBellwetherTreeRainForest(
     }
 
     // One sequential scan of the entire training data for the whole level.
+    obs::TraceSpan level_span("RainForestLevelScan", "tree");
+    Stopwatch level_watch;
+    ++telemetry.data_passes;
+    int64_t level_stats = 0;
+    for (const auto& e : evals) {
+      level_stats += 1;  // self_stats
+      for (const auto& c : e.candidates) level_stats += c.num_partitions;
+      telemetry.candidates_evaluated +=
+          static_cast<int64_t>(e.candidates.size());
+    }
+    telemetry.suff_stats_peak =
+        std::max(telemetry.suff_stats_peak, level_stats);
     bool stats_sized = false;
     BW_RETURN_IF_ERROR(source->Scan([&](const RegionTrainingSet& set)
                                         -> Status {
@@ -537,6 +603,8 @@ Result<BellwetherTree> BuildBellwetherTreeRainForest(
       }
       return Status::OK();
     }));
+    level_span.End();
+    Metrics().level_scan_seconds->Observe(level_watch.ElapsedSeconds());
 
     // Finalize the level and build the next one.
     std::deque<PendingNode> next;
@@ -553,7 +621,22 @@ Result<BellwetherTree> BuildBellwetherTreeRainForest(
     }
     level = std::move(next);
   }
-  return BellwetherTree(std::move(feats), std::move(nodes));
+  BellwetherTree tree(std::move(feats), std::move(nodes));
+  telemetry.nodes_created = static_cast<int64_t>(tree.nodes().size());
+  telemetry.levels = tree.NumLevels();
+  telemetry.build_seconds = build_watch.ElapsedSeconds();
+  Metrics().rf_passes->Increment(telemetry.data_passes);
+  Metrics().nodes_created->Increment(telemetry.nodes_created);
+  Metrics().suff_stats_peak->SetMax(
+      static_cast<double>(telemetry.suff_stats_peak));
+  BW_LOG(obs::LogLevel::kInfo, "tree")
+      .Field("passes", telemetry.data_passes)
+      .Field("nodes", telemetry.nodes_created)
+      .Field("levels", telemetry.levels)
+      .Field("seconds", telemetry.build_seconds)
+      << "rainforest tree built";
+  tree.set_build_telemetry(telemetry);
+  return tree;
 }
 
 int32_t PruneBellwetherTree(BellwetherTree* tree, double complexity_alpha) {

@@ -91,6 +91,21 @@ struct TreeNode {
   bool is_leaf() const { return children.empty(); }
 };
 
+/// Build-time telemetry of a tree construction, mirrored into the process
+/// MetricsRegistry. `data_passes` counts logical passes over the entire
+/// training data: the RainForest builder performs exactly one per tree
+/// level (Lemma 1), while the naive builder performs one per (node,
+/// candidate criterion) plus one per node.
+struct TreeBuildTelemetry {
+  int64_t data_passes = 0;
+  int64_t region_reads = 0;          // random Read() calls (naive builder)
+  int64_t nodes_created = 0;
+  int64_t levels = 0;
+  int64_t candidates_evaluated = 0;  // (node, criterion) pairs scored
+  int64_t suff_stats_peak = 0;  // most sufficient statistics live at once
+  double build_seconds = 0.0;
+};
+
 /// The bellwether tree (paper §5): routes an item by its item-table features
 /// to a leaf, whose bellwether region/model predicts the item's target.
 class BellwetherTree {
@@ -124,9 +139,13 @@ class BellwetherTree {
   /// of raw region ids.
   std::string ToString(const olap::RegionSpace* space = nullptr) const;
 
+  const TreeBuildTelemetry& build_telemetry() const { return telemetry_; }
+  void set_build_telemetry(const TreeBuildTelemetry& t) { telemetry_ = t; }
+
  private:
   std::shared_ptr<const ItemSplitFeatures> features_;
   std::vector<TreeNode> nodes_;
+  TreeBuildTelemetry telemetry_;
 };
 
 /// Construction parameters shared by the naive and RainForest builders.

@@ -5,6 +5,9 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "table/ops.h"
 
 namespace bellwether::core {
@@ -149,6 +152,7 @@ int64_t GeneratedTrainingData::FindSet(olap::RegionId region) const {
 
 Result<GeneratedTrainingData> GenerateTrainingData(
     const BellwetherSpec& spec) {
+  obs::TraceSpan span("GenerateTrainingData", "datagen");
   BW_RETURN_IF_ERROR(ValidateSpec(spec));
   const olap::RegionSpace& space = *spec.space;
   const Table& fact = *spec.fact;
@@ -245,9 +249,13 @@ Result<GeneratedTrainingData> GenerateTrainingData(
   }
 
   // ---- Single pass over the fact table ----
+  obs::DefaultMetrics()
+      .GetCounter(obs::kMDatagenFactRowsScanned)
+      ->Increment(static_cast<int64_t>(fact.num_rows()));
   RegionItemCube<NumericAgg> count_cube(&space, num_items);
   std::vector<NumericAgg> target_agg(num_items);
   olap::PointCoords point(space.num_dims());
+  obs::TraceSpan fact_span("FactTableScan", "datagen");
   for (size_t r = 0; r < fact.num_rows(); ++r) {
     const auto& idc = fact.column(fact_item_col);
     if (idc.IsNull(r)) continue;
@@ -294,10 +302,14 @@ Result<GeneratedTrainingData> GenerateTrainingData(
     }
   }
 
+  fact_span.End();
+
   // ---- CUBE rollups ----
+  obs::TraceSpan rollup_span("CubeRollup", "datagen");
   count_cube.Rollup();
   for (auto& nf : numeric_features) nf.cube.Rollup();
   for (auto& ff : fk_features) ff.cube.Rollup();
+  rollup_span.End();
 
   // ---- Targets ----
   out.targets.assign(num_items, std::numeric_limits<double>::quiet_NaN());
@@ -327,11 +339,20 @@ Result<GeneratedTrainingData> GenerateTrainingData(
   }
 
   // ---- Feasible regions (iceberg) ----
+  obs::TraceSpan iceberg_span("FindFeasibleRegions", "datagen");
   out.feasible = olap::FindFeasibleRegionsPruned(
       space, out.region_costs, out.region_coverage, spec.budget,
       spec.min_coverage);
+  iceberg_span.End();
+  obs::DefaultMetrics()
+      .GetCounter(obs::kMSearchRegionsPrunedCost)
+      ->Increment(out.feasible.pruned_by_cost);
+  obs::DefaultMetrics()
+      .GetCounter(obs::kMSearchRegionsPrunedCoverage)
+      ->Increment(out.feasible.pruned_by_coverage);
 
   // ---- Materialize the training set of every feasible region ----
+  obs::TraceSpan materialize_span("MaterializeTrainingSets", "datagen");
   const int32_t p = static_cast<int32_t>(out.feature_names.size());
   std::vector<double> fk_vals;
   for (RegionId reg : out.feasible.regions) {
@@ -374,6 +395,24 @@ Result<GeneratedTrainingData> GenerateTrainingData(
     }
     out.sets.push_back(std::move(set));
   }
+  materialize_span.End();
+  int64_t rows_emitted = 0;
+  for (const auto& s : out.sets) {
+    rows_emitted += static_cast<int64_t>(s.num_examples());
+  }
+  obs::DefaultMetrics()
+      .GetCounter(obs::kMDatagenRegionSetsEmitted)
+      ->Increment(static_cast<int64_t>(out.sets.size()));
+  obs::DefaultMetrics()
+      .GetCounter(obs::kMDatagenTrainingRowsEmitted)
+      ->Increment(rows_emitted);
+  BW_LOG(obs::LogLevel::kInfo, "datagen")
+      .Field("fact_rows", fact.num_rows())
+      .Field("feasible_regions", out.feasible.regions.size())
+      .Field("pruned_by_cost", out.feasible.pruned_by_cost)
+      .Field("pruned_by_coverage", out.feasible.pruned_by_coverage)
+      .Field("training_rows", rows_emitted)
+      << "training data generated";
   return out;
 }
 

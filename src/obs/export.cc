@@ -1,0 +1,45 @@
+#include "obs/export.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bellwether::obs {
+
+std::string DeriveTracePath(const std::string& metrics_path) {
+  const std::string suffix = ".json";
+  if (metrics_path.size() > suffix.size() &&
+      metrics_path.compare(metrics_path.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+    return metrics_path.substr(0, metrics_path.size() - suffix.size()) +
+           ".trace.json";
+  }
+  return metrics_path + ".trace.json";
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Status DumpDefaultTelemetry(const std::string& metrics_path,
+                            const std::string& trace_path) {
+  RegisterStandardMetrics(&DefaultMetrics());
+  BW_RETURN_IF_ERROR(
+      WriteTextFile(metrics_path, DefaultMetrics().ToJson()));
+  const std::string tp =
+      trace_path.empty() ? DeriveTracePath(metrics_path) : trace_path;
+  return WriteTextFile(tp, DefaultTrace().ToChromeTraceJson());
+}
+
+}  // namespace bellwether::obs

@@ -1,0 +1,279 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bellwether::obs {
+
+namespace {
+
+// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    BW_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("json: " + message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (depth_ > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      BW_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++depth_;
+    Consume('{');
+    JsonValue::Object out;
+    SkipWhitespace();
+    if (Consume('}')) {
+      --depth_;
+      return JsonValue(std::move(out));
+    }
+    while (true) {
+      SkipWhitespace();
+      BW_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      BW_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      out.emplace(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    --depth_;
+    return JsonValue(std::move(out));
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++depth_;
+    Consume('[');
+    JsonValue::Array out;
+    SkipWhitespace();
+    if (Consume(']')) {
+      --depth_;
+      return JsonValue(std::move(out));
+    }
+    while (true) {
+      BW_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      out.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    --depth_;
+    return JsonValue(std::move(out));
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          uint32_t cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<uint32_t>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // by the exports; a lone surrogate encodes as-is).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("bad number");
+    return JsonValue(v);
+  }
+
+  static constexpr int kMaxDepth = 64;
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void WriteValue(const JsonValue& v, std::string* out) {
+  if (v.is_null()) {
+    out->append("null");
+  } else if (v.is_bool()) {
+    out->append(v.boolean() ? "true" : "false");
+  } else if (v.is_number()) {
+    out->append(JsonNumber(v.number()));
+  } else if (v.is_string()) {
+    out->push_back('"');
+    out->append(JsonEscape(v.str()));
+    out->push_back('"');
+  } else if (v.is_array()) {
+    out->push_back('[');
+    bool first = true;
+    for (const auto& e : v.array()) {
+      if (!first) out->push_back(',');
+      first = false;
+      WriteValue(e, out);
+    }
+    out->push_back(']');
+  } else {
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [k, e] : v.object()) {
+      if (!first) out->push_back(',');
+      first = false;
+      out->push_back('"');
+      out->append(JsonEscape(k));
+      out->append("\":");
+      WriteValue(e, out);
+    }
+    out->push_back('}');
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteValue(value, &out);
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\b': out.append("\\b"); break;
+      case '\f': out.append("\\f"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace bellwether::obs

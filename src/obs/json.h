@@ -1,0 +1,70 @@
+#ifndef BELLWETHER_OBS_JSON_H_
+#define BELLWETHER_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bellwether::obs {
+
+/// A parsed JSON document node. Deliberately tiny: the observability layer
+/// only needs enough JSON to write metric/trace exports and to verify in
+/// tests that what it wrote round-trips through a conforming parser.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : v_(nullptr) {}
+  explicit JsonValue(bool b) : v_(b) {}
+  explicit JsonValue(double d) : v_(d) {}
+  explicit JsonValue(std::string s) : v_(std::move(s)) {}
+  explicit JsonValue(Array a) : v_(std::move(a)) {}
+  explicit JsonValue(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool boolean() const { return std::get<bool>(v_); }
+  double number() const { return std::get<double>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+  const Array& array() const { return std::get<Array>(v_); }
+  const Object& object() const { return std::get<Object>(v_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = object().find(key);
+    return it == object().end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Serializes a JsonValue back to compact JSON text.
+std::string WriteJson(const JsonValue& value);
+
+/// Escapes a string for embedding inside a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double the way the exports embed numbers: integral values
+/// print without a fractional part, non-finite values as null.
+std::string JsonNumber(double v);
+
+}  // namespace bellwether::obs
+
+#endif  // BELLWETHER_OBS_JSON_H_

@@ -1,0 +1,66 @@
+#include "obs/logger.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace bellwether::obs {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + 32 : a[i];
+    if (ca != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LogLevel ParseLogLevel(std::string_view text) {
+  if (EqualsIgnoreCase(text, "error") || text == "1") return LogLevel::kError;
+  if (EqualsIgnoreCase(text, "warn") || EqualsIgnoreCase(text, "warning") ||
+      text == "2") {
+    return LogLevel::kWarn;
+  }
+  if (EqualsIgnoreCase(text, "info") || text == "3") return LogLevel::kInfo;
+  if (EqualsIgnoreCase(text, "debug") || text == "4") return LogLevel::kDebug;
+  return LogLevel::kOff;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    default: return "off";
+  }
+}
+
+Logger::Logger() {
+  const char* env = std::getenv("BELLWETHER_LOG_LEVEL");
+  if (env != nullptr) set_level(ParseLogLevel(env));
+}
+
+Logger& Logger::Get() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::Write(LogLevel severity, std::string_view component,
+                   std::string_view message) {
+  if (!ShouldLog(severity)) return;
+  const double ts =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  std::FILE* out = sink_ != nullptr ? sink_ : stderr;
+  std::fprintf(out, "ts=%.6f level=%s component=%.*s msg=\"%.*s\"\n", ts,
+               LogLevelName(severity), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace bellwether::obs

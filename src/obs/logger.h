@@ -1,0 +1,102 @@
+#ifndef BELLWETHER_OBS_LOGGER_H_
+#define BELLWETHER_OBS_LOGGER_H_
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace bellwether::obs {
+
+/// Severity levels, most to least severe. kOff disables all output and is
+/// the default, so instrumented binaries stay byte-identical unless the
+/// user opts in via BELLWETHER_LOG_LEVEL.
+enum class LogLevel : int32_t {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Parses "off" | "error" | "warn" | "info" | "debug" (case-insensitive)
+/// or a numeric level 0-4; anything else yields kOff.
+LogLevel ParseLogLevel(std::string_view text);
+
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide leveled logger writing one structured line per message to
+/// stderr: `ts=<seconds> level=<level> component=<component> msg="..."`
+/// followed by any fields attached via LogMessage::Field.
+class Logger {
+ public:
+  /// Singleton; the first call reads BELLWETHER_LOG_LEVEL from the
+  /// environment (default off).
+  static Logger& Get();
+
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  bool ShouldLog(LogLevel severity) const {
+    return severity != LogLevel::kOff && severity <= level();
+  }
+
+  /// Emits one pre-formatted line (callers normally go through BW_LOG).
+  void Write(LogLevel severity, std::string_view component,
+             std::string_view message);
+
+  /// Redirects output (tests); nullptr restores stderr.
+  void set_sink(std::FILE* sink) { sink_ = sink; }
+
+ private:
+  Logger();
+  std::atomic<LogLevel> level_{LogLevel::kOff};
+  std::FILE* sink_ = nullptr;
+};
+
+/// One in-flight log statement: accumulates message text via operator<<
+/// and structured key=value fields via Field(); emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel severity, std::string_view component)
+      : severity_(severity), component_(component) {}
+  ~LogMessage() {
+    Logger::Get().Write(severity_, component_,
+                        fields_.empty() ? msg_.str()
+                                        : msg_.str() + fields_);
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    msg_ << v;
+    return *this;
+  }
+
+  template <typename T>
+  LogMessage& Field(std::string_view key, const T& v) {
+    std::ostringstream os;
+    os << " " << key << "=" << v;
+    fields_ += os.str();
+    return *this;
+  }
+
+ private:
+  LogLevel severity_;
+  std::string component_;
+  std::ostringstream msg_;
+  std::string fields_;
+};
+
+}  // namespace bellwether::obs
+
+/// Usage: BW_LOG(obs::LogLevel::kInfo, "core.search") << "scored " << n;
+/// The statement is free when the level is disabled (the stream expression
+/// is not evaluated).
+#define BW_LOG(severity, component)                                \
+  if (!::bellwether::obs::Logger::Get().ShouldLog(severity)) {     \
+  } else                                                           \
+    ::bellwether::obs::LogMessage(severity, component)
+
+#endif  // BELLWETHER_OBS_LOGGER_H_

@@ -1,0 +1,127 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace bellwether::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint32_t> g_next_thread_id{1};
+
+uint32_t ThisThreadId() {
+  thread_local const uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Ids of the spans currently open on this thread, outermost first.
+std::vector<uint64_t>& ThisThreadSpanStack() {
+  thread_local std::vector<uint64_t> stack;
+  return stack;
+}
+
+}  // namespace
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Trace::set_capacity(size_t max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = max_events;
+}
+
+int64_t Trace::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Trace::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Trace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Trace::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string Trace::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.depth < b.depth;
+            });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+           JsonEscape(e.category) + "\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(e.start_us) + ",\"dur\":" +
+           std::to_string(e.duration_us) + ",\"pid\":1,\"tid\":" +
+           std::to_string(e.thread_id) + ",\"args\":{\"span_id\":" +
+           std::to_string(e.span_id) + ",\"parent_span_id\":" +
+           std::to_string(e.parent_span_id) + ",\"depth\":" +
+           std::to_string(e.depth) + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Trace& DefaultTrace() {
+  static Trace* trace = new Trace();
+  return *trace;
+}
+
+TraceSpan::TraceSpan(std::string_view name, std::string_view category,
+                     Trace* trace) {
+  trace_ = trace != nullptr ? trace : &DefaultTrace();
+  if (!trace_->enabled()) {
+    trace_ = nullptr;
+    return;
+  }
+  event_.name = std::string(name);
+  event_.category = std::string(category);
+  event_.start_us = trace_->NowMicros();
+  event_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event_.thread_id = ThisThreadId();
+  auto& stack = ThisThreadSpanStack();
+  event_.parent_span_id = stack.empty() ? 0 : stack.back();
+  event_.depth = static_cast<int32_t>(stack.size());
+  stack.push_back(event_.span_id);
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+void TraceSpan::End() {
+  if (trace_ == nullptr) return;
+  auto& stack = ThisThreadSpanStack();
+  // Spans close in LIFO order per thread; tolerate out-of-order teardown.
+  if (!stack.empty() && stack.back() == event_.span_id) {
+    stack.pop_back();
+  } else {
+    auto it = std::find(stack.begin(), stack.end(), event_.span_id);
+    if (it != stack.end()) stack.erase(it);
+  }
+  event_.duration_us = trace_->NowMicros() - event_.start_us;
+  trace_->Record(std::move(event_));
+  trace_ = nullptr;
+}
+
+}  // namespace bellwether::obs

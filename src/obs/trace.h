@@ -1,0 +1,94 @@
+#ifndef BELLWETHER_OBS_TRACE_H_
+#define BELLWETHER_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bellwether::obs {
+
+/// One completed span. Spans are recorded when they close, so a child's
+/// event always precedes its parent's in the buffer; consumers that need
+/// top-down order should sort by start_us.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t start_us = 0;     // microseconds since the trace epoch
+  int64_t duration_us = 0;  // wall time between construction and destruction
+  uint64_t span_id = 0;     // unique per span, process-wide
+  uint64_t parent_span_id = 0;  // 0 = no enclosing span on this thread
+  int32_t depth = 0;            // nesting depth on the recording thread
+  uint32_t thread_id = 0;       // small sequential id per recording thread
+};
+
+/// Bounded in-memory buffer of completed spans. Recording is cheap (one
+/// mutex-guarded push per span close); once `capacity` events are buffered
+/// further spans are counted but dropped.
+class Trace {
+ public:
+  Trace();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  void set_capacity(size_t max_events);
+
+  /// Microseconds since this trace's epoch (construction or last Clear).
+  int64_t NowMicros() const;
+
+  void Record(TraceEvent event);
+
+  std::vector<TraceEvent> Snapshot() const;
+  int64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  /// Chrome trace_event JSON ("X" complete events), loadable in
+  /// chrome://tracing and Perfetto. Events are emitted sorted by start time.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<int64_t> dropped_{0};
+  mutable std::mutex mu_;
+  size_t capacity_ = 1 << 18;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The process-wide trace buffer the built-in instrumentation records into.
+Trace& DefaultTrace();
+
+/// RAII scoped span: records wall time from construction to destruction
+/// into a Trace. Spans nest: each thread keeps a span stack, and a span
+/// opened while another is live on the same thread records it as parent.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name,
+                     std::string_view category = "bellwether",
+                     Trace* trace = nullptr);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Closes the span now instead of at scope exit; later calls (and the
+  /// destructor) become no-ops. Lets one function delimit phases without
+  /// extra brace scopes.
+  void End();
+
+  uint64_t span_id() const { return event_.span_id; }
+
+ private:
+  Trace* trace_;  // nullptr when tracing was disabled at construction
+  TraceEvent event_;
+};
+
+}  // namespace bellwether::obs
+
+#endif  // BELLWETHER_OBS_TRACE_H_

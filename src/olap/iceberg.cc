@@ -16,7 +16,11 @@ FeasibleRegions FindFeasibleRegionsBruteForce(
   FeasibleRegions out;
   for (RegionId r = 0; r < space.NumRegions(); ++r) {
     ++out.regions_examined;
-    if (region_costs[r] <= budget && region_coverage[r] >= min_coverage) {
+    if (region_costs[r] > budget) {
+      ++out.pruned_by_cost;
+    } else if (region_coverage[r] < min_coverage) {
+      ++out.pruned_by_coverage;
+    } else {
       out.regions.push_back(r);
     }
   }
@@ -76,7 +80,11 @@ struct Search {
     if (k == interval_dims.size()) {
       const RegionId r = space->Encode(coords);
       ++out->regions_examined;
-      if ((*costs)[r] <= budget && (*coverage)[r] >= min_coverage) {
+      if ((*costs)[r] > budget) {
+        ++out->pruned_by_cost;
+      } else if ((*coverage)[r] < min_coverage) {
+        ++out->pruned_by_coverage;
+      } else {
         out->regions.push_back(r);
       }
       return;
@@ -97,8 +105,10 @@ struct Search {
           coords[interval_dims[j]] = 0;
         }
         if ((*costs)[space->Encode(coords)] > budget) {
-          out->regions_pruned +=
+          const int64_t skipped =
               static_cast<int64_t>(max_windows[k] - t) * later;
+          out->regions_pruned += skipped;
+          out->pruned_by_cost += skipped;
           break;
         }
       }
@@ -121,7 +131,9 @@ struct Search {
       stack.pop_back();
       coords[hier_dims[k]] = n;
       if (!CoverageBoundOk(k)) {
-        out->regions_pruned += PrunedCount(k);
+        const int64_t skipped = PrunedCount(k);
+        out->regions_pruned += skipped;
+        out->pruned_by_coverage += skipped;
         continue;  // skip children too: their coverage is no larger
       }
       RecurseNodes(k + 1);

@@ -14,6 +14,13 @@ struct FeasibleRegions {
   std::vector<RegionId> regions;  // ascending RegionId order
   int64_t regions_examined = 0;   // regions whose constraints were evaluated
   int64_t regions_pruned = 0;     // regions skipped by monotonicity pruning
+  /// Regions excluded because of the cost budget: examined-and-rejected
+  /// plus (pruned search only) those skipped by the monotone-cost break.
+  int64_t pruned_by_cost = 0;
+  /// Regions excluded because of the coverage threshold: examined-and-
+  /// rejected plus (pruned search only) whole subtrees skipped by the
+  /// anti-monotone coverage bound.
+  int64_t pruned_by_coverage = 0;
 };
 
 /// Brute-force reference: evaluates the constraints on every region.

@@ -6,12 +6,32 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bellwether::storage {
 
 namespace {
 
 constexpr uint64_t kMagic = 0x42574C5350494C31ULL;  // "BWLSPIL1"
+
+// Registry counters mirrored alongside the per-source IoStats; resolved
+// once and cached (registry pointers are stable).
+struct StorageMetrics {
+  obs::Counter* scans;
+  obs::Counter* reads;
+  obs::Counter* rows;
+  obs::Counter* bytes;
+};
+
+const StorageMetrics& Metrics() {
+  static const StorageMetrics m{
+      obs::DefaultMetrics().GetCounter(obs::kMStorageScans),
+      obs::DefaultMetrics().GetCounter(obs::kMStorageRegionReads),
+      obs::DefaultMetrics().GetCounter(obs::kMStorageRowsScanned),
+      obs::DefaultMetrics().GetCounter(obs::kMStorageBytesRead)};
+  return m;
+}
 
 Status WriteRaw(std::FILE* f, const void* data, size_t bytes) {
   if (std::fwrite(data, 1, bytes, f) != bytes) {
@@ -59,10 +79,15 @@ MemoryTrainingData::MemoryTrainingData(std::vector<RegionTrainingSet> sets)
 
 Status MemoryTrainingData::Scan(
     const std::function<Status(const RegionTrainingSet&)>& fn) {
+  obs::TraceSpan span("MemoryTrainingData::Scan", "storage");
   ++io_stats_.sequential_scans;
+  Metrics().scans->Increment();
   for (const auto& s : sets_) {
     ++io_stats_.region_reads;
     io_stats_.bytes_read += static_cast<int64_t>(s.ByteSize());
+    Metrics().reads->Increment();
+    Metrics().rows->Increment(static_cast<int64_t>(s.num_examples()));
+    Metrics().bytes->Increment(static_cast<int64_t>(s.ByteSize()));
     BW_RETURN_IF_ERROR(fn(s));
   }
   return Status::OK();
@@ -74,6 +99,10 @@ Result<RegionTrainingSet> MemoryTrainingData::Read(size_t index) {
   }
   ++io_stats_.region_reads;
   io_stats_.bytes_read += static_cast<int64_t>(sets_[index].ByteSize());
+  Metrics().reads->Increment();
+  Metrics().rows->Increment(
+      static_cast<int64_t>(sets_[index].num_examples()));
+  Metrics().bytes->Increment(static_cast<int64_t>(sets_[index].ByteSize()));
   return sets_[index];
 }
 
@@ -224,12 +253,17 @@ Status SpilledTrainingData::ReadRecordAt(int64_t offset,
   BusyWaitMicros(simulated_latency_micros_);
   ++io_stats_.region_reads;
   io_stats_.bytes_read += static_cast<int64_t>(out->ByteSize());
+  Metrics().reads->Increment();
+  Metrics().rows->Increment(static_cast<int64_t>(out->num_examples()));
+  Metrics().bytes->Increment(static_cast<int64_t>(out->ByteSize()));
   return Status::OK();
 }
 
 Status SpilledTrainingData::Scan(
     const std::function<Status(const RegionTrainingSet&)>& fn) {
+  obs::TraceSpan span("SpilledTrainingData::Scan", "storage");
   ++io_stats_.sequential_scans;
+  Metrics().scans->Increment();
   RegionTrainingSet set;
   for (int64_t offset : offsets_) {
     BW_RETURN_IF_ERROR(ReadRecordAt(offset, &set));

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 
 namespace bellwether {
@@ -167,6 +170,54 @@ TEST(StringUtilTest, StartsWith) {
 TEST(StringUtilTest, FormatDoubleIsCompact) {
   EXPECT_EQ(FormatDouble(1.5), "1.5");
   EXPECT_EQ(FormatDouble(2.0), "2");
+}
+
+TEST(StopwatchTest, RunsOnConstructionAndAccumulates) {
+  Stopwatch sw;
+  EXPECT_TRUE(sw.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double t1 = sw.ElapsedSeconds();
+  EXPECT_GT(t1, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(sw.ElapsedSeconds(), t1);  // still accumulating while running
+}
+
+TEST(StopwatchTest, PauseExcludesTimeUntilResume) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  sw.Pause();
+  EXPECT_FALSE(sw.running());
+  const double paused_at = sw.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Time does not advance while paused.
+  EXPECT_DOUBLE_EQ(sw.ElapsedSeconds(), paused_at);
+  sw.Resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Time after the Resume is banked on top of the pre-Pause segment; the
+  // 50ms spent paused is excluded.
+  EXPECT_GT(sw.ElapsedSeconds(), paused_at);
+  EXPECT_LT(sw.ElapsedSeconds(), paused_at + 0.045);
+}
+
+TEST(StopwatchTest, PauseAndResumeAreIdempotent) {
+  Stopwatch sw;
+  sw.Resume();  // no-op while running
+  EXPECT_TRUE(sw.running());
+  sw.Pause();
+  const double t = sw.ElapsedSeconds();
+  sw.Pause();  // no-op while paused
+  EXPECT_FALSE(sw.running());
+  EXPECT_DOUBLE_EQ(sw.ElapsedSeconds(), t);
+}
+
+TEST(StopwatchTest, RestartDiscardsAccumulatedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sw.Pause();
+  sw.Restart();
+  EXPECT_TRUE(sw.running());
+  EXPECT_LT(sw.ElapsedSeconds(), 0.005);
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3, 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bellwether::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 10.0, 100.0});
+  // v lands in the first bucket whose bound satisfies v <= bound.
+  h.Observe(0.5);    // bucket 0 (le=1)
+  h.Observe(1.0);    // bucket 0 (boundary is inclusive)
+  h.Observe(1.0001); // bucket 1 (le=10)
+  h.Observe(10.0);   // bucket 1
+  h.Observe(100.0);  // bucket 2 (le=100)
+  h.Observe(100.5);  // +Inf overflow
+  h.Observe(1e9);    // +Inf overflow
+
+  const std::vector<int64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite bounds + implicit +Inf
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 2);
+  EXPECT_EQ(h.TotalCount(), 7);
+  EXPECT_NEAR(h.Sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 100.5 + 1e9,
+              1e-6);
+}
+
+TEST(HistogramTest, ResetZeroesCountsKeepsBounds) {
+  Histogram h({1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0);
+  EXPECT_EQ(h.Sum(), 0.0);
+  for (int64_t c : h.BucketCounts()) EXPECT_EQ(c, 0);
+  EXPECT_EQ(h.bucket_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(HistogramTest, LatencyBucketsAreStrictlyIncreasing) {
+  const std::vector<double>& bounds = LatencyBucketsSeconds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge under concurrency
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsAreNotLost) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test_concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kIncrements);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreNotLost) {
+  Histogram h({1.0, 2.0, 3.0});
+  constexpr int kThreads = 4;
+  constexpr int kObservations = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObservations; ++i) h.Observe(1.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.TotalCount(), int64_t{kThreads} * kObservations);
+  EXPECT_EQ(h.BucketCounts()[1], int64_t{kThreads} * kObservations);
+}
+
+TEST(GaugeTest, SetMaxTracksPeak) {
+  Gauge g;
+  g.SetMax(3.0);
+  g.SetMax(1.0);
+  EXPECT_EQ(g.Value(), 3.0);
+  g.SetMax(7.5);
+  EXPECT_EQ(g.Value(), 7.5);
+  g.Add(-2.5);
+  EXPECT_EQ(g.Value(), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry lookup & export
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, LookupReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total");
+  Counter* b = registry.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("h_seconds", {1.0, 2.0});
+  // A second lookup with different bounds returns the existing histogram.
+  Histogram* h2 = registry.GetHistogram("h_seconds", {99.0});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h2->bucket_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", "help text")->Increment(42);
+  registry.GetGauge("peak_bytes")->Set(128.0);
+  Histogram* h = registry.GetHistogram("latency_seconds", {0.5, 1.0});
+  h->Observe(0.25);
+  h->Observe(0.75);
+  h->Observe(5.0);
+
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("requests_total 42"), std::string::npos);
+  EXPECT_NE(text.find("peak_bytes 128"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"0.5\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportRoundTripsThroughParser) {
+  MetricsRegistry registry;
+  registry.GetCounter("scans_total")->Increment(7);
+  registry.GetGauge("peak")->Set(3.5);
+  Histogram* h = registry.GetHistogram("fit_seconds", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(20.0);
+
+  auto parsed = ParseJson(registry.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = *parsed;
+  ASSERT_TRUE(root.is_object());
+
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* scans = counters->Find("scans_total");
+  ASSERT_NE(scans, nullptr);
+  EXPECT_EQ(scans->number(), 7.0);
+
+  const JsonValue* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("peak")->number(), 3.5);
+
+  const JsonValue* hist = root.Find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* fit = hist->Find("fit_seconds");
+  ASSERT_NE(fit, nullptr);
+  EXPECT_EQ(fit->Find("count")->number(), 2.0);
+  const JsonValue* buckets = fit->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  ASSERT_EQ(buckets->array().size(), 3u);
+  // Cumulative counts, le ascending, ending with the +Inf (null le) bucket.
+  EXPECT_EQ(buckets->array()[0].Find("le")->number(), 1.0);
+  EXPECT_EQ(buckets->array()[0].Find("count")->number(), 1.0);
+  EXPECT_EQ(buckets->array()[1].Find("count")->number(), 1.0);
+  EXPECT_TRUE(buckets->array()[2].Find("le")->is_null());
+  EXPECT_EQ(buckets->array()[2].Find("count")->number(), 2.0);
+}
+
+TEST(MetricsRegistryTest, ResetAllKeepsRegistrations) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total")->Increment(5);
+  registry.GetGauge("b")->Set(2.0);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("a_total")->Value(), 0);
+  EXPECT_EQ(registry.GetGauge("b")->Value(), 0.0);
+  const std::vector<std::string> names = registry.MetricNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, RegisterStandardMetricsCoversCanonicalNames) {
+  MetricsRegistry registry;
+  RegisterStandardMetrics(&registry);
+  const std::vector<std::string> names = registry.MetricNames();
+  auto has = [&names](std::string_view n) {
+    for (const auto& name : names) {
+      if (name == n) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(kMSearchRegionsEnumerated));
+  EXPECT_TRUE(has(kMSearchRegionsPrunedCost));
+  EXPECT_TRUE(has(kMSearchRegionsPrunedCoverage));
+  EXPECT_TRUE(has(kMSearchRowsScanned));
+  EXPECT_TRUE(has(kMSearchRegionFitSeconds));
+  EXPECT_TRUE(has(kMTreeRfScans));
+  EXPECT_TRUE(has(kMCubeSingleScanScans));
+  EXPECT_TRUE(has(kMStorageScans));
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, NestedSpansRecordParentChildOrdering) {
+  Trace trace;
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    TraceSpan outer("outer", "test", &trace);
+    outer_id = outer.span_id();
+    {
+      TraceSpan inner("inner", "test", &trace);
+      inner_id = inner.span_id();
+    }
+  }
+  const std::vector<TraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record on close, so the child precedes the parent in the buffer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].span_id, inner_id);
+  EXPECT_EQ(events[0].parent_span_id, outer_id);
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].parent_span_id, 0u);
+  EXPECT_EQ(events[1].depth, 0);
+  // The child is contained in the parent's time range.
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].start_us + events[0].duration_us,
+            events[1].start_us + events[1].duration_us);
+}
+
+TEST(TraceTest, EndClosesEarlyAndDestructorBecomesNoOp) {
+  Trace trace;
+  {
+    TraceSpan a("first", "test", &trace);
+    a.End();
+    a.End();  // second End is a no-op
+    TraceSpan b("second", "test", &trace);
+    // `a` already closed, so `b` has no parent.
+    EXPECT_EQ(trace.Snapshot().size(), 1u);
+  }
+  const std::vector<TraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "first");
+  EXPECT_EQ(events[1].name, "second");
+  EXPECT_EQ(events[1].parent_span_id, 0u);
+  EXPECT_EQ(events[1].depth, 0);
+}
+
+TEST(TraceTest, DisabledTraceRecordsNothing) {
+  Trace trace;
+  trace.set_enabled(false);
+  { TraceSpan span("skipped", "test", &trace); }
+  EXPECT_TRUE(trace.Snapshot().empty());
+}
+
+TEST(TraceTest, CapacityBoundDropsAndCounts) {
+  Trace trace;
+  trace.set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("s", "test", &trace);
+  }
+  EXPECT_EQ(trace.Snapshot().size(), 2u);
+  EXPECT_EQ(trace.dropped_events(), 3);
+}
+
+TEST(TraceTest, ChromeTraceJsonRoundTripsThroughParser) {
+  Trace trace;
+  {
+    TraceSpan outer("outer \"quoted\"", "cat", &trace);
+    TraceSpan inner("inner", "cat", &trace);
+  }
+  auto parsed = ParseJson(trace.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array().size(), 2u);
+  // Emitted sorted by start time: outer first despite closing last.
+  const JsonValue& first = events->array()[0];
+  EXPECT_EQ(first.Find("name")->str(), "outer \"quoted\"");
+  EXPECT_EQ(first.Find("ph")->str(), "X");
+  EXPECT_TRUE(first.Find("ts")->is_number());
+  EXPECT_TRUE(first.Find("dur")->is_number());
+  const JsonValue& second = events->array()[1];
+  EXPECT_EQ(second.Find("name")->str(), "inner");
+  const JsonValue* args = second.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->Find("parent_span_id")->number(),
+            first.Find("args")->Find("span_id")->number());
+  EXPECT_EQ(args->Find("depth")->number(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+// ---------------------------------------------------------------------------
+
+TEST(LoggerTest, ParseLogLevel) {
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("3"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("garbage"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel(""), LogLevel::kOff);
+}
+
+TEST(LoggerTest, OffByDefaultAndShouldLogRespectsLevel) {
+  Logger& logger = Logger::Get();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.ShouldLog(LogLevel::kError));
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_TRUE(logger.ShouldLog(LogLevel::kError));
+  EXPECT_TRUE(logger.ShouldLog(LogLevel::kWarn));
+  EXPECT_FALSE(logger.ShouldLog(LogLevel::kInfo));
+  // kOff as a message severity never logs, at any level.
+  logger.set_level(LogLevel::kDebug);
+  EXPECT_FALSE(logger.ShouldLog(LogLevel::kOff));
+  logger.set_level(saved);
+}
+
+TEST(LoggerTest, StructuredLineContainsFields) {
+  Logger& logger = Logger::Get();
+  const LogLevel saved = logger.level();
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  logger.set_sink(tmp);
+  logger.set_level(LogLevel::kInfo);
+  BW_LOG(LogLevel::kInfo, "test.component").Field("k", 42) << "hello world";
+  logger.set_level(saved);
+  logger.set_sink(nullptr);
+
+  std::fflush(tmp);
+  std::rewind(tmp);
+  char buf[512] = {0};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, tmp);
+  std::fclose(tmp);
+  const std::string line(buf, n);
+  EXPECT_NE(line.find("level=info"), std::string::npos) << line;
+  EXPECT_NE(line.find("component=test.component"), std::string::npos);
+  EXPECT_NE(line.find("msg=\"hello world"), std::string::npos);
+  EXPECT_NE(line.find("k=42"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  auto v = ParseJson(R"({"a": [1, 2.5, -3e2], "b": "x\n\"y\"",
+                         "c": true, "d": null, "e": {}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_EQ(a->array()[0].number(), 1.0);
+  EXPECT_EQ(a->array()[1].number(), 2.5);
+  EXPECT_EQ(a->array()[2].number(), -300.0);
+  EXPECT_EQ(v->Find("b")->str(), "x\n\"y\"");
+  EXPECT_TRUE(v->Find("c")->boolean());
+  EXPECT_TRUE(v->Find("d")->is_null());
+  EXPECT_TRUE(v->Find("e")->is_object());
+  EXPECT_TRUE(v->Find("e")->object().empty());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(ParseJson("'single'").ok());
+  EXPECT_FALSE(ParseJson("{\"a\"}").ok());
+}
+
+TEST(JsonTest, WriteJsonRoundTrips) {
+  const std::string text =
+      R"({"arr":[1,2],"nested":{"s":"hi \"there\""},"n":null,"t":true})";
+  auto v = ParseJson(text);
+  ASSERT_TRUE(v.ok());
+  auto again = ParseJson(WriteJson(*v));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(WriteJson(*v), WriteJson(*again));
+  EXPECT_EQ(again->Find("nested")->Find("s")->str(), "hi \"there\"");
+}
+
+TEST(JsonTest, JsonNumberFormatsIntegralValuesCompactly) {
+  EXPECT_EQ(JsonNumber(3.0), "3");
+  EXPECT_EQ(JsonNumber(3.5), "3.5");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+}  // namespace
+}  // namespace bellwether::obs
