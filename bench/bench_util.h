@@ -10,6 +10,7 @@
 
 #include "common/stopwatch.h"
 #include "obs/export.h"
+#include "robust/fault_injection.h"
 
 namespace bellwether::bench {
 
@@ -89,6 +90,25 @@ inline void DumpTelemetryIfRequested(int argc, char** argv) {
               (trace_path.empty() ? obs::DeriveTracePath(metrics_path)
                                   : trace_path)
                   .c_str());
+}
+
+/// Fault-injection hook shared by the bench mains: when --faults=<spec> was
+/// passed (same grammar as BELLWETHER_FAULTS, e.g.
+/// "storage.scan:io@3;csv.row:corrupt@0.02"), arms the default fault
+/// registry so a bench run doubles as a resilience drill. --fault-seed=<n>
+/// fixes the probabilistic-trigger seed. Call once at the start of main.
+inline void ArmFaultsIfRequested(int argc, char** argv) {
+  const std::string spec = FlagString(argc, argv, "faults", "");
+  if (spec.empty()) return;
+  robust::FaultRegistry& faults = robust::FaultRegistry::Default();
+  faults.set_seed(
+      static_cast<uint64_t>(FlagDouble(argc, argv, "fault-seed", 0)));
+  const Status st = faults.Arm(spec);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bad --faults spec: %s\n", st.ToString().c_str());
+    std::exit(2);
+  }
+  std::printf("fault injection armed: %s\n", spec.c_str());
 }
 
 }  // namespace bellwether::bench

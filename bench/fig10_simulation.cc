@@ -65,6 +65,7 @@ Point RunOne(int32_t tree_nodes, double noise, int32_t datasets,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bellwether::bench::ArmFaultsIfRequested(argc, argv);
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
   const int32_t datasets =
       static_cast<int32_t>(FlagDouble(argc, argv, "datasets", 5));

@@ -8,7 +8,21 @@ namespace bellwether::internal_check {
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
+  // Flush both streams so the diagnostic survives the abort even when stderr
+  // is redirected to a fully-buffered file (death tests, batch jobs).
   std::fprintf(stderr, "BW_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::fflush(stdout);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckOkFailed(const char* file, int line,
+                                       const char* expr,
+                                       const char* status_text) {
+  std::fprintf(stderr, "BW_CHECK_OK failed at %s:%d: %s -> %s\n", file, line,
+               expr, status_text);
+  std::fflush(stderr);
+  std::fflush(stdout);
   std::abort();
 }
 
@@ -22,6 +36,19 @@ namespace bellwether::internal_check {
     if (!(expr)) {                                                         \
       ::bellwether::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
     }                                                                      \
+  } while (false)
+
+/// Aborts with the status message when a Status-returning expression is not
+/// OK. For call sites where failure is a programmer error, not a runtime
+/// condition (tools, tests, examples).
+#define BW_CHECK_OK(expr)                                              \
+  do {                                                                 \
+    const auto& bw_check_ok_status = (expr);                           \
+    if (!bw_check_ok_status.ok()) {                                    \
+      ::bellwether::internal_check::CheckOkFailed(                     \
+          __FILE__, __LINE__, #expr,                                   \
+          bw_check_ok_status.ToString().c_str());                      \
+    }                                                                  \
   } while (false)
 
 /// Debug-only check; compiled out in NDEBUG builds.

@@ -58,12 +58,32 @@ void ScoreRegion(const storage::RegionTrainingSet& set,
   score->usable = true;
 }
 
-// Refits the winning model from its training set.
-Result<regression::LinearModel> RefitModel(
-    storage::TrainingDataSource* source, size_t index,
-    const std::vector<uint8_t>* item_mask) {
+// Refits the winning model from its training set through the graceful-
+// degradation chain: a healthy fit is bit-identical to the historical
+// FitLeastSquares path, and an ill-conditioned one yields a flagged
+// degraded model instead of failing the whole search.
+Status RefitModel(storage::TrainingDataSource* source, size_t index,
+                  const std::vector<uint8_t>* item_mask,
+                  BasicSearchResult* result) {
   BW_ASSIGN_OR_RETURN(storage::RegionTrainingSet set, source->Read(index));
-  return regression::FitLeastSquares(ToDataset(set, item_mask));
+  const regression::Dataset data = ToDataset(set, item_mask);
+  regression::RegressionSuffStats stats(data.num_features());
+  stats.AddDataset(data);
+  BW_ASSIGN_OR_RETURN(regression::RobustFit fit, stats.FitWithFallback());
+  result->model = std::move(fit.model);
+  result->model_degradation = fit.degradation;
+  if (fit.degradation == regression::FitDegradation::kRidge) {
+    ++result->telemetry.ridge_refits;
+  } else if (fit.degradation == regression::FitDegradation::kMeanFallback) {
+    ++result->telemetry.mean_fallbacks;
+  }
+  if (fit.degraded()) {
+    BW_LOG(obs::LogLevel::kWarn, "search")
+        << "bellwether model refit degraded to '"
+        << regression::FitDegradationName(fit.degradation) << "' for region "
+        << set.region;
+  }
+  return Status::OK();
 }
 
 // Registry counters mirrored alongside the per-search SearchTelemetry;
@@ -144,10 +164,9 @@ Result<BasicSearchResult> RunBasicBellwetherSearch(
     }
   }
   if (result.found()) {
-    BW_ASSIGN_OR_RETURN(
-        result.model,
-        RefitModel(source, result.scores[result.bellwether_index].source_index,
-                   item_mask));
+    BW_RETURN_IF_ERROR(RefitModel(
+        source, result.scores[result.bellwether_index].source_index,
+        item_mask, &result));
   }
   return result;
 }
@@ -180,10 +199,9 @@ Result<BasicSearchResult> SelectUnderBudget(
   }
   Metrics().pruned_cost->Increment(result.telemetry.pruned_by_cost);
   if (result.found()) {
-    BW_ASSIGN_OR_RETURN(
-        result.model,
-        RefitModel(source, result.scores[result.bellwether_index].source_index,
-                   item_mask));
+    BW_RETURN_IF_ERROR(RefitModel(
+        source, result.scores[result.bellwether_index].source_index,
+        item_mask, &result));
   }
   return result;
 }
@@ -219,10 +237,9 @@ Result<BasicSearchResult> SelectLinearCriterion(
     }
   }
   if (result.found()) {
-    BW_ASSIGN_OR_RETURN(
-        result.model,
-        RefitModel(source, result.scores[result.bellwether_index].source_index,
-                   item_mask));
+    BW_RETURN_IF_ERROR(RefitModel(
+        source, result.scores[result.bellwether_index].source_index,
+        item_mask, &result));
   }
   return result;
 }

@@ -32,6 +32,8 @@ struct SearchTelemetry {
   int64_t pruned_by_cost = 0;      // budget re-selection skips
   int64_t rows_scanned = 0;        // training rows seen across all sets
   double scan_seconds = 0.0;       // wall time of the scoring scan
+  int64_t ridge_refits = 0;      // refits recovered by the heavy ridge tier
+  int64_t mean_fallbacks = 0;    // refits degraded to the mean model
 };
 
 /// Output of the basic bellwether search (Definition 1 with the constrained
@@ -42,6 +44,10 @@ struct BasicSearchResult {
   size_t bellwether_index = 0;  // index into `scores`
   regression::ErrorStats error;
   regression::LinearModel model;
+  /// Degradation tier that produced `model` (kNone on a healthy refit; see
+  /// RegressionSuffStats::FitWithFallback).
+  regression::FitDegradation model_degradation =
+      regression::FitDegradation::kNone;
   std::vector<RegionScore> scores;
   SearchTelemetry telemetry;
 

@@ -9,6 +9,8 @@
 #include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injection.h"
 
 namespace bellwether::core {
 
@@ -21,17 +23,31 @@ using olap::NodeId;
 using regression::RegressionSuffStats;
 using storage::RegionTrainingSet;
 
-// Best region tracked across regions for one subset.
+// Best region tracked across regions for one subset. Besides the min-error
+// candidate, tracks a *fallback* candidate — the region with the most
+// examples for the subset (ties to the earliest region) — so a subset where
+// every region's error is infinite can still get a flagged degraded cell.
+// Both candidates depend only on the sequence of Offer() calls, which all
+// three builders issue in ascending region order, so cube equivalence
+// (Lemma 2 / Theorem 1) is preserved.
 struct Pick {
   double error = kInf;
   olap::RegionId region = olap::kInvalidRegion;
   RegressionSuffStats stats;
+  olap::RegionId fallback_region = olap::kInvalidRegion;
+  int64_t fallback_examples = -1;
+  RegressionSuffStats fallback_stats;
 
   void Offer(double err, olap::RegionId r, const RegressionSuffStats& s) {
     if (err < error) {
       error = err;
       region = r;
       stats = s;
+    }
+    if (s.num_examples() > fallback_examples) {
+      fallback_examples = s.num_examples();
+      fallback_region = r;
+      fallback_stats = s;
     }
   }
 };
@@ -120,13 +136,38 @@ Result<BellwetherCube> FinalizeCube(
     cell.subset_size = sizes[sid];
     Pick& pick = picks[k];
     if (pick.region != olap::kInvalidRegion && pick.error < kInf) {
-      auto model = pick.stats.Fit();
-      if (model.ok()) {
+      // Graceful degradation: a healthy fit is bit-identical to the plain
+      // Fit() path; an ill-conditioned pick yields a flagged degraded model
+      // instead of a model-less cell.
+      auto fit = pick.stats.FitWithFallback();
+      if (fit.ok()) {
         cell.has_model = true;
         cell.region = pick.region;
         cell.error = pick.error;
-        cell.model = std::move(model).value();
+        cell.model = std::move(fit.value().model);
+        cell.degradation = fit.value().degradation;
       }
+    }
+    if (!cell.has_model && pick.fallback_region != olap::kInvalidRegion &&
+        pick.fallback_examples > 0) {
+      // No region produced a finite error for this subset; fall back to the
+      // region with the most examples so the cell still answers queries,
+      // clearly flagged (error = inf, fallback_pick = true).
+      auto fit = pick.fallback_stats.FitWithFallback();
+      if (fit.ok()) {
+        cell.has_model = true;
+        cell.fallback_pick = true;
+        cell.region = pick.fallback_region;
+        cell.error = kInf;
+        cell.model = std::move(fit.value().model);
+        cell.degradation = fit.value().degradation;
+        ++telemetry.fallback_picks;
+      }
+    }
+    if (cell.degradation == regression::FitDegradation::kRidge) {
+      ++telemetry.ridge_refits;
+    } else if (cell.degradation == regression::FitDegradation::kMeanFallback) {
+      ++telemetry.mean_fallbacks;
     }
     if (cell.has_model && config.compute_cv_stats) {
       auto it = std::lower_bound(region_index.begin(), region_index.end(),
@@ -391,9 +432,74 @@ Result<BellwetherCube> BuildBellwetherCubeSingleScan(
     std::sort(containing[i].begin(), containing[i].end());
   }
 
+  // ---- Checkpoint/resume (docs/ROBUSTNESS.md) ----
+  // The build fingerprint ties a checkpoint to this exact build: subset
+  // space, significant-subset list, pick-relevant config, and source shape.
+  uint64_t fingerprint = 0;
+  int64_t resume_from = 0;
+  const bool checkpointing = !config.checkpoint_path.empty();
+  if (checkpointing) {
+    robust::FingerprintBuilder fp;
+    fp.Add(static_cast<uint64_t>(subsets->NumSubsets()))
+        .Add(static_cast<uint64_t>(source->num_region_sets()))
+        .Add(static_cast<uint64_t>(config.min_subset_size))
+        .Add(static_cast<uint64_t>(config.min_examples_per_model));
+    for (SubsetId sid : significant) fp.Add(static_cast<uint64_t>(sid));
+    fingerprint = fp.value();
+    auto ckpt = robust::LoadCubeCheckpoint(config.checkpoint_path);
+    if (ckpt.ok() && ckpt.value().fingerprint == fingerprint &&
+        ckpt.value().picks.size() == significant.size()) {
+      for (size_t k = 0; k < picks.size(); ++k) {
+        robust::PickCheckpoint& pk = ckpt.value().picks[k];
+        picks[k].error = pk.error;
+        picks[k].region = pk.region;
+        picks[k].stats = std::move(pk.stats);
+        picks[k].fallback_region = pk.fallback_region;
+        picks[k].fallback_examples = pk.fallback_examples;
+        picks[k].fallback_stats = std::move(pk.fallback_stats);
+      }
+      resume_from = ckpt.value().regions_processed;
+      telemetry.resumed_regions = resume_from;
+      obs::DefaultMetrics()
+          .GetCounter(obs::kMCubeCheckpointResumes)
+          ->Increment();
+      BW_LOG(obs::LogLevel::kInfo, "cube")
+          << "resuming cube build from checkpoint at region " << resume_from;
+    }
+  }
+  auto save_checkpoint = [&](int64_t regions_processed) -> Status {
+    robust::CubeBuildCheckpoint ckpt;
+    ckpt.fingerprint = fingerprint;
+    ckpt.regions_processed = regions_processed;
+    ckpt.picks.resize(picks.size());
+    for (size_t k = 0; k < picks.size(); ++k) {
+      robust::PickCheckpoint& pk = ckpt.picks[k];
+      pk.error = picks[k].error;
+      pk.region = picks[k].region;
+      pk.stats = picks[k].stats;
+      pk.fallback_region = picks[k].fallback_region;
+      pk.fallback_examples = picks[k].fallback_examples;
+      pk.fallback_stats = picks[k].fallback_stats;
+    }
+    BW_RETURN_IF_ERROR(
+        robust::SaveCubeCheckpoint(ckpt, config.checkpoint_path));
+    ++telemetry.checkpoints_saved;
+    obs::DefaultMetrics()
+        .GetCounter(obs::kMCubeCheckpointsSaved)
+        ->Increment();
+    return Status::OK();
+  };
+
   std::vector<RegressionSuffStats> stats;
+  int64_t region_pos = 0;
   BW_RETURN_IF_ERROR(source->Scan([&](const RegionTrainingSet& set)
                                       -> Status {
+    // Fast-forward past regions a resumed checkpoint already accounts for
+    // (the physical scan still delivers them; their compute is skipped).
+    if (region_pos < resume_from) {
+      ++region_pos;
+      return Status::OK();
+    }
     if (stats.empty()) {
       stats.assign(significant.size(), RegressionSuffStats(set.num_features));
     } else {
@@ -411,8 +517,24 @@ Result<BellwetherCube> BuildBellwetherCubeSingleScan(
           TrainingErrorOfStats(stats[k], config.min_examples_per_model),
           set.region, stats[k]);
     }
+    ++region_pos;
+    if (checkpointing &&
+        region_pos % std::max(config.checkpoint_every, 1) == 0) {
+      BW_RETURN_IF_ERROR(save_checkpoint(region_pos));
+    }
+    // Crash injection sits after the checkpoint write, modeling a process
+    // killed between completing a region and starting the next one.
+    if (robust::ShouldCrash(robust::kFaultCubeScan)) {
+      return Status::IoError(
+          "injected crash during cube scan (simulated kill)");
+    }
     return Status::OK();
   }));
+  if (checkpointing) {
+    // Final state, in case the region count is not a multiple of the
+    // checkpoint interval.
+    BW_RETURN_IF_ERROR(save_checkpoint(region_pos));
+  }
   telemetry.data_passes = 1;
   Metrics().single_scan_passes->Increment(1);
   return FinalizeCube(source, std::move(subsets), config, item_mask, sizes,

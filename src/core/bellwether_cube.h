@@ -88,6 +88,11 @@ struct CubeCell {
   olap::RegionId region = olap::kInvalidRegion;
   double error = 0.0;  // training-set RMSE (construction-time measure, §6.4)
   regression::LinearModel model;
+  /// Degradation tier that produced `model` (kNone for a healthy fit).
+  regression::FitDegradation degradation = regression::FitDegradation::kNone;
+  /// True when no region produced a finite error for the subset and the
+  /// region was chosen by the most-examples fallback instead of min-error.
+  bool fallback_pick = false;
   /// Cross-validated error of the bellwether model, for the confidence-bound
   /// prediction rule (filled when CubeBuildConfig::compute_cv_stats).
   regression::ErrorStats cv;
@@ -104,6 +109,13 @@ struct CubeBuildConfig {
   bool compute_cv_stats = true;
   int32_t cv_folds = 10;
   uint64_t seed = 17;
+  /// Checkpoint/resume of long builds (single-scan builder only). When
+  /// non-empty, the builder writes its per-subset pick state to this path
+  /// every `checkpoint_every` regions, and on startup resumes from a
+  /// checkpoint whose build fingerprint matches — producing output
+  /// bit-identical to an uninterrupted build.
+  std::string checkpoint_path;
+  int32_t checkpoint_every = 1;
 };
 
 /// A prediction made through the cube.
@@ -130,6 +142,11 @@ struct CubeBuildTelemetry {
   int64_t data_passes = 0;
   int64_t significant_subsets = 0;
   int64_t cells_materialized = 0;
+  int64_t ridge_refits = 0;       // cell fits recovered by the ridge tier
+  int64_t mean_fallbacks = 0;     // cell fits degraded to the mean model
+  int64_t fallback_picks = 0;     // cells placed by the most-examples fallback
+  int64_t checkpoints_saved = 0;  // checkpoint writes during the scan
+  int64_t resumed_regions = 0;    // regions skipped thanks to a checkpoint
   double build_seconds = 0.0;
 };
 

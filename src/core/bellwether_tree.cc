@@ -132,15 +132,25 @@ int32_t FinalizeNode(const ItemSplitFeatures& feats,
                      const BellwetherPick& self,
                      const std::vector<SplitCriterion>& candidates,
                      const std::vector<std::vector<double>>& min_error,
-                     TreeNode* node) {
+                     TreeNode* node, TreeBuildTelemetry* telemetry) {
   node->num_items = static_cast<int32_t>(work.items.size());
   if (self.found() && self.error < kInf) {
-    auto model = self.stats.Fit();
-    if (model.ok()) {
+    // Graceful degradation: a healthy fit is bit-identical to the plain
+    // Fit() path; an ill-conditioned node yields a flagged degraded model
+    // instead of a model-less node.
+    auto fit = self.stats.FitWithFallback();
+    if (fit.ok()) {
       node->has_model = true;
       node->region = self.region;
       node->error = self.error;
-      node->model = std::move(model).value();
+      node->model = std::move(fit.value().model);
+      node->degradation = fit.value().degradation;
+      if (node->degradation == regression::FitDegradation::kRidge) {
+        ++telemetry->ridge_refits;
+      } else if (node->degradation ==
+                 regression::FitDegradation::kMeanFallback) {
+        ++telemetry->mean_fallbacks;
+      }
     }
   }
   if (!node->has_model) return -1;
@@ -473,7 +483,8 @@ Result<BellwetherTree> BuildBellwetherTreeNaive(
     }
 
     const int32_t chosen = FinalizeNode(*feats, config, work, self,
-                                        candidates, min_error, &node);
+                                        candidates, min_error, &node,
+                                        &telemetry);
     if (chosen >= 0) {
       ExpandChildren(*feats, std::move(work), &nodes, work.node_index,
                      &queue);
@@ -613,7 +624,7 @@ Result<BellwetherTree> BuildBellwetherTreeRainForest(
       NodeEval& e = evals[v];
       const int32_t chosen =
           FinalizeNode(*feats, config, work, e.self, e.candidates,
-                       e.min_error, &nodes[work.node_index]);
+                       e.min_error, &nodes[work.node_index], &telemetry);
       if (chosen >= 0) {
         ExpandChildren(*feats, std::move(work), &nodes, work.node_index,
                        &next);

@@ -83,6 +83,8 @@ struct TreeNode {
   olap::RegionId region = olap::kInvalidRegion;
   double error = 0.0;  // training-set RMSE used during construction
   regression::LinearModel model;
+  /// Degradation tier that produced `model` (kNone for a healthy fit).
+  regression::FitDegradation degradation = regression::FitDegradation::kNone;
   // Split (empty children = leaf).
   SplitCriterion split;
   double goodness = 0.0;
@@ -103,6 +105,8 @@ struct TreeBuildTelemetry {
   int64_t levels = 0;
   int64_t candidates_evaluated = 0;  // (node, criterion) pairs scored
   int64_t suff_stats_peak = 0;  // most sufficient statistics live at once
+  int64_t ridge_refits = 0;     // node fits recovered by the ridge tier
+  int64_t mean_fallbacks = 0;   // node fits degraded to the mean model
   double build_seconds = 0.0;
 };
 

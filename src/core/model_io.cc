@@ -1,6 +1,7 @@
 #include "core/model_io.h"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -12,14 +13,33 @@ namespace bellwether::core {
 namespace {
 
 constexpr const char* kLinearMagic = "bellwether-linear-v1";
-constexpr const char* kTreeMagic = "bellwether-tree-v1";
-constexpr const char* kCubeMagic = "bellwether-cube-v1";
+constexpr const char* kTreeMagic = "bellwether-tree-v2";
+constexpr const char* kCubeMagic = "bellwether-cube-v2";
 
-// Doubles round-trip exactly through %.17g.
+// Sanity bound on serialized counts (vector lengths, node/cell counts): a
+// corrupt or hostile length field must fail cleanly, not turn into a
+// multi-gigabyte allocation.
+constexpr int64_t kMaxCount = int64_t{1} << 26;
+
+// Doubles round-trip exactly through %.17g. "inf"/"-inf"/"nan" occur in
+// legitimate files (degraded cube cells carry error = +inf), and istream's
+// operator>> rejects them (LWG 2381), so reads go through strtod.
 void WriteDouble(std::ostream& out, double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   out << buf;
+}
+
+Status ReadDouble(std::istream& in, double* v) {
+  std::string tok;
+  if (!(in >> tok)) return Status::IoError("truncated value (double)");
+  errno = 0;
+  char* end = nullptr;
+  *v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    return Status::IoError("bad double: '" + tok + "'");
+  }
+  return Status::OK();
 }
 
 void WriteVector(std::ostream& out, const std::vector<double>& v) {
@@ -32,13 +52,25 @@ void WriteVector(std::ostream& out, const std::vector<double>& v) {
 }
 
 Result<std::vector<double>> ReadVector(std::istream& in) {
-  size_t n = 0;
+  int64_t n = 0;
   if (!(in >> n)) return Status::IoError("expected vector length");
+  if (n < 0 || n > kMaxCount) {
+    return Status::IoError("implausible vector length");
+  }
   std::vector<double> v(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!(in >> v[i])) return Status::IoError("truncated vector");
+  for (int64_t i = 0; i < n; ++i) {
+    BW_RETURN_IF_ERROR(ReadDouble(in, &v[i]));
   }
   return v;
+}
+
+Result<regression::FitDegradation> ReadDegradation(std::istream& in) {
+  int d = 0;
+  if (!(in >> d)) return Status::IoError("truncated degradation tag");
+  if (d < 0 || d > static_cast<int>(regression::FitDegradation::kMeanFallback)) {
+    return Status::IoError("unknown degradation tag");
+  }
+  return static_cast<regression::FitDegradation>(d);
 }
 
 Result<std::ofstream> OpenForWrite(const std::string& path) {
@@ -50,13 +82,24 @@ Result<std::ofstream> OpenForWrite(const std::string& path) {
   return out;
 }
 
+// Distinguishes "a bellwether artifact of the wrong kind or version"
+// (kFailedPrecondition — the caller picked the wrong loader or the file
+// predates the current format) from "not one of our files at all"
+// (kInvalidArgument).
 Status CheckMagic(std::istream& in, const char* magic,
                   const std::string& path) {
   std::string line;
-  if (!std::getline(in, line) || line != magic) {
-    return Status::InvalidArgument(path + ": not a " + magic + " file");
+  if (!std::getline(in, line)) {
+    return Status::IoError(path + ": empty file, expected " +
+                           std::string(magic));
   }
-  return Status::OK();
+  if (line == magic) return Status::OK();
+  if (line.rfind("bellwether-", 0) == 0) {
+    return Status::FailedPrecondition(path + ": format '" + line +
+                                      "' does not match expected '" + magic +
+                                      "'");
+  }
+  return Status::InvalidArgument(path + ": not a " + magic + " file");
 }
 
 }  // namespace
@@ -97,7 +140,7 @@ Status SaveBellwetherTree(const BellwetherTree& tree,
   out << tree.nodes().size() << '\n';
   for (const TreeNode& n : tree.nodes()) {
     out << n.depth << ' ' << n.num_items << ' ' << (n.has_model ? 1 : 0)
-        << ' ' << n.region << ' ';
+        << ' ' << n.region << ' ' << static_cast<int>(n.degradation) << ' ';
     WriteDouble(out, n.error);
     out << ' ';
     WriteDouble(out, n.goodness);
@@ -121,8 +164,10 @@ Result<BellwetherTree> LoadBellwetherTree(const std::string& path,
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot read " + path);
   BW_RETURN_IF_ERROR(CheckMagic(in, kTreeMagic, path));
-  size_t num_columns = 0;
-  if (!(in >> num_columns)) return Status::IoError("missing column count");
+  int64_t num_columns = 0;
+  if (!(in >> num_columns) || num_columns < 0 || num_columns > kMaxCount) {
+    return Status::IoError("missing or implausible column count");
+  }
   in.ignore();
   std::vector<std::string> columns(num_columns);
   for (auto& c : columns) {
@@ -130,31 +175,41 @@ Result<BellwetherTree> LoadBellwetherTree(const std::string& path,
   }
   BW_ASSIGN_OR_RETURN(std::shared_ptr<ItemSplitFeatures> feats,
                       ItemSplitFeatures::Create(item_table, columns));
-  size_t num_nodes = 0;
-  if (!(in >> num_nodes)) return Status::IoError("missing node count");
+  int64_t num_nodes = 0;
+  if (!(in >> num_nodes) || num_nodes < 0 || num_nodes > kMaxCount) {
+    return Status::IoError("missing or implausible node count");
+  }
   std::vector<TreeNode> nodes(num_nodes);
   for (TreeNode& n : nodes) {
     int has_model = 0, is_numeric = 0;
     int64_t region = 0;
-    if (!(in >> n.depth >> n.num_items >> has_model >> region >> n.error >>
-          n.goodness)) {
+    if (!(in >> n.depth >> n.num_items >> has_model >> region)) {
       return Status::IoError("truncated node header");
     }
+    BW_ASSIGN_OR_RETURN(n.degradation, ReadDegradation(in));
+    BW_RETURN_IF_ERROR(ReadDouble(in, &n.error));
+    BW_RETURN_IF_ERROR(ReadDouble(in, &n.goodness));
     n.has_model = has_model != 0;
     n.region = region;
     BW_ASSIGN_OR_RETURN(std::vector<double> beta, ReadVector(in));
     n.model = regression::LinearModel(std::move(beta));
-    if (!(in >> n.split.column >> is_numeric >> n.split.threshold >>
-          n.split.num_partitions)) {
+    if (!(in >> n.split.column >> is_numeric)) {
+      return Status::IoError("truncated split");
+    }
+    BW_RETURN_IF_ERROR(ReadDouble(in, &n.split.threshold));
+    if (!(in >> n.split.num_partitions)) {
       return Status::IoError("truncated split");
     }
     n.split.is_numeric = is_numeric != 0;
-    size_t num_children = 0;
-    if (!(in >> num_children)) return Status::IoError("missing children");
+    int64_t num_children = 0;
+    if (!(in >> num_children) || num_children < 0 ||
+        num_children > kMaxCount) {
+      return Status::IoError("missing or implausible children count");
+    }
     n.children.resize(num_children);
     for (auto& c : n.children) {
       if (!(in >> c)) return Status::IoError("truncated children");
-      if (c < 0 || static_cast<size_t>(c) >= num_nodes) {
+      if (c < 0 || c >= num_nodes) {
         return Status::InvalidArgument("child index out of range");
       }
     }
@@ -170,7 +225,9 @@ Status SaveBellwetherCube(const BellwetherCube& cube,
   out << cube.subsets().NumSubsets() << ' ' << cube.cells().size() << '\n';
   for (const CubeCell& cell : cube.cells()) {
     out << cell.subset << ' ' << cell.subset_size << ' '
-        << (cell.has_model ? 1 : 0) << ' ' << cell.region << ' ';
+        << (cell.has_model ? 1 : 0) << ' ' << cell.region << ' '
+        << static_cast<int>(cell.degradation) << ' '
+        << (cell.fallback_pick ? 1 : 0) << ' ';
     WriteDouble(out, cell.error);
     out << ' ' << (cell.has_cv ? 1 : 0) << ' ';
     WriteDouble(out, cell.cv.rmse);
@@ -191,9 +248,12 @@ Result<BellwetherCube> LoadBellwetherCube(
   if (!in) return Status::IoError("cannot read " + path);
   BW_RETURN_IF_ERROR(CheckMagic(in, kCubeMagic, path));
   int64_t num_subsets = 0;
-  size_t num_cells = 0;
+  int64_t num_cells = 0;
   if (!(in >> num_subsets >> num_cells)) {
     return Status::IoError("missing cube header");
+  }
+  if (num_cells < 0 || num_cells > kMaxCount) {
+    return Status::IoError("implausible cube cell count");
   }
   if (num_subsets != subsets->NumSubsets()) {
     return Status::InvalidArgument(
@@ -201,13 +261,22 @@ Result<BellwetherCube> LoadBellwetherCube(
   }
   std::vector<int64_t> cell_of(num_subsets, -1);
   std::vector<CubeCell> cells(num_cells);
-  for (size_t k = 0; k < num_cells; ++k) {
+  for (int64_t k = 0; k < num_cells; ++k) {
     CubeCell& cell = cells[k];
-    int has_model = 0, has_cv = 0;
+    int has_model = 0, has_cv = 0, fallback_pick = 0;
     int64_t subset = 0, region = 0;
-    if (!(in >> subset >> cell.subset_size >> has_model >> region >>
-          cell.error >> has_cv >> cell.cv.rmse >> cell.cv.stddev >>
-          cell.cv.num_folds)) {
+    if (!(in >> subset >> cell.subset_size >> has_model >> region)) {
+      return Status::IoError("truncated cube cell");
+    }
+    BW_ASSIGN_OR_RETURN(cell.degradation, ReadDegradation(in));
+    if (!(in >> fallback_pick)) {
+      return Status::IoError("truncated cube cell");
+    }
+    BW_RETURN_IF_ERROR(ReadDouble(in, &cell.error));
+    if (!(in >> has_cv)) return Status::IoError("truncated cube cell");
+    BW_RETURN_IF_ERROR(ReadDouble(in, &cell.cv.rmse));
+    BW_RETURN_IF_ERROR(ReadDouble(in, &cell.cv.stddev));
+    if (!(in >> cell.cv.num_folds)) {
       return Status::IoError("truncated cube cell");
     }
     if (subset < 0 || subset >= num_subsets) {
@@ -217,9 +286,10 @@ Result<BellwetherCube> LoadBellwetherCube(
     cell.region = region;
     cell.has_model = has_model != 0;
     cell.has_cv = has_cv != 0;
+    cell.fallback_pick = fallback_pick != 0;
     BW_ASSIGN_OR_RETURN(std::vector<double> beta, ReadVector(in));
     cell.model = regression::LinearModel(std::move(beta));
-    cell_of[subset] = static_cast<int64_t>(k);
+    cell_of[subset] = k;
   }
   return BellwetherCube(std::move(subsets), std::move(cell_of),
                         std::move(cells));

@@ -9,6 +9,7 @@
 #include "olap/cost.h"
 #include "olap/region.h"
 #include "regression/error.h"
+#include "robust/quarantine.h"
 #include "table/ops.h"
 #include "table/table.h"
 
@@ -94,6 +95,13 @@ struct BellwetherSpec {
       regression::ErrorEstimate::kCrossValidation;
   int32_t cv_folds = 10;
   uint64_t seed = 17;
+
+  /// How training-data generation treats malformed fact rows (non-finite
+  /// target or measure values, injected corruption). Permissive quarantines
+  /// such rows — counted, logged, skipped — so one bad warehouse row cannot
+  /// poison every region's training set; strict fails the generation naming
+  /// the row. On clean data the two are identical.
+  robust::RowErrorPolicy row_policy = robust::RowErrorPolicy::kPermissive;
 };
 
 /// Names of the columns of a generated training-set design matrix, in

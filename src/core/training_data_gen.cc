@@ -8,6 +8,7 @@
 #include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/fault_injection.h"
 #include "table/ops.h"
 
 namespace bellwether::core {
@@ -256,7 +257,42 @@ Result<GeneratedTrainingData> GenerateTrainingData(
   std::vector<NumericAgg> target_agg(num_items);
   olap::PointCoords point(space.num_dims());
   obs::TraceSpan fact_span("FactTableScan", "datagen");
+  obs::Counter* quarantined_counter =
+      obs::DefaultMetrics().GetCounter(obs::kMDatagenRowsQuarantined);
   for (size_t r = 0; r < fact.num_rows(); ++r) {
+    ++out.row_quarantine.rows_seen;
+    // Row validation happens before any accumulation, so a quarantined row
+    // contributes to no aggregate. On clean data no check fires and the
+    // generated training data is bit-identical to the unhardened path.
+    Status row_st = Status::OK();
+    if (robust::ShouldCorrupt(robust::kFaultDatagenRow)) {
+      row_st = Status::InvalidArgument("injected corrupt row");
+    } else if (!fact.column(target_col).IsNull(r) &&
+               !std::isfinite(fact.column(target_col).NumericAt(r))) {
+      row_st = Status::InvalidArgument("non-finite target value");
+    } else {
+      for (const auto& nf : numeric_features) {
+        if (nf.ref_index != nullptr) continue;
+        const auto& col = fact.column(nf.value_col);
+        if (!col.IsNull(r) && !std::isfinite(col.NumericAt(r))) {
+          row_st = Status::InvalidArgument(
+              "non-finite measure in column '" +
+              fact.schema().field(nf.value_col).name + "'");
+          break;
+        }
+      }
+    }
+    if (!row_st.ok()) {
+      const std::string context =
+          "fact row " + std::to_string(r) + ": " + row_st.message();
+      if (spec.row_policy == robust::RowErrorPolicy::kStrict) {
+        return Status(row_st.code(), context);
+      }
+      out.row_quarantine.Quarantine(context);
+      quarantined_counter->Increment();
+      BW_LOG(obs::LogLevel::kWarn, "datagen") << "quarantined " << context;
+      continue;
+    }
     const auto& idc = fact.column(fact_item_col);
     if (idc.IsNull(r)) continue;
     const int32_t item = out.items.Find(idc.Int64At(r));

@@ -30,6 +30,9 @@ struct GeneratedTrainingData {
   olap::FeasibleRegions feasible;
   /// One training set per feasible region, ascending RegionId.
   std::vector<storage::RegionTrainingSet> sets;
+  /// Fact rows quarantined during the scan (see BellwetherSpec::row_policy);
+  /// zero on clean data.
+  robust::QuarantineStats row_quarantine;
 
   /// Wraps `sets` in an in-memory TrainingDataSource (copies).
   std::unique_ptr<storage::TrainingDataSource> ToMemorySource() const;

@@ -244,6 +244,25 @@ void RegisterStandardMetrics(MetricsRegistry* registry) {
   registry->GetCounter(kMStorageRowsScanned,
                        "training rows delivered by storage reads and scans");
   registry->GetCounter(kMStorageBytesRead, "bytes read from training sources");
+  registry->GetCounter(kMFaultInjections,
+                       "faults fired by the fault-injection registry");
+  registry->GetCounter(kMStorageRetries,
+                       "transient scan/read failures retried by "
+                       "RetryingTrainingDataSource");
+  registry->GetCounter(kMStorageRetryExhausted,
+                       "operations that failed after exhausting all retries");
+  registry->GetCounter(kMCsvRowsQuarantined,
+                       "malformed CSV rows skipped in permissive mode");
+  registry->GetCounter(kMDatagenRowsQuarantined,
+                       "fact rows quarantined during training data generation");
+  registry->GetCounter(kMRegressionRidgeRefits,
+                       "ill-conditioned fits recovered by heavy ridge refit");
+  registry->GetCounter(kMRegressionMeanFallbacks,
+                       "fits degraded to the intercept-only mean model");
+  registry->GetCounter(kMCubeCheckpointsSaved,
+                       "cube build checkpoints written");
+  registry->GetCounter(kMCubeCheckpointResumes,
+                       "cube builds resumed from a checkpoint");
 }
 
 }  // namespace bellwether::obs

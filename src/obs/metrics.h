@@ -197,6 +197,27 @@ inline constexpr std::string_view kMStorageRowsScanned =
 inline constexpr std::string_view kMStorageBytesRead =
     "bellwether_storage_bytes_read_total";
 
+// Robustness layer (robust/, storage/retrying_source.cc, table/csv.cc,
+// core/training_data_gen.cc, regression fallbacks, cube checkpointing).
+inline constexpr std::string_view kMFaultInjections =
+    "bellwether_fault_injections_total";
+inline constexpr std::string_view kMStorageRetries =
+    "bellwether_storage_retries_total";
+inline constexpr std::string_view kMStorageRetryExhausted =
+    "bellwether_storage_retry_exhausted_total";
+inline constexpr std::string_view kMCsvRowsQuarantined =
+    "bellwether_csv_rows_quarantined_total";
+inline constexpr std::string_view kMDatagenRowsQuarantined =
+    "bellwether_datagen_rows_quarantined_total";
+inline constexpr std::string_view kMRegressionRidgeRefits =
+    "bellwether_regression_ridge_refits_total";
+inline constexpr std::string_view kMRegressionMeanFallbacks =
+    "bellwether_regression_mean_fallbacks_total";
+inline constexpr std::string_view kMCubeCheckpointsSaved =
+    "bellwether_cube_checkpoints_saved_total";
+inline constexpr std::string_view kMCubeCheckpointResumes =
+    "bellwether_cube_checkpoint_resumes_total";
+
 /// Registers every canonical metric above in `registry` (zero-valued when
 /// not yet touched), so exports always contain the full set regardless of
 /// which code paths ran. Benches call this before dumping.

@@ -2,7 +2,21 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace bellwether::regression {
+
+const char* FitDegradationName(FitDegradation d) {
+  switch (d) {
+    case FitDegradation::kNone:
+      return "none";
+    case FitDegradation::kRidge:
+      return "ridge";
+    case FitDegradation::kMeanFallback:
+      return "mean";
+  }
+  return "unknown";
+}
 
 RegressionSuffStats::RegressionSuffStats(size_t num_features)
     : p_(num_features),
@@ -61,6 +75,53 @@ Result<LinearModel> RegressionSuffStats::Fit() const {
   }
   BW_ASSIGN_OR_RETURN(linalg::Vector beta, linalg::SolveSpd(xtwx_, xtwy_));
   return LinearModel(std::move(beta));
+}
+
+Result<RobustFit> RegressionSuffStats::FitWithFallback(
+    double heavy_ridge) const {
+  if (n_ == 0) {
+    return Status::FailedPrecondition("cannot fit a model on 0 examples");
+  }
+  if (auto fit = linalg::SolveSpd(xtwx_, xtwy_); fit.ok()) {
+    return RobustFit{LinearModel(std::move(fit.value())),
+                     FitDegradation::kNone};
+  }
+  if (auto fit = linalg::SolveSpd(xtwx_, xtwy_, heavy_ridge); fit.ok()) {
+    bool finite = true;
+    for (double b : fit.value()) finite = finite && std::isfinite(b);
+    if (finite) {
+      obs::DefaultMetrics()
+          .GetCounter(obs::kMRegressionRidgeRefits)
+          ->Increment();
+      return RobustFit{LinearModel(std::move(fit.value())),
+                       FitDegradation::kRidge};
+    }
+  }
+  // Last resort: predict the weighted mean of the targets. Feature 0 is the
+  // intercept column (constant 1), so X'WY[0] / sum(w) is that mean.
+  linalg::Vector beta(p_, 0.0);
+  const double mean = sum_w_ > 0.0 ? xtwy_[0] / sum_w_ : 0.0;
+  beta[0] = std::isfinite(mean) ? mean : 0.0;
+  obs::DefaultMetrics()
+      .GetCounter(obs::kMRegressionMeanFallbacks)
+      ->Increment();
+  return RobustFit{LinearModel(std::move(beta)),
+                   FitDegradation::kMeanFallback};
+}
+
+RegressionSuffStats RegressionSuffStats::FromComponents(linalg::Matrix xtwx,
+                                                        linalg::Vector xtwy,
+                                                        double ytwy, int64_t n,
+                                                        double sum_w) {
+  BW_CHECK(xtwx.rows() == xtwx.cols());
+  BW_CHECK(xtwx.rows() == xtwy.size());
+  RegressionSuffStats out(xtwy.size());
+  out.xtwx_ = std::move(xtwx);
+  out.xtwy_ = std::move(xtwy);
+  out.ytwy_ = ytwy;
+  out.n_ = n;
+  out.sum_w_ = sum_w;
+  return out;
 }
 
 Result<double> RegressionSuffStats::TrainingSse() const {

@@ -35,6 +35,24 @@ class LinearModel {
   linalg::Vector beta_;
 };
 
+/// Which tier of the graceful-degradation chain produced a model (see
+/// docs/ROBUSTNESS.md). Ordered from best to worst.
+enum class FitDegradation {
+  kNone,          // ordinary fit succeeded
+  kRidge,         // ill-conditioned; recovered with a heavy ridge refit
+  kMeanFallback,  // intercept-only weighted-mean model
+};
+
+const char* FitDegradationName(FitDegradation d);
+
+/// A model together with the degradation tier that produced it.
+struct RobustFit {
+  LinearModel model;
+  FitDegradation degradation = FitDegradation::kNone;
+
+  bool degraded() const { return degradation != FitDegradation::kNone; }
+};
+
 /// The sufficient statistic of Theorem 1: g(S) = <Y'WY, X'WX, X'WY> plus the
 /// example count. Fixed size (1 + p*p + p values), independent of |S|;
 /// merging two statistics is element-wise addition, which makes the weighted
@@ -66,6 +84,19 @@ class RegressionSuffStats {
   /// Fits the WLS model beta = (X'WX)^-1 (X'WY). Fails if there are no
   /// examples or the normal equations are unsolvable.
   Result<LinearModel> Fit() const;
+
+  /// Graceful-degradation fit: Fit(), then a heavy ridge refit (max ridge
+  /// `heavy_ridge`), then the intercept-only weighted-mean model. Always
+  /// returns a usable model when there is at least one example, flagging
+  /// which tier fired; degradations are mirrored into the metrics registry.
+  /// On a well-conditioned statistic the result is bit-identical to Fit().
+  Result<RobustFit> FitWithFallback(double heavy_ridge = 1e2) const;
+
+  /// Reassembles a statistic from its components (checkpoint restore and
+  /// tests). `xtwx` must be p x p, `xtwy` length p.
+  static RegressionSuffStats FromComponents(linalg::Matrix xtwx,
+                                            linalg::Vector xtwy, double ytwy,
+                                            int64_t n, double sum_w);
 
   /// Weighted sum of squared errors of the fitted model on the accumulated
   /// data: Y'WY - (X'WY)' (X'WX)^-1 (X'WY), computed directly from the

@@ -1,0 +1,163 @@
+#include "robust/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace bellwether::robust {
+
+namespace {
+
+constexpr const char* kMagic = "bellwether-cube-checkpoint-v1";
+// Sanity bound on serialized counts; a corrupt length field must not turn
+// into a multi-gigabyte allocation.
+constexpr int64_t kMaxCount = int64_t{1} << 26;
+
+// Doubles round-trip exactly through %.17g; "inf"/"-inf"/"nan" are written
+// and parsed explicitly (istream's operator>> rejects them).
+void WriteDouble(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+Status ReadDouble(std::istream& in, double* v) {
+  std::string tok;
+  if (!(in >> tok)) return Status::IoError("truncated checkpoint (double)");
+  errno = 0;
+  char* end = nullptr;
+  *v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    return Status::IoError("bad double in checkpoint: '" + tok + "'");
+  }
+  return Status::OK();
+}
+
+void WriteStats(std::ostream& out,
+                const regression::RegressionSuffStats& s) {
+  const size_t p = s.num_features();
+  out << "stats " << p << ' ' << s.num_examples() << ' ';
+  WriteDouble(out, s.sum_weights());
+  out << ' ';
+  WriteDouble(out, s.ytwy());
+  for (size_t r = 0; r < p; ++r) {
+    for (size_t c = 0; c < p; ++c) {
+      out << ' ';
+      WriteDouble(out, s.xtwx()(r, c));
+    }
+  }
+  for (size_t j = 0; j < p; ++j) {
+    out << ' ';
+    WriteDouble(out, s.xtwy()[j]);
+  }
+  out << '\n';
+}
+
+Result<regression::RegressionSuffStats> ReadStats(std::istream& in) {
+  std::string tag;
+  int64_t p = 0;
+  int64_t n = 0;
+  if (!(in >> tag >> p >> n) || tag != "stats") {
+    return Status::IoError("truncated checkpoint (stats header)");
+  }
+  if (p < 0 || p > 4096) {
+    return Status::IoError("implausible feature count in checkpoint");
+  }
+  double sum_w = 0.0;
+  double ytwy = 0.0;
+  BW_RETURN_IF_ERROR(ReadDouble(in, &sum_w));
+  BW_RETURN_IF_ERROR(ReadDouble(in, &ytwy));
+  linalg::Matrix xtwx(p, p);
+  for (int64_t r = 0; r < p; ++r) {
+    for (int64_t c = 0; c < p; ++c) {
+      BW_RETURN_IF_ERROR(ReadDouble(in, &xtwx(r, c)));
+    }
+  }
+  linalg::Vector xtwy(p, 0.0);
+  for (int64_t j = 0; j < p; ++j) {
+    BW_RETURN_IF_ERROR(ReadDouble(in, &xtwy[j]));
+  }
+  return regression::RegressionSuffStats::FromComponents(
+      std::move(xtwx), std::move(xtwy), ytwy, n, sum_w);
+}
+
+}  // namespace
+
+Status SaveCubeCheckpoint(const CubeBuildCheckpoint& ckpt,
+                          const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      return Status::IoError("cannot write checkpoint " + tmp + ": " +
+                             std::strerror(errno));
+    }
+    out << kMagic << '\n';
+    out << "fingerprint " << ckpt.fingerprint << '\n';
+    out << "regions_processed " << ckpt.regions_processed << '\n';
+    out << "picks " << ckpt.picks.size() << '\n';
+    for (const PickCheckpoint& pk : ckpt.picks) {
+      out << "pick ";
+      WriteDouble(out, pk.error);
+      out << ' ' << pk.region << ' ' << pk.fallback_region << ' '
+          << pk.fallback_examples << '\n';
+      WriteStats(out, pk.stats);
+      WriteStats(out, pk.fallback_stats);
+    }
+    out << "end\n";
+    out.flush();
+    if (!out) return Status::IoError("checkpoint write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("checkpoint rename failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<CubeBuildCheckpoint> LoadCubeCheckpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read checkpoint " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty checkpoint " + path);
+  }
+  if (line != kMagic) {
+    return Status::FailedPrecondition(path + ": not a " + std::string(kMagic) +
+                                      " file");
+  }
+  CubeBuildCheckpoint ckpt;
+  std::string tag;
+  if (!(in >> tag >> ckpt.fingerprint) || tag != "fingerprint") {
+    return Status::IoError("truncated checkpoint (fingerprint)");
+  }
+  if (!(in >> tag >> ckpt.regions_processed) || tag != "regions_processed" ||
+      ckpt.regions_processed < 0) {
+    return Status::IoError("truncated checkpoint (regions_processed)");
+  }
+  int64_t num_picks = 0;
+  if (!(in >> tag >> num_picks) || tag != "picks" || num_picks < 0 ||
+      num_picks > kMaxCount) {
+    return Status::IoError("truncated checkpoint (pick count)");
+  }
+  ckpt.picks.resize(num_picks);
+  for (PickCheckpoint& pk : ckpt.picks) {
+    if (!(in >> tag) || tag != "pick") {
+      return Status::IoError("truncated checkpoint (pick)");
+    }
+    BW_RETURN_IF_ERROR(ReadDouble(in, &pk.error));
+    if (!(in >> pk.region >> pk.fallback_region >> pk.fallback_examples)) {
+      return Status::IoError("truncated checkpoint (pick fields)");
+    }
+    BW_ASSIGN_OR_RETURN(pk.stats, ReadStats(in));
+    BW_ASSIGN_OR_RETURN(pk.fallback_stats, ReadStats(in));
+  }
+  if (!(in >> tag) || tag != "end") {
+    return Status::IoError("truncated checkpoint (missing end marker)");
+  }
+  return ckpt;
+}
+
+}  // namespace bellwether::robust

@@ -1,0 +1,15 @@
+#include "robust/quarantine.h"
+
+namespace bellwether::robust {
+
+const char* RowErrorPolicyName(RowErrorPolicy policy) {
+  switch (policy) {
+    case RowErrorPolicy::kStrict:
+      return "strict";
+    case RowErrorPolicy::kPermissive:
+      return "permissive";
+  }
+  return "unknown";
+}
+
+}  // namespace bellwether::robust

@@ -1,0 +1,54 @@
+#ifndef BELLWETHER_ROBUST_QUARANTINE_H_
+#define BELLWETHER_ROBUST_QUARANTINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bellwether::robust {
+
+/// How a pipeline stage treats a malformed input row (bad CSV field, NaN/Inf
+/// measure, schema violation, injected corruption).
+enum class RowErrorPolicy {
+  /// Abort the whole operation with a Status naming the offending row.
+  kStrict,
+  /// Count, log, and skip the row; the operation completes on the clean
+  /// remainder. The default for the hardened generation paths — one bad
+  /// warehouse row must not poison every region's training set.
+  kPermissive,
+};
+
+const char* RowErrorPolicyName(RowErrorPolicy policy);
+
+/// Quarantine bookkeeping of one pass: how many rows were set aside and a
+/// bounded sample of their error messages (for logs and post-mortems; the
+/// full per-row detail would be unbounded on a corrupt file).
+struct QuarantineStats {
+  int64_t rows_seen = 0;
+  int64_t rows_quarantined = 0;
+  /// First kMaxSampleErrors row-level error messages, row context included.
+  std::vector<std::string> sample_errors;
+
+  static constexpr size_t kMaxSampleErrors = 8;
+
+  /// Records one quarantined row.
+  void Quarantine(std::string message) {
+    ++rows_quarantined;
+    if (sample_errors.size() < kMaxSampleErrors) {
+      sample_errors.push_back(std::move(message));
+    }
+  }
+
+  void Merge(const QuarantineStats& other) {
+    rows_seen += other.rows_seen;
+    rows_quarantined += other.rows_quarantined;
+    for (const auto& e : other.sample_errors) {
+      if (sample_errors.size() >= kMaxSampleErrors) break;
+      sample_errors.push_back(e);
+    }
+  }
+};
+
+}  // namespace bellwether::robust
+
+#endif  // BELLWETHER_ROBUST_QUARANTINE_H_

@@ -1,0 +1,120 @@
+#include "storage/retrying_source.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/logger.h"
+#include "obs/metrics.h"
+
+namespace bellwether::storage {
+
+namespace {
+
+struct RetryMetrics {
+  obs::Counter* retries;
+  obs::Counter* exhausted;
+};
+
+const RetryMetrics& Metrics() {
+  static const RetryMetrics m{
+      obs::DefaultMetrics().GetCounter(obs::kMStorageRetries),
+      obs::DefaultMetrics().GetCounter(obs::kMStorageRetryExhausted)};
+  return m;
+}
+
+}  // namespace
+
+RetryingTrainingDataSource::RetryingTrainingDataSource(
+    TrainingDataSource* inner, RetryPolicy policy)
+    : inner_(inner), policy_(std::move(policy)), rng_(policy_.seed) {}
+
+void RetryingTrainingDataSource::Backoff(int attempt) {
+  double micros = static_cast<double>(policy_.initial_backoff_micros);
+  for (int i = 1; i < attempt; ++i) micros *= policy_.multiplier;
+  micros = std::min(micros, static_cast<double>(policy_.max_backoff_micros));
+  if (policy_.jitter > 0.0) {
+    micros *= rng_.NextDouble(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+  }
+  const auto sleep_micros = static_cast<int64_t>(micros);
+  if (policy_.sleep_fn) {
+    policy_.sleep_fn(sleep_micros);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+  }
+}
+
+Status RetryingTrainingDataSource::Scan(
+    const std::function<Status(const RegionTrainingSet&)>& fn) {
+  // One *logical* scan regardless of physical re-attempts; see class comment.
+  ++io_stats_.sequential_scans;
+  size_t delivered = 0;
+  bool callback_error = false;
+  int attempt = 0;
+  for (;;) {
+    size_t pos = 0;
+    const Status st = inner_->Scan([&](const RegionTrainingSet& s) -> Status {
+      // On a re-attempt, fast-forward past records the consumer already saw
+      // so it observes an exactly-once, in-order stream.
+      if (pos++ < delivered) return Status::OK();
+      const Status cb = fn(s);
+      if (!cb.ok()) {
+        callback_error = true;
+        return cb;
+      }
+      ++delivered;
+      ++io_stats_.region_reads;
+      io_stats_.bytes_read += static_cast<int64_t>(s.ByteSize());
+      return Status::OK();
+    });
+    if (st.ok() || callback_error) return st;
+    if (st.code() != StatusCode::kIoError) return st;
+    if (attempt >= policy_.max_retries) {
+      ++retry_stats_.exhaustions;
+      Metrics().exhausted->Increment();
+      BW_LOG(obs::LogLevel::kWarn, "storage.retry")
+          << "scan failed after " << policy_.max_retries
+                   << " retries: " << st.ToString();
+      return st;
+    }
+    ++attempt;
+    ++retry_stats_.retries;
+    Metrics().retries->Increment();
+    BW_LOG(obs::LogLevel::kInfo, "storage.retry")
+        << "transient scan failure (attempt " << attempt << "/"
+                 << policy_.max_retries << "), retrying: " << st.ToString();
+    Backoff(attempt);
+  }
+}
+
+Result<RegionTrainingSet> RetryingTrainingDataSource::Read(size_t index) {
+  int attempt = 0;
+  for (;;) {
+    Result<RegionTrainingSet> r = inner_->Read(index);
+    if (r.ok()) {
+      ++io_stats_.region_reads;
+      io_stats_.bytes_read += static_cast<int64_t>(r.value().ByteSize());
+      return r;
+    }
+    if (r.status().code() != StatusCode::kIoError) return r;
+    if (attempt >= policy_.max_retries) {
+      ++retry_stats_.exhaustions;
+      Metrics().exhausted->Increment();
+      BW_LOG(obs::LogLevel::kWarn, "storage.retry")
+          << "read of region set " << index << " failed after "
+                   << policy_.max_retries
+                   << " retries: " << r.status().ToString();
+      return r;
+    }
+    ++attempt;
+    ++retry_stats_.retries;
+    Metrics().retries->Increment();
+    Backoff(attempt);
+  }
+}
+
+std::vector<olap::RegionId> RetryingTrainingDataSource::RegionIds() {
+  return inner_->RegionIds();
+}
+
+}  // namespace bellwether::storage

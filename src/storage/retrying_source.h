@@ -1,0 +1,81 @@
+#ifndef BELLWETHER_STORAGE_RETRYING_SOURCE_H_
+#define BELLWETHER_STORAGE_RETRYING_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/random.h"
+#include "storage/training_data.h"
+
+namespace bellwether::storage {
+
+/// Backoff/retry tuning for RetryingTrainingDataSource. Defaults are sized
+/// for the transient blips a local spill file or network volume produces;
+/// see docs/ROBUSTNESS.md for guidance on tuning them.
+struct RetryPolicy {
+  /// Retries per operation after the initial attempt; kIoError only.
+  int max_retries = 3;
+  /// First backoff; each further retry multiplies by `multiplier` and is
+  /// capped at `max_backoff_micros`.
+  int64_t initial_backoff_micros = 1000;
+  double multiplier = 2.0;
+  int64_t max_backoff_micros = 100000;
+  /// Fractional jitter: each sleep is scaled by a deterministic uniform
+  /// factor in [1 - jitter, 1 + jitter], decorrelating concurrent retriers.
+  double jitter = 0.1;
+  uint64_t seed = 0x42574A4954ULL;
+  /// Injectable clock for tests. Defaults to a real sleep when null.
+  std::function<void(int64_t micros)> sleep_fn;
+};
+
+/// Per-wrapper retry accounting (also mirrored into the metrics registry as
+/// bellwether_storage_retries_total / bellwether_storage_retry_exhausted_total).
+struct RetryStats {
+  int64_t retries = 0;      // transient failures that were retried
+  int64_t exhaustions = 0;  // operations failed after the final retry
+};
+
+/// Decorator that makes any TrainingDataSource resilient to transient
+/// kIoError failures using bounded exponential backoff with jitter.
+///
+/// Scan() restarts the inner scan after a transient failure but *skips the
+/// records already delivered*, so the consumer's callback sees every record
+/// exactly once, in order, regardless of how many physical re-scans were
+/// needed. The wrapper keeps its own IoStats in which a retried Scan still
+/// counts as ONE sequential scan — the Lemma 1/2 scan-count telemetry is a
+/// statement about logical passes the algorithm requested, and remains
+/// testable at this layer while the inner source's IoStats expose the
+/// physical re-reads.
+///
+/// Errors returned by the consumer callback itself are never retried; they
+/// propagate immediately, as without the wrapper.
+class RetryingTrainingDataSource final : public TrainingDataSource {
+ public:
+  /// Does not take ownership of `inner`, which must outlive the wrapper.
+  explicit RetryingTrainingDataSource(TrainingDataSource* inner,
+                                      RetryPolicy policy = {});
+
+  size_t num_region_sets() const override {
+    return inner_->num_region_sets();
+  }
+  Status Scan(
+      const std::function<Status(const RegionTrainingSet&)>& fn) override;
+  Result<RegionTrainingSet> Read(size_t index) override;
+  std::vector<olap::RegionId> RegionIds() override;
+
+  const RetryStats& retry_stats() const { return retry_stats_; }
+  TrainingDataSource* inner() { return inner_; }
+
+ private:
+  /// Sleeps for the attempt-th backoff interval (attempt >= 1).
+  void Backoff(int attempt);
+
+  TrainingDataSource* inner_;
+  RetryPolicy policy_;
+  RetryStats retry_stats_;
+  Rng rng_;
+};
+
+}  // namespace bellwether::storage
+
+#endif  // BELLWETHER_STORAGE_RETRYING_SOURCE_H_

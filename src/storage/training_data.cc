@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/fault_injection.h"
 
 namespace bellwether::storage {
 
@@ -83,6 +84,7 @@ Status MemoryTrainingData::Scan(
   ++io_stats_.sequential_scans;
   Metrics().scans->Increment();
   for (const auto& s : sets_) {
+    BW_RETURN_IF_ERROR(robust::MaybeInjectIo(robust::kFaultStorageScan));
     ++io_stats_.region_reads;
     io_stats_.bytes_read += static_cast<int64_t>(s.ByteSize());
     Metrics().reads->Increment();
@@ -97,6 +99,7 @@ Result<RegionTrainingSet> MemoryTrainingData::Read(size_t index) {
   if (index >= sets_.size()) {
     return Status::OutOfRange("region set index out of range");
   }
+  BW_RETURN_IF_ERROR(robust::MaybeInjectIo(robust::kFaultStorageRead));
   ++io_stats_.region_reads;
   io_stats_.bytes_read += static_cast<int64_t>(sets_[index].ByteSize());
   Metrics().reads->Increment();
@@ -266,6 +269,7 @@ Status SpilledTrainingData::Scan(
   Metrics().scans->Increment();
   RegionTrainingSet set;
   for (int64_t offset : offsets_) {
+    BW_RETURN_IF_ERROR(robust::MaybeInjectIo(robust::kFaultStorageScan));
     BW_RETURN_IF_ERROR(ReadRecordAt(offset, &set));
     BW_RETURN_IF_ERROR(fn(set));
   }
@@ -276,6 +280,7 @@ Result<RegionTrainingSet> SpilledTrainingData::Read(size_t index) {
   if (index >= offsets_.size()) {
     return Status::OutOfRange("region set index out of range");
   }
+  BW_RETURN_IF_ERROR(robust::MaybeInjectIo(robust::kFaultStorageRead));
   RegionTrainingSet set;
   BW_RETURN_IF_ERROR(ReadRecordAt(offsets_[index], &set));
   return set;

@@ -6,6 +6,9 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "robust/fault_injection.h"
 
 namespace bellwether::table {
 
@@ -85,7 +88,69 @@ Status WriteCsv(const Table& t, const std::string& path) {
   return Status::OK();
 }
 
-Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
+namespace {
+
+// Parses the fields of one record into `row`. Errors name the offending
+// column so a bad value in a wide fact table is findable.
+Status ParseRowFields(const Schema& schema,
+                      const std::vector<std::string>& fields,
+                      std::vector<Value>* row) {
+  for (size_t c = 0; c < fields.size(); ++c) {
+    const std::string& f = fields[c];
+    if (f.empty()) {
+      (*row)[c] = Value::Null();
+      continue;
+    }
+    const std::string col_ctx =
+        "column '" + schema.field(c).name + "' (#" + std::to_string(c) + ")";
+    switch (schema.field(c).type) {
+      case DataType::kInt64: {
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(f.c_str(), &end, 10);
+        if (errno != 0 || end == f.c_str() || *end != '\0') {
+          return Status::InvalidArgument(col_ctx + ": bad int64 '" + f + "'");
+        }
+        (*row)[c] = Value(static_cast<int64_t>(v));
+        break;
+      }
+      case DataType::kDouble: {
+        errno = 0;
+        char* end = nullptr;
+        const double v = std::strtod(f.c_str(), &end);
+        if (errno != 0 || end == f.c_str() || *end != '\0') {
+          return Status::InvalidArgument(col_ctx + ": bad double '" + f + "'");
+        }
+        (*row)[c] = Value(v);
+        break;
+      }
+      case DataType::kString:
+        (*row)[c] = Value(f);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+// Parses one full record (split + field conversion + injected corruption).
+Status ParseRecord(const Schema& schema, const std::string& line,
+                   std::vector<Value>* row) {
+  if (robust::ShouldCorrupt(robust::kFaultCsvRow)) {
+    return Status::InvalidArgument("injected corrupt row");
+  }
+  BW_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
+  if (fields.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(schema.num_fields()) + " fields, got " +
+        std::to_string(fields.size()));
+  }
+  return ParseRowFields(schema, fields, row);
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& path, const Schema& schema,
+                      const CsvReadOptions& options) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open for read: " + path + ": " +
@@ -95,58 +160,40 @@ Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
   if (!std::getline(in, line)) {
     return Status::IoError("empty CSV (missing header): " + path);
   }
+  // The table is built locally and only returned on success, so a failed
+  // strict read can never hand back partially-filled state.
   Table out(schema);
   std::vector<Value> row(schema.num_fields());
+  robust::QuarantineStats local_stats;
+  robust::QuarantineStats* stats =
+      options.stats != nullptr ? options.stats : &local_stats;
+  static obs::Counter* quarantined =
+      obs::DefaultMetrics().GetCounter(obs::kMCsvRowsQuarantined);
   size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    BW_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
-    if (fields.size() != schema.num_fields()) {
-      return Status::InvalidArgument(
-          path + ":" + std::to_string(line_no) + ": expected " +
-          std::to_string(schema.num_fields()) + " fields, got " +
-          std::to_string(fields.size()));
-    }
-    for (size_t c = 0; c < fields.size(); ++c) {
-      const std::string& f = fields[c];
-      if (f.empty()) {
-        row[c] = Value::Null();
-        continue;
+    ++stats->rows_seen;
+    const Status st = ParseRecord(schema, line, &row);
+    if (!st.ok()) {
+      const std::string context =
+          path + ":" + std::to_string(line_no) + ": " + st.message();
+      if (options.row_policy == robust::RowErrorPolicy::kStrict) {
+        return Status(st.code(), context);
       }
-      switch (schema.field(c).type) {
-        case DataType::kInt64: {
-          errno = 0;
-          char* end = nullptr;
-          const long long v = std::strtoll(f.c_str(), &end, 10);
-          if (errno != 0 || end == f.c_str() || *end != '\0') {
-            return Status::InvalidArgument(path + ":" +
-                                           std::to_string(line_no) +
-                                           ": bad int64 '" + f + "'");
-          }
-          row[c] = Value(static_cast<int64_t>(v));
-          break;
-        }
-        case DataType::kDouble: {
-          errno = 0;
-          char* end = nullptr;
-          const double v = std::strtod(f.c_str(), &end);
-          if (errno != 0 || end == f.c_str() || *end != '\0') {
-            return Status::InvalidArgument(path + ":" +
-                                           std::to_string(line_no) +
-                                           ": bad double '" + f + "'");
-          }
-          row[c] = Value(v);
-          break;
-        }
-        case DataType::kString:
-          row[c] = Value(f);
-          break;
-      }
+      stats->Quarantine(context);
+      quarantined->Increment();
+      BW_LOG(obs::LogLevel::kWarn, "table.csv")
+          << "quarantined row: " << context;
+      continue;
     }
     out.AppendRow(row);
   }
   return out;
+}
+
+Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
+  return ReadCsv(path, schema, CsvReadOptions{});
 }
 
 }  // namespace bellwether::table

@@ -1,0 +1,36 @@
+// BW_CHECK diagnostics: a failed invariant prints the file, line, and the
+// failed expression to stderr before aborting, so post-mortems of batch jobs
+// have something to go on.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace bellwether {
+namespace {
+
+TEST(CheckDeathTest, FailedCheckPrintsFileLineAndExpression) {
+  EXPECT_DEATH(BW_CHECK(2 + 2 == 5),
+               "BW_CHECK failed at .*check_death_test\\.cc:[0-9]+: "
+               "2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  BW_CHECK(2 + 2 == 4);  // must not abort
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, CheckOkPrintsTheStatus) {
+  EXPECT_DEATH(BW_CHECK_OK(Status::IoError("disk gone")),
+               "BW_CHECK_OK failed at .*check_death_test\\.cc:[0-9]+:.*"
+               "disk gone");
+}
+
+TEST(CheckDeathTest, CheckOkPassesThroughOkStatus) {
+  BW_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bellwether

@@ -1,0 +1,345 @@
+// End-to-end resilience of the bellwether pipeline under deterministic fault
+// injection (the acceptance scenarios of the robustness work):
+//   (a) transient storage failures are retried and the search result is
+//       bit-identical to a clean run, with the retries visible in metrics;
+//   (b) corrupt fact rows are quarantined — counters match the injected
+//       corruption exactly — and the bellwether equals the one computed on
+//       the clean subset of the data;
+//   (c) the Lemma 1/2 scan-count telemetry still holds under retries;
+//   (d) a cube build killed mid-scan resumes from its checkpoint and
+//       produces output identical to an uninterrupted build.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/basic_search.h"
+#include "core/bellwether_cube.h"
+#include "core/training_data_gen.h"
+#include "datagen/mail_order.h"
+#include "datagen/simulation.h"
+#include "obs/metrics.h"
+#include "robust/fault_injection.h"
+#include "storage/retrying_source.h"
+#include "storage/training_data.h"
+
+namespace bellwether::core {
+namespace {
+
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const std::string& spec) {
+    robust::FaultRegistry::Default().Disarm();
+    const Status st = robust::FaultRegistry::Default().Arm(spec);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  ~ScopedFaults() { robust::FaultRegistry::Default().Disarm(); }
+};
+
+datagen::SimulationDataset MakeSim(uint64_t seed) {
+  datagen::SimulationConfig config;
+  config.num_items = 200;
+  config.generator_tree_nodes = 7;
+  config.noise = 0.2;
+  config.num_windows = 3;
+  config.location_fanouts = {2, 2};
+  config.seed = seed;
+  return datagen::GenerateSimulation(config);
+}
+
+datagen::MailOrderDataset MakeMailOrder() {
+  datagen::MailOrderConfig config;
+  config.num_items = 120;
+  config.density = 1.2;
+  config.seed = 5;
+  return datagen::GenerateMailOrder(config);
+}
+
+// ---- (a) + (c): basic search under transient scan failures ----
+
+TEST(FaultPipelineTest, BasicSearchIdenticalUnderScanRetries) {
+  datagen::SimulationDataset sim = MakeSim(31);
+  storage::MemoryTrainingData clean_src(sim.sets);
+  storage::MemoryTrainingData faulty_inner(sim.sets);
+
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kTrainingSet;
+  auto clean = RunBasicBellwetherSearch(&clean_src, options);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_TRUE(clean->found());
+
+  storage::RetryPolicy policy;
+  policy.sleep_fn = [](int64_t) {};
+  storage::RetryingTrainingDataSource source(&faulty_inner, policy);
+  const int64_t retries_before =
+      obs::DefaultMetrics().GetCounter(obs::kMStorageRetries)->Value();
+
+  ScopedFaults faults("storage.scan:io@3");
+  auto faulted = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+
+  // Bit-identical result despite three injected transient failures.
+  EXPECT_EQ(faulted->bellwether, clean->bellwether);
+  EXPECT_EQ(faulted->error.rmse, clean->error.rmse);
+  ASSERT_EQ(faulted->model.beta().size(), clean->model.beta().size());
+  for (size_t j = 0; j < clean->model.beta().size(); ++j) {
+    EXPECT_EQ(faulted->model.beta()[j], clean->model.beta()[j]);
+  }
+  EXPECT_EQ(faulted->model_degradation, regression::FitDegradation::kNone);
+
+  // The metrics registry recorded exactly the injected retries.
+  EXPECT_EQ(source.retry_stats().retries, 3);
+  EXPECT_EQ(obs::DefaultMetrics().GetCounter(obs::kMStorageRetries)->Value() -
+                retries_before,
+            3);
+
+  // (c) Lemma telemetry: the wrapper reports one logical scan while the
+  // inner source did 1 + 3 physical attempts.
+  EXPECT_EQ(source.io_stats().sequential_scans, 1);
+  EXPECT_EQ(faulty_inner.io_stats().sequential_scans, 4);
+}
+
+// ---- (b): row quarantine with an unchanged clean-subset bellwether ----
+
+void ExpectSetsEqual(const std::vector<storage::RegionTrainingSet>& a,
+                     const std::vector<storage::RegionTrainingSet>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].region, b[i].region) << "set " << i;
+    EXPECT_EQ(a[i].items, b[i].items) << "set " << i;
+    EXPECT_EQ(a[i].features, b[i].features) << "set " << i;
+    EXPECT_EQ(a[i].targets, b[i].targets) << "set " << i;
+    EXPECT_EQ(a[i].weights, b[i].weights) << "set " << i;
+  }
+}
+
+TEST(FaultPipelineTest, QuarantinedRowsMatchInjectionAndCleanSubset) {
+  datagen::MailOrderDataset db = MakeMailOrder();
+  const BellwetherSpec spec = db.MakeSpec(/*budget=*/60.0,
+                                          /*min_coverage=*/0.5);
+  ASSERT_EQ(spec.row_policy, robust::RowErrorPolicy::kPermissive);
+  const int64_t metric_before =
+      obs::DefaultMetrics().GetCounter(obs::kMDatagenRowsQuarantined)->Value();
+
+  constexpr int kCorrupt = 3;
+  Result<GeneratedTrainingData> faulted = Status::IoError("not yet run");
+  {
+    ScopedFaults faults("datagen.row:corrupt@" + std::to_string(kCorrupt));
+    faulted = GenerateTrainingData(spec);
+  }
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  // Quarantine counters equal the injected corruption exactly.
+  EXPECT_EQ(faulted->row_quarantine.rows_quarantined, kCorrupt);
+  EXPECT_EQ(faulted->row_quarantine.rows_seen,
+            static_cast<int64_t>(db.fact.num_rows()));
+  ASSERT_FALSE(faulted->row_quarantine.sample_errors.empty());
+  EXPECT_NE(faulted->row_quarantine.sample_errors[0].find(
+                "injected corrupt row"),
+            std::string::npos);
+  EXPECT_EQ(obs::DefaultMetrics()
+                    .GetCounter(obs::kMDatagenRowsQuarantined)
+                    ->Value() -
+                metric_before,
+            kCorrupt);
+
+  // The count trigger corrupts exactly the first kCorrupt fact rows, so the
+  // clean subset is the fact table without them.
+  table::Table trimmed(db.fact.schema());
+  std::vector<table::Value> row(db.fact.num_columns());
+  for (size_t r = kCorrupt; r < db.fact.num_rows(); ++r) {
+    for (size_t c = 0; c < db.fact.num_columns(); ++c) {
+      row[c] = db.fact.ValueAt(r, c);
+    }
+    trimmed.AppendRow(row);
+  }
+  BellwetherSpec clean_spec = spec;
+  clean_spec.fact = &trimmed;
+  auto clean = GenerateTrainingData(clean_spec);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->row_quarantine.rows_quarantined, 0);
+
+  // Identical training data...
+  EXPECT_EQ(faulted->targets, clean->targets);
+  ExpectSetsEqual(faulted->sets, clean->sets);
+
+  // ...and therefore an identical bellwether.
+  storage::MemoryTrainingData faulted_src(faulted->sets);
+  storage::MemoryTrainingData clean_src(clean->sets);
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kTrainingSet;
+  auto a = RunBasicBellwetherSearch(&faulted_src, options);
+  auto b = RunBasicBellwetherSearch(&clean_src, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->bellwether, b->bellwether);
+  EXPECT_EQ(a->error.rmse, b->error.rmse);
+}
+
+TEST(FaultPipelineTest, StrictPolicyFailsNamingTheRow) {
+  datagen::MailOrderDataset db = MakeMailOrder();
+  BellwetherSpec spec = db.MakeSpec(60.0, 0.5);
+  spec.row_policy = robust::RowErrorPolicy::kStrict;
+  ScopedFaults faults("datagen.row:corrupt@1");
+  auto data = GenerateTrainingData(spec);
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(data.status().ToString().find("fact row 0"), std::string::npos);
+}
+
+TEST(FaultPipelineTest, ProbabilisticCorruptionCompletesWithExactCounters) {
+  datagen::MailOrderDataset db = MakeMailOrder();
+  const BellwetherSpec spec = db.MakeSpec(60.0, 0.5);
+  robust::FaultRegistry::Default().set_seed(2026);
+  ScopedFaults faults("datagen.row:corrupt@0.02");
+  auto data = GenerateTrainingData(spec);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  const int64_t injected =
+      robust::FaultRegistry::Default().fires(robust::kFaultDatagenRow);
+  EXPECT_GT(injected, 0);  // ~2% of a >1000-row fact table
+  EXPECT_EQ(data->row_quarantine.rows_quarantined, injected);
+  // The pipeline still produces a usable bellwether.
+  storage::MemoryTrainingData source(data->sets);
+  BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kTrainingSet;
+  auto result = RunBasicBellwetherSearch(&source, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->found());
+}
+
+// ---- (c) continued: single-scan cube telemetry under retries ----
+
+TEST(FaultPipelineTest, SingleScanCubeIdenticalUnderRetries) {
+  datagen::SimulationDataset sim = MakeSim(33);
+  auto subsets = ItemSubsetSpace::Create(sim.items, sim.item_hierarchies);
+  ASSERT_TRUE(subsets.ok());
+  CubeBuildConfig config;
+  config.min_subset_size = 20;
+  config.min_examples_per_model = 8;
+  config.compute_cv_stats = false;
+
+  storage::MemoryTrainingData clean_src(sim.sets);
+  auto clean = BuildBellwetherCubeSingleScan(&clean_src, *subsets, config);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  storage::MemoryTrainingData faulty_inner(sim.sets);
+  storage::RetryPolicy policy;
+  policy.sleep_fn = [](int64_t) {};
+  storage::RetryingTrainingDataSource source(&faulty_inner, policy);
+  ScopedFaults faults("storage.scan:io@2");
+  auto faulted = BuildBellwetherCubeSingleScan(&source, *subsets, config);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+
+  // Lemma 2 telemetry holds at the wrapper: one logical pass.
+  EXPECT_EQ(faulted->build_telemetry().data_passes, 1);
+  EXPECT_EQ(source.io_stats().sequential_scans, 1);
+  EXPECT_EQ(source.retry_stats().retries, 2);
+
+  ASSERT_EQ(faulted->cells().size(), clean->cells().size());
+  for (size_t i = 0; i < clean->cells().size(); ++i) {
+    EXPECT_EQ(faulted->cells()[i].subset, clean->cells()[i].subset);
+    EXPECT_EQ(faulted->cells()[i].region, clean->cells()[i].region);
+    EXPECT_EQ(faulted->cells()[i].error, clean->cells()[i].error);
+    EXPECT_EQ(faulted->cells()[i].model.beta(), clean->cells()[i].model.beta());
+  }
+}
+
+// ---- (d): checkpoint/resume of a killed cube build ----
+
+TEST(FaultPipelineTest, KilledCubeBuildResumesIdentically) {
+  datagen::SimulationDataset sim = MakeSim(35);
+  auto subsets = ItemSubsetSpace::Create(sim.items, sim.item_hierarchies);
+  ASSERT_TRUE(subsets.ok());
+
+  CubeBuildConfig base;
+  base.min_subset_size = 20;
+  base.min_examples_per_model = 8;
+  base.compute_cv_stats = false;
+
+  storage::MemoryTrainingData ref_src(sim.sets);
+  auto ref = BuildBellwetherCubeSingleScan(&ref_src, *subsets, base);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  CubeBuildConfig ckpt_config = base;
+  ckpt_config.checkpoint_path = ::testing::TempDir() + "/cube_resume.bwk";
+  ckpt_config.checkpoint_every = 1;
+
+  {
+    // "Kill" the build right after the first region's checkpoint.
+    ScopedFaults faults("cube.scan:crash@1");
+    storage::MemoryTrainingData src(sim.sets);
+    auto crashed = BuildBellwetherCubeSingleScan(&src, *subsets, ckpt_config);
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_EQ(crashed.status().code(), StatusCode::kIoError);
+  }
+
+  const int64_t resumes_before =
+      obs::DefaultMetrics()
+          .GetCounter(obs::kMCubeCheckpointResumes)
+          ->Value();
+  storage::MemoryTrainingData resume_src(sim.sets);
+  auto resumed =
+      BuildBellwetherCubeSingleScan(&resume_src, *subsets, ckpt_config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->build_telemetry().resumed_regions, 1);
+  EXPECT_GE(resumed->build_telemetry().checkpoints_saved, 1);
+  EXPECT_EQ(obs::DefaultMetrics()
+                    .GetCounter(obs::kMCubeCheckpointResumes)
+                    ->Value() -
+                resumes_before,
+            1);
+
+  // Bit-identical to the uninterrupted build.
+  ASSERT_EQ(resumed->cells().size(), ref->cells().size());
+  for (size_t i = 0; i < ref->cells().size(); ++i) {
+    EXPECT_EQ(resumed->cells()[i].subset, ref->cells()[i].subset);
+    EXPECT_EQ(resumed->cells()[i].region, ref->cells()[i].region);
+    EXPECT_EQ(resumed->cells()[i].error, ref->cells()[i].error);
+    EXPECT_EQ(resumed->cells()[i].has_model, ref->cells()[i].has_model);
+    EXPECT_EQ(resumed->cells()[i].model.beta(), ref->cells()[i].model.beta());
+    EXPECT_EQ(resumed->cells()[i].degradation, ref->cells()[i].degradation);
+    EXPECT_EQ(resumed->cells()[i].fallback_pick,
+              ref->cells()[i].fallback_pick);
+  }
+  std::remove(ckpt_config.checkpoint_path.c_str());
+}
+
+TEST(FaultPipelineTest, StaleCheckpointIsIgnored) {
+  datagen::SimulationDataset sim = MakeSim(37);
+  auto subsets = ItemSubsetSpace::Create(sim.items, sim.item_hierarchies);
+  ASSERT_TRUE(subsets.ok());
+
+  CubeBuildConfig config;
+  config.min_subset_size = 20;
+  config.min_examples_per_model = 8;
+  config.compute_cv_stats = false;
+  config.checkpoint_path = ::testing::TempDir() + "/cube_stale.bwk";
+
+  storage::MemoryTrainingData src1(sim.sets);
+  auto first = BuildBellwetherCubeSingleScan(&src1, *subsets, config);
+  ASSERT_TRUE(first.ok());
+
+  // A different significance threshold changes the build fingerprint, so
+  // the leftover checkpoint must not be resumed.
+  CubeBuildConfig other = config;
+  other.min_subset_size = 40;
+  storage::MemoryTrainingData src2(sim.sets);
+  auto second = BuildBellwetherCubeSingleScan(&src2, *subsets, other);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->build_telemetry().resumed_regions, 0);
+
+  storage::MemoryTrainingData ref_src(sim.sets);
+  CubeBuildConfig no_ckpt = other;
+  no_ckpt.checkpoint_path.clear();
+  auto ref = BuildBellwetherCubeSingleScan(&ref_src, *subsets, no_ckpt);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_EQ(second->cells().size(), ref->cells().size());
+  for (size_t i = 0; i < ref->cells().size(); ++i) {
+    EXPECT_EQ(second->cells()[i].region, ref->cells()[i].region);
+    EXPECT_EQ(second->cells()[i].error, ref->cells()[i].error);
+  }
+  std::remove(config.checkpoint_path.c_str());
+}
+
+}  // namespace
+}  // namespace bellwether::core

@@ -1,0 +1,218 @@
+// Corruption hardening of the model/tree/cube loaders: truncated files and
+// byte flips fail with clean statuses (never a crash or a partial object),
+// version-mismatched headers are told apart from garbage, implausible counts
+// are rejected before allocation, and non-finite values round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "core/bellwether_cube.h"
+#include "core/bellwether_tree.h"
+#include "core/model_io.h"
+#include "datagen/simulation.h"
+#include "storage/training_data.h"
+
+namespace bellwether::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+datagen::SimulationDataset MakeSim(uint64_t seed) {
+  datagen::SimulationConfig config;
+  config.num_items = 200;
+  config.generator_tree_nodes = 7;
+  config.noise = 0.2;
+  config.num_windows = 3;
+  config.location_fanouts = {2, 2};
+  config.seed = seed;
+  return datagen::GenerateSimulation(config);
+}
+
+TEST(ModelIoCorruptionTest, VersionMismatchIsFailedPrecondition) {
+  const std::string path = ::testing::TempDir() + "/old_version.bwl";
+  WriteAll(path, "bellwether-linear-v0\n42\n1 1.5\n");
+  auto r = LoadLinearModel(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCorruptionTest, WrongArtifactKindIsFailedPrecondition) {
+  // A valid tree file handed to the cube loader: recognizably ours, but the
+  // wrong kind — the caller picked the wrong loader, not a corrupt file.
+  const std::string path = ::testing::TempDir() + "/kind.bwc";
+  WriteAll(path, "bellwether-tree-v2\n0\n1\n");
+  auto r = LoadBellwetherCube(path, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCorruptionTest, GarbageMagicIsInvalidArgument) {
+  const std::string path = ::testing::TempDir() + "/garbage.bwl";
+  WriteAll(path, "#!/bin/sh\necho not a model\n");
+  auto r = LoadLinearModel(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCorruptionTest, ImplausibleVectorLengthIsRejected) {
+  // A corrupt length field must not become a huge allocation.
+  const std::string path = ::testing::TempDir() + "/huge.bwl";
+  WriteAll(path, "bellwether-linear-v1\n42\n9999999999999 1.5\n");
+  auto r = LoadLinearModel(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCorruptionTest, LinearModelWithInfAndNanRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/inf.bwl";
+  regression::LinearModel model({kInf, -kInf, 1.0});
+  ASSERT_TRUE(SaveLinearModel(model, 7, path).ok());
+  auto back = LoadLinearModel(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->model.beta().size(), 3u);
+  EXPECT_EQ(back->model.beta()[0], kInf);
+  EXPECT_EQ(back->model.beta()[1], -kInf);
+  EXPECT_EQ(back->model.beta()[2], 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCorruptionTest, DegradedCubeCellRoundTrips) {
+  datagen::SimulationDataset sim = MakeSim(81);
+  auto subsets = ItemSubsetSpace::Create(sim.items, sim.item_hierarchies);
+  ASSERT_TRUE(subsets.ok());
+  storage::MemoryTrainingData source(sim.sets);
+  CubeBuildConfig config;
+  config.min_subset_size = 20;
+  config.min_examples_per_model = 8;
+  config.compute_cv_stats = false;
+  auto cube = BuildBellwetherCubeOptimized(&source, *subsets, config);
+  ASSERT_TRUE(cube.ok());
+  ASSERT_FALSE(cube->cells().empty());
+  // Simulate a degraded, fallback-picked cell (error = +inf) as produced by
+  // the graceful-degradation chain, and check the loader preserves it.
+  CubeCell& cell = cube->mutable_cells()[0];
+  cell.error = kInf;
+  cell.degradation = regression::FitDegradation::kMeanFallback;
+  cell.fallback_pick = true;
+
+  const std::string path = ::testing::TempDir() + "/degraded.bwc";
+  ASSERT_TRUE(SaveBellwetherCube(*cube, path).ok());
+  auto back = LoadBellwetherCube(path, *subsets);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->cells()[0].error, kInf);
+  EXPECT_EQ(back->cells()[0].degradation,
+            regression::FitDegradation::kMeanFallback);
+  EXPECT_TRUE(back->cells()[0].fallback_pick);
+  EXPECT_EQ(back->cells()[1].degradation, regression::FitDegradation::kNone);
+  EXPECT_FALSE(back->cells()[1].fallback_pick);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCorruptionTest, TruncatedCubeFailsCleanlyAtEveryBoundary) {
+  datagen::SimulationDataset sim = MakeSim(83);
+  auto subsets = ItemSubsetSpace::Create(sim.items, sim.item_hierarchies);
+  ASSERT_TRUE(subsets.ok());
+  storage::MemoryTrainingData source(sim.sets);
+  CubeBuildConfig config;
+  config.min_subset_size = 20;
+  config.min_examples_per_model = 8;
+  config.compute_cv_stats = false;
+  auto cube = BuildBellwetherCubeOptimized(&source, *subsets, config);
+  ASSERT_TRUE(cube.ok());
+  const std::string path = ::testing::TempDir() + "/trunc.bwc";
+  ASSERT_TRUE(SaveBellwetherCube(*cube, path).ok());
+  const std::string content = ReadAll(path);
+  ASSERT_GT(content.size(), 100u);
+
+  // Section boundaries: end of magic, end of header, mid first cell, and a
+  // cut inside the last cell's model vector.
+  const size_t magic_end = content.find('\n') + 1;
+  const size_t header_end = content.find('\n', magic_end) + 1;
+  for (size_t cut : {size_t{0}, magic_end, header_end, header_end + 10,
+                     content.size() / 2}) {
+    WriteAll(path, content.substr(0, cut));
+    auto r = LoadBellwetherCube(path, *subsets);
+    ASSERT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError) << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCorruptionTest, TruncatedTreeFailsCleanly) {
+  datagen::SimulationDataset sim = MakeSim(85);
+  storage::MemoryTrainingData source(sim.sets);
+  TreeBuildConfig config;
+  config.split_columns = sim.feature_columns;
+  config.min_items = 40;
+  config.max_depth = 3;
+  config.min_examples_per_model = 10;
+  auto tree = BuildBellwetherTreeRainForest(&source, sim.items, config);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = ::testing::TempDir() + "/trunc.bwt";
+  ASSERT_TRUE(SaveBellwetherTree(*tree, path).ok());
+  const std::string content = ReadAll(path);
+  // Section boundaries: after the magic (missing column count), after the
+  // column count (missing column names), and inside the first node header.
+  const size_t magic_end = content.find('\n') + 1;
+  const size_t col_count_end = content.find('\n', magic_end) + 1;
+  size_t nodes_start = col_count_end;
+  for (size_t i = 0; i < sim.feature_columns.size() + 1; ++i) {
+    nodes_start = content.find('\n', nodes_start) + 1;
+  }
+  for (size_t cut : {magic_end, col_count_end, nodes_start + 2}) {
+    WriteAll(path, content.substr(0, cut));
+    auto r = LoadBellwetherTree(path, sim.items);
+    ASSERT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError) << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCorruptionTest, ByteFlipsNeverCrashTheLoader) {
+  datagen::SimulationDataset sim = MakeSim(87);
+  storage::MemoryTrainingData source(sim.sets);
+  TreeBuildConfig config;
+  config.split_columns = sim.feature_columns;
+  config.min_items = 40;
+  config.max_depth = 3;
+  config.min_examples_per_model = 10;
+  auto tree = BuildBellwetherTreeRainForest(&source, sim.items, config);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = ::testing::TempDir() + "/flip.bwt";
+  ASSERT_TRUE(SaveBellwetherTree(*tree, path).ok());
+  const std::string content = ReadAll(path);
+  // Overwrite single bytes with a value no valid token contains; the loader
+  // must return an error (or, for bytes in string sections, a clean load) —
+  // never crash or over-allocate. ASan/UBSan builds give this test teeth.
+  for (size_t pos = 0; pos < content.size();
+       pos += content.size() / 37 + 1) {
+    std::string flipped = content;
+    flipped[pos] = '\x01';
+    WriteAll(path, flipped);
+    auto r = LoadBellwetherTree(path, sim.items);
+    (void)r;  // any Status is acceptable; crashing is not
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bellwether::core

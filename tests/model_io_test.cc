@@ -77,7 +77,7 @@ TEST(ModelIoTest, TreeRoundTripPreservesPredictions) {
 TEST(ModelIoTest, TreeLoadValidatesChildren) {
   const std::string path = ::testing::TempDir() + "/tree_bad.bwt";
   FILE* f = fopen(path.c_str(), "w");
-  fputs("bellwether-tree-v1\n0\n1\n0 5 1 3 1.0 0.0\n1 1\n-1 0 0 2\n1 99\n",
+  fputs("bellwether-tree-v2\n0\n1\n0 5 1 3 0 1.0 0.0\n1 1\n-1 0 0 2\n1 99\n",
         f);
   fclose(f);
   EXPECT_FALSE(LoadBellwetherTree(path, table::Table()).ok());
