@@ -1,9 +1,13 @@
 // Micro-benchmarks (google-benchmark) of the kernels the bellwether
 // algorithms are built from: regression sufficient-statistics accumulation
 // and merging (Theorem 1's g and q), WLS solves, CUBE rollup, region
-// enumeration, and the iceberg feasible-region search.
+// enumeration, the iceberg feasible-region search, and spill-file record
+// reads.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
 
 #include "common/random.h"
 #include "datagen/hierarchy_util.h"
@@ -12,6 +16,7 @@
 #include "olap/iceberg.h"
 #include "olap/region.h"
 #include "regression/linear_model.h"
+#include "storage/training_data.h"
 
 namespace {
 
@@ -151,6 +156,73 @@ void BM_IcebergSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IcebergSearch)->Arg(0)->Arg(1);
+
+// Writes a spill file of `num_regions` records with `rows` examples each and
+// returns its path. The file persists for the process lifetime (benchmarks
+// re-open it per run).
+std::string MakeSpillFile(int32_t num_regions, int32_t rows, int32_t p) {
+  static int counter = 0;
+  std::string path =
+      "/tmp/bw_micro_spill_" + std::to_string(counter++) + ".bin";
+  Rng rng(7);
+  auto writer = storage::SpillFileWriter::Create(path);
+  for (int32_t r = 0; r < num_regions; ++r) {
+    storage::RegionTrainingSet set;
+    set.region = r;
+    set.num_features = p;
+    for (int32_t i = 0; i < rows; ++i) {
+      set.items.push_back(i);
+      set.features.push_back(1.0);
+      for (int32_t j = 1; j < p; ++j) {
+        set.features.push_back(rng.NextDouble(-1, 1));
+      }
+      set.targets.push_back(rng.NextDouble());
+    }
+    if (!writer.value()->Append(set).ok()) std::abort();
+  }
+  if (!writer.value()->Finish().ok()) std::abort();
+  return path;
+}
+
+// Sequential scan over a spilled source: after the single-buffer read
+// optimization each record costs one seek + one read, so this measures the
+// per-record parse + copy cost that every fig11-scale build pays.
+void BM_SpillScan(benchmark::State& state) {
+  const int32_t rows = state.range(0);
+  static const std::string* path = new std::string(MakeSpillFile(64, 256, 8));
+  (void)rows;
+  auto source = storage::SpilledTrainingData::Open(*path);
+  if (!source.ok()) std::abort();
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    int64_t rows_seen = 0;
+    auto st = source.value()->Scan(
+        [&](const storage::RegionTrainingSet& set) {
+          rows_seen += static_cast<int64_t>(set.num_examples());
+          return Status::OK();
+        });
+    if (!st.ok()) std::abort();
+    benchmark::DoNotOptimize(rows_seen);
+  }
+  bytes = source.value()->io_stats().bytes_read;
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_SpillScan)->Arg(256);
+
+// Random record reads (the naive builders' access pattern).
+void BM_SpillRead(benchmark::State& state) {
+  static const std::string* path = new std::string(MakeSpillFile(64, 256, 8));
+  auto source = storage::SpilledTrainingData::Open(*path);
+  if (!source.ok()) std::abort();
+  Rng rng(8);
+  for (auto _ : state) {
+    auto set = source.value()->Read(rng.NextUint64(64));
+    if (!set.ok()) std::abort();
+    benchmark::DoNotOptimize(set.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpillRead);
 
 }  // namespace
 

@@ -1,10 +1,13 @@
 #include "core/basic_search.h"
 
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/eval_util.h"
+#include "exec/parallel.h"
 #include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -120,27 +123,58 @@ Result<BasicSearchResult> RunBasicBellwetherSearch(
   result.scores.reserve(source->num_region_sets());
   size_t index = 0;
   Stopwatch scan_watch;
-  BW_RETURN_IF_ERROR(
-      source->Scan([&](const storage::RegionTrainingSet& set) -> Status {
-        RegionScore score;
-        score.source_index = index++;
-        Stopwatch fit_watch;
-        ScoreRegion(set, options, item_mask, &score);
-        Metrics().fit_seconds->Observe(fit_watch.ElapsedSeconds());
-        ++t.regions_enumerated;
-        t.rows_scanned += static_cast<int64_t>(set.num_examples());
-        if (score.usable) {
-          ++t.regions_scored;
-        } else if (score.num_examples <
-                   static_cast<size_t>(
-                       std::max<int32_t>(options.min_examples, 2))) {
-          ++t.skipped_min_examples;
-        } else {
-          ++t.model_fit_failures;
-        }
-        result.scores.push_back(score);
-        return Status::OK();
-      }));
+
+  // The scan stays sequential (storage arrival order, I/O accounting, and
+  // fault-injection arrival counts are untouched); only the per-region
+  // scoring work moves onto the pool. Scores are reduced in submission
+  // order, so the scores vector — and everything derived from it — is
+  // bit-identical to the serial loop for any thread count.
+  const int32_t num_threads = exec::ResolveNumThreads(options.exec.num_threads);
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<exec::ThreadPool>(num_threads);
+  {
+    exec::MergeInSubmissionOrder<RegionScore> reducer(
+        pool.get(), /*max_outstanding=*/4 * static_cast<size_t>(num_threads),
+        "search.score_batch", [&](size_t, RegionScore score) -> Status {
+          result.scores.push_back(std::move(score));
+          return Status::OK();
+        });
+    BW_RETURN_IF_ERROR(
+        source->Scan([&](const storage::RegionTrainingSet& set) -> Status {
+          const size_t source_index = index++;
+          ++t.regions_enumerated;
+          t.rows_scanned += static_cast<int64_t>(set.num_examples());
+          const auto compute =
+              [source_index, &options,
+               item_mask](const storage::RegionTrainingSet& s) {
+                RegionScore score;
+                score.source_index = source_index;
+                Stopwatch fit_watch;
+                ScoreRegion(s, options, item_mask, &score);
+                Metrics().fit_seconds->Observe(fit_watch.ElapsedSeconds());
+                return score;
+              };
+          if (reducer.parallel()) {
+            // The visited set is only valid during this callback; the task
+            // owns a copy.
+            return reducer.Submit(
+                [compute, copy = set]() { return compute(copy); });
+          }
+          return reducer.Submit([&]() { return compute(set); });
+        }));
+    BW_RETURN_IF_ERROR(reducer.Finish());
+  }
+  for (const auto& score : result.scores) {
+    if (score.usable) {
+      ++t.regions_scored;
+    } else if (score.num_examples <
+               static_cast<size_t>(
+                   std::max<int32_t>(options.min_examples, 2))) {
+      ++t.skipped_min_examples;
+    } else {
+      ++t.model_fit_failures;
+    }
+  }
   t.scan_seconds = scan_watch.ElapsedSeconds();
   Metrics().enumerated->Increment(t.regions_enumerated);
   Metrics().scored->Increment(t.regions_scored);
@@ -179,6 +213,7 @@ Result<BasicSearchResult> SelectUnderBudget(
   BasicSearchResult result;
   result.telemetry = full.telemetry;
   result.telemetry.pruned_by_cost = 0;
+  result.scores.reserve(full.scores.size());
   double best = std::numeric_limits<double>::infinity();
   for (const auto& s : full.scores) {
     if (s.region < 0 ||
@@ -216,11 +251,12 @@ Result<BasicSearchResult> SelectLinearCriterion(
   }
   obs::TraceSpan span("SelectLinearCriterion", "search");
   BasicSearchResult result;
-  result.scores = full.scores;
   result.telemetry = full.telemetry;
+  // Select over `full.scores` first; the wholesale copy into the result
+  // happens once, reserved up front, only after the scan decided a winner.
   double best = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < result.scores.size(); ++i) {
-    const auto& s = result.scores[i];
+  for (size_t i = 0; i < full.scores.size(); ++i) {
+    const auto& s = full.scores[i];
     if (!s.usable) continue;
     if (s.region < 0 ||
         static_cast<size_t>(s.region) >= region_costs.size()) {
@@ -236,6 +272,9 @@ Result<BasicSearchResult> SelectLinearCriterion(
       result.error = s.error;
     }
   }
+  result.scores.reserve(full.scores.size());
+  result.scores.insert(result.scores.end(), full.scores.begin(),
+                       full.scores.end());
   if (result.found()) {
     BW_RETURN_IF_ERROR(RefitModel(
         source, result.scores[result.bellwether_index].source_index,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "olap/region.h"
 #include "regression/error.h"
 #include "regression/linear_model.h"
@@ -71,6 +72,11 @@ struct BasicSearchOptions {
   /// A (region, subset) model needs at least this many training examples to
   /// be eligible; guards against trivially interpolating fits.
   int32_t min_examples = 5;
+  /// Parallel region scoring. Per-region RNGs are seeded by
+  /// RegionSeed(seed, region), so scores are order-independent; the scores
+  /// vector and telemetry are merged in submission order, making the result
+  /// bit-identical to the serial scan for every thread count.
+  exec::BellwetherExecOptions exec;
 };
 
 /// Scores every region training set in `source` (one sequential scan) and

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "common/check.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "exec/parallel.h"
 #include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -492,31 +495,13 @@ Result<BellwetherCube> BuildBellwetherCubeSingleScan(
 
   std::vector<RegressionSuffStats> stats;
   int64_t region_pos = 0;
-  BW_RETURN_IF_ERROR(source->Scan([&](const RegionTrainingSet& set)
-                                      -> Status {
-    // Fast-forward past regions a resumed checkpoint already accounts for
-    // (the physical scan still delivers them; their compute is skipped).
-    if (region_pos < resume_from) {
-      ++region_pos;
-      return Status::OK();
-    }
-    if (stats.empty()) {
-      stats.assign(significant.size(), RegressionSuffStats(set.num_features));
-    } else {
-      for (auto& s : stats) s.Reset();
-    }
-    // "Build a model h_r on r for S" for every significant subset S: each
-    // row contributes to every containing subset's statistics directly.
-    for (size_t row = 0; row < set.num_examples(); ++row) {
-      for (int32_t k : containing[set.items[row]]) {
-        stats[k].Add(set.row(row), set.targets[row], set.weight(row));
-      }
-    }
-    for (size_t k = 0; k < significant.size(); ++k) {
-      picks[k].Offer(
-          TrainingErrorOfStats(stats[k], config.min_examples_per_model),
-          set.region, stats[k]);
-    }
+
+  // Tail work of one *merged* region, shared by the serial and parallel
+  // paths: count it, save a checkpoint on the configured cadence, and honor
+  // the injected-crash fault. In the parallel build this runs in ascending
+  // region order on the scan thread, so checkpoint contents and crash
+  // arrival counts are bit-identical to the serial build.
+  auto finish_region = [&]() -> Status {
     ++region_pos;
     if (checkpointing &&
         region_pos % std::max(config.checkpoint_every, 1) == 0) {
@@ -529,7 +514,94 @@ Result<BellwetherCube> BuildBellwetherCubeSingleScan(
           "injected crash during cube scan (simulated kill)");
     }
     return Status::OK();
-  }));
+  };
+
+  const int32_t num_threads = exec::ResolveNumThreads(config.exec.num_threads);
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<exec::ThreadPool>(num_threads);
+  Status scan_status;
+  if (pool == nullptr) {
+    scan_status = source->Scan([&](const RegionTrainingSet& set) -> Status {
+      // Fast-forward past regions a resumed checkpoint already accounts for
+      // (the physical scan still delivers them; their compute is skipped).
+      if (region_pos < resume_from) {
+        ++region_pos;
+        return Status::OK();
+      }
+      if (stats.empty()) {
+        stats.assign(significant.size(),
+                     RegressionSuffStats(set.num_features));
+      } else {
+        for (auto& s : stats) s.Reset();
+      }
+      // "Build a model h_r on r for S" for every significant subset S: each
+      // row contributes to every containing subset's statistics directly.
+      for (size_t row = 0; row < set.num_examples(); ++row) {
+        for (int32_t k : containing[set.items[row]]) {
+          stats[k].Add(set.row(row), set.targets[row], set.weight(row));
+        }
+      }
+      for (size_t k = 0; k < significant.size(); ++k) {
+        picks[k].Offer(
+            TrainingErrorOfStats(stats[k], config.min_examples_per_model),
+            set.region, stats[k]);
+      }
+      return finish_region();
+    });
+  } else {
+    // Parallel path: each region's per-subset <MinError, Size> accumulators
+    // are computed on a worker from a private copy of the training set (row
+    // order, and hence every floating-point accumulation, matches the serial
+    // loop exactly), then offered to the shared picks in scan order — the
+    // same Offer() sequence the serial loop performs, so cube cells,
+    // checkpoints, and crash points are bit-identical for any thread count.
+    struct RegionCubeStats {
+      olap::RegionId region = olap::kInvalidRegion;
+      std::vector<RegressionSuffStats> stats;  // per significant subset
+      std::vector<double> error;
+    };
+    int64_t scan_pos = 0;
+    exec::MergeInSubmissionOrder<RegionCubeStats> reducer(
+        pool.get(), /*max_outstanding=*/2 * static_cast<size_t>(num_threads),
+        "cube.scan_merge", [&](size_t, RegionCubeStats r) -> Status {
+          for (size_t k = 0; k < significant.size(); ++k) {
+            picks[k].Offer(r.error[k], r.region, r.stats[k]);
+          }
+          return finish_region();
+        });
+    scan_status = source->Scan([&](const RegionTrainingSet& set) -> Status {
+      if (scan_pos < resume_from) {
+        // The resume skip is a strict prefix of the scan, before anything
+        // was submitted to the pool, so the merge-side region counter can
+        // be advanced inline.
+        ++scan_pos;
+        ++region_pos;
+        return Status::OK();
+      }
+      ++scan_pos;
+      return reducer.Submit(
+          [&significant, &containing, &config, set = set]() {
+            RegionCubeStats r;
+            r.region = set.region;
+            r.stats.assign(significant.size(),
+                           RegressionSuffStats(set.num_features));
+            for (size_t row = 0; row < set.num_examples(); ++row) {
+              for (int32_t k : containing[set.items[row]]) {
+                r.stats[k].Add(set.row(row), set.targets[row],
+                               set.weight(row));
+              }
+            }
+            r.error.resize(significant.size());
+            for (size_t k = 0; k < significant.size(); ++k) {
+              r.error[k] = TrainingErrorOfStats(
+                  r.stats[k], config.min_examples_per_model);
+            }
+            return r;
+          });
+    });
+    if (scan_status.ok()) scan_status = reducer.Finish();
+  }
+  BW_RETURN_IF_ERROR(scan_status);
   if (checkpointing) {
     // Final state, in case the region count is not a multiple of the
     // checkpoint interval.

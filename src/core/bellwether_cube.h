@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "core/eval_util.h"
+#include "exec/thread_pool.h"
 #include "olap/region.h"
 #include "regression/error.h"
 #include "regression/linear_model.h"
@@ -116,6 +117,14 @@ struct CubeBuildConfig {
   /// bit-identical to an uninterrupted build.
   std::string checkpoint_path;
   int32_t checkpoint_every = 1;
+  /// Parallel region scoring (single-scan builder only; the naive and
+  /// optimized builders are reference implementations and stay serial).
+  /// Per-region <MinError, Size> accumulators are computed on workers and
+  /// merged in scan order, so the cube — and every checkpoint written along
+  /// the way — is bit-identical to the serial build for every thread count.
+  /// Checkpoint fingerprints do not cover the thread count, so a build may
+  /// resume a checkpoint written with a different one.
+  exec::BellwetherExecOptions exec;
 };
 
 /// A prediction made through the cube.

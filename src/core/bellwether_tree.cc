@@ -4,10 +4,13 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "exec/parallel.h"
 #include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -518,6 +521,7 @@ Result<BellwetherTree> BuildBellwetherTreeRainForest(
       std::shared_ptr<ItemSplitFeatures> feats,
       ItemSplitFeatures::Create(item_table, config.split_columns));
   const int32_t num_items = feats->num_items();
+  const int32_t num_threads = exec::ResolveNumThreads(config.exec.num_threads);
 
   std::vector<TreeNode> nodes;
   nodes.emplace_back();
@@ -568,52 +572,144 @@ Result<BellwetherTree> BuildBellwetherTreeRainForest(
     }
     telemetry.suff_stats_peak =
         std::max(telemetry.suff_stats_peak, level_stats);
-    bool stats_sized = false;
-    BW_RETURN_IF_ERROR(source->Scan([&](const RegionTrainingSet& set)
-                                        -> Status {
-      if (!stats_sized) {
-        stats_sized = true;
-        for (auto& e : evals) {
-          e.self_stats = RegressionSuffStats(set.num_features);
-          e.part.resize(e.candidates.size());
+    // The pool is created per level, *after* the level state the worker
+    // tasks reference: if the scan aborts mid-level, the pool's destructor
+    // (or the explicit Wait below) drains the queued tasks while `evals` and
+    // `node_of_item` are still alive.
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (num_threads > 1) pool = std::make_unique<exec::ThreadPool>(num_threads);
+    Status scan_status;
+    if (pool == nullptr) {
+      bool stats_sized = false;
+      scan_status = source->Scan([&](const RegionTrainingSet& set) -> Status {
+        if (!stats_sized) {
+          stats_sized = true;
+          for (auto& e : evals) {
+            e.self_stats = RegressionSuffStats(set.num_features);
+            e.part.resize(e.candidates.size());
+            for (size_t c = 0; c < e.candidates.size(); ++c) {
+              e.part[c].assign(e.candidates[c].num_partitions,
+                               RegressionSuffStats(set.num_features));
+            }
+          }
+        } else {
+          for (auto& e : evals) {
+            e.self_stats.Reset();
+            for (auto& ps : e.part) {
+              for (auto& st : ps) st.Reset();
+            }
+          }
+        }
+        for (size_t row = 0; row < set.num_examples(); ++row) {
+          const int32_t v = node_of_item[set.items[row]];
+          if (v < 0) continue;
+          NodeEval& e = evals[v];
+          e.self_stats.Add(set.row(row), set.targets[row], set.weight(row));
           for (size_t c = 0; c < e.candidates.size(); ++c) {
-            e.part[c].assign(e.candidates[c].num_partitions,
-                             RegressionSuffStats(set.num_features));
+            const int32_t p =
+                e.candidates[c].PartitionOf(*feats, set.items[row]);
+            if (p >= 0) e.part[c][p].Add(set.row(row), set.targets[row], set.weight(row));
           }
         }
-      } else {
         for (auto& e : evals) {
-          e.self_stats.Reset();
-          for (auto& ps : e.part) {
-            for (auto& st : ps) st.Reset();
+          e.self.Offer(
+              ErrorOfStats(e.self_stats, config.min_examples_per_model),
+              set.region, e.self_stats);
+          for (size_t c = 0; c < e.candidates.size(); ++c) {
+            for (size_t p = 0; p < e.part[c].size(); ++p) {
+              e.min_error[c][p] = std::min(
+                  e.min_error[c][p],
+                  ErrorOfStats(e.part[c][p], config.min_examples_per_model));
+            }
           }
         }
-      }
-      for (size_t row = 0; row < set.num_examples(); ++row) {
-        const int32_t v = node_of_item[set.items[row]];
-        if (v < 0) continue;
-        NodeEval& e = evals[v];
-        e.self_stats.Add(set.row(row), set.targets[row], set.weight(row));
-        for (size_t c = 0; c < e.candidates.size(); ++c) {
-          const int32_t p =
-              e.candidates[c].PartitionOf(*feats, set.items[row]);
-          if (p >= 0) e.part[c][p].Add(set.row(row), set.targets[row], set.weight(row));
-        }
-      }
-      for (auto& e : evals) {
-        e.self.Offer(
-            ErrorOfStats(e.self_stats, config.min_examples_per_model),
-            set.region, e.self_stats);
-        for (size_t c = 0; c < e.candidates.size(); ++c) {
-          for (size_t p = 0; p < e.part[c].size(); ++p) {
-            e.min_error[c][p] = std::min(
-                e.min_error[c][p],
-                ErrorOfStats(e.part[c][p], config.min_examples_per_model));
+        return Status::OK();
+      });
+    } else {
+      // Parallel path: each region's level statistics are computed on a
+      // worker from a private copy of the training set (row order, and hence
+      // every floating-point accumulation, matches the serial loop exactly),
+      // then folded into the level state in scan order — the same
+      // Offer()/min() sequence the serial loop performs, so the resulting
+      // tree is bit-identical for every thread count.
+      struct RegionLevelStats {
+        olap::RegionId region = olap::kInvalidRegion;
+        std::vector<RegressionSuffStats> self_stats;               // [v]
+        std::vector<double> self_error;                            // [v]
+        std::vector<std::vector<std::vector<double>>> part_error;  // [v][c][p]
+      };
+      exec::MergeInSubmissionOrder<RegionLevelStats> reducer(
+          pool.get(),
+          /*max_outstanding=*/2 * static_cast<size_t>(num_threads),
+          "tree.level_scan", [&](size_t, RegionLevelStats r) -> Status {
+            for (size_t v = 0; v < width; ++v) {
+              NodeEval& e = evals[v];
+              e.self.Offer(r.self_error[v], r.region, r.self_stats[v]);
+              for (size_t c = 0; c < e.min_error.size(); ++c) {
+                for (size_t p = 0; p < e.min_error[c].size(); ++p) {
+                  e.min_error[c][p] =
+                      std::min(e.min_error[c][p], r.part_error[v][c][p]);
+                }
+              }
+            }
+            return Status::OK();
+          });
+      scan_status = source->Scan([&](const RegionTrainingSet& set) -> Status {
+        return reducer.Submit([&feats, &evals, &node_of_item, &config, width,
+                               set = set]() {
+          RegionLevelStats r;
+          r.region = set.region;
+          r.self_stats.assign(width, RegressionSuffStats(set.num_features));
+          r.self_error.assign(width, 0.0);
+          r.part_error.resize(width);
+          std::vector<std::vector<std::vector<RegressionSuffStats>>> part(
+              width);
+          for (size_t v = 0; v < width; ++v) {
+            const NodeEval& e = evals[v];
+            part[v].resize(e.candidates.size());
+            r.part_error[v].resize(e.candidates.size());
+            for (size_t c = 0; c < e.candidates.size(); ++c) {
+              part[v][c].assign(e.candidates[c].num_partitions,
+                                RegressionSuffStats(set.num_features));
+              r.part_error[v][c].assign(e.candidates[c].num_partitions, kInf);
+            }
           }
-        }
-      }
-      return Status::OK();
-    }));
+          for (size_t row = 0; row < set.num_examples(); ++row) {
+            const int32_t v = node_of_item[set.items[row]];
+            if (v < 0) continue;
+            const NodeEval& e = evals[v];
+            r.self_stats[v].Add(set.row(row), set.targets[row],
+                                set.weight(row));
+            for (size_t c = 0; c < e.candidates.size(); ++c) {
+              const int32_t p =
+                  e.candidates[c].PartitionOf(*feats, set.items[row]);
+              if (p >= 0) {
+                part[v][c][p].Add(set.row(row), set.targets[row],
+                                  set.weight(row));
+              }
+            }
+          }
+          for (size_t v = 0; v < width; ++v) {
+            r.self_error[v] =
+                ErrorOfStats(r.self_stats[v], config.min_examples_per_model);
+            for (size_t c = 0; c < part[v].size(); ++c) {
+              for (size_t p = 0; p < part[v][c].size(); ++p) {
+                r.part_error[v][c][p] =
+                    ErrorOfStats(part[v][c][p], config.min_examples_per_model);
+              }
+            }
+          }
+          return r;
+        });
+      });
+      if (scan_status.ok()) scan_status = reducer.Finish();
+    }
+    if (!scan_status.ok()) {
+      // Queued tasks reference this level's state; drain them before the
+      // early return unwinds it.
+      if (pool != nullptr) pool->Wait();
+      return scan_status;
+    }
     level_span.End();
     Metrics().level_scan_seconds->Observe(level_watch.ElapsedSeconds());
 

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/eval_util.h"
+#include "exec/thread_pool.h"
 #include "olap/region.h"
 #include "regression/linear_model.h"
 #include "storage/training_data.h"
@@ -166,6 +167,12 @@ struct TreeBuildConfig {
   int32_t min_examples_per_model = 5;
   /// Do not apply a split whose goodness is not strictly positive.
   bool require_positive_goodness = true;
+  /// Parallel per-level statistics collection (RainForest builder only; the
+  /// naive builder is the reference implementation and stays serial). Each
+  /// region's sufficient statistics are computed on a worker and folded into
+  /// the level state in scan order, so the tree is bit-identical to the
+  /// serial build for every thread count.
+  exec::BellwetherExecOptions exec;
 };
 
 /// Builds the tree with the naive algorithm of Fig. 4: one pass over the

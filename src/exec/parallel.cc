@@ -1,0 +1,34 @@
+#include "exec/parallel.h"
+
+namespace bellwether::exec {
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn, const char* label) {
+  obs::TraceSpan span(label, "exec");
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Dynamic scheduling: workers grab the next index until exhausted. The
+  // number of tasks equals the worker count, not n, so tiny iterations do
+  // not pay a queue round-trip each.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  const int32_t tasks =
+      static_cast<int32_t>(std::min<size_t>(pool->num_threads(), n));
+  std::vector<std::future<void>> done;
+  done.reserve(tasks);
+  for (int32_t t = 0; t < tasks; ++t) {
+    auto packaged = std::make_shared<std::packaged_task<void()>>([&fn, next,
+                                                                  n] {
+      for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next->fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+    done.push_back(packaged->get_future());
+    pool->Submit([packaged] { (*packaged)(); });
+  }
+  for (auto& f : done) f.get();
+}
+
+}  // namespace bellwether::exec

@@ -237,6 +237,12 @@ void RegisterStandardMetrics(MetricsRegistry* registry) {
   registry->GetCounter(kMCubeSignificantSubsets,
                        "significant item subsets found (|S| >= K)");
   registry->GetCounter(kMCubeCellsMaterialized, "cube cells materialized");
+  registry->GetCounter(kMExecTasksSubmitted,
+                       "tasks submitted to exec thread pools");
+  registry->GetGauge(kMExecQueueDepth,
+                     "peak depth of the exec thread-pool task queue");
+  registry->GetGauge(kMExecWorkerBusySeconds,
+                     "cumulative wall time exec workers spent running tasks");
   registry->GetCounter(kMStorageScans,
                        "sequential scans issued against training sources");
   registry->GetCounter(kMStorageRegionReads,

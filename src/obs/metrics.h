@@ -187,6 +187,14 @@ inline constexpr std::string_view kMCubeSignificantSubsets =
 inline constexpr std::string_view kMCubeCellsMaterialized =
     "bellwether_cube_cells_materialized_total";
 
+// Parallel execution layer (exec/thread_pool.cc, exec/parallel.h).
+inline constexpr std::string_view kMExecTasksSubmitted =
+    "bellwether_exec_tasks_submitted_total";
+inline constexpr std::string_view kMExecQueueDepth =
+    "bellwether_exec_queue_depth";
+inline constexpr std::string_view kMExecWorkerBusySeconds =
+    "bellwether_exec_worker_busy_seconds_total";
+
 // Storage layer (storage/training_data.cc).
 inline constexpr std::string_view kMStorageScans =
     "bellwether_storage_sequential_scans_total";

@@ -118,10 +118,12 @@ class SpillFileWriter {
   bool finished_ = false;
 };
 
-/// Disk-backed source over a spill file written by SpillFileWriter. Reads
-/// are unbuffered at the record level: each Read()/Scan step fetches the
-/// record bytes from the file. An optional artificial per-read latency
-/// models a slow device for the Fig. 11(a) comparison.
+/// Disk-backed source over a spill file written by SpillFileWriter. Each
+/// Read()/Scan step fetches the whole record with a single seek + read into
+/// a reusable buffer (sized once to the largest record seen) and parses it
+/// from memory, instead of issuing one small read per field/array. An
+/// optional artificial per-read latency models a slow device for the
+/// Fig. 11(a) comparison.
 class SpilledTrainingData final : public TrainingDataSource {
  public:
   static Result<std::unique_ptr<SpilledTrainingData>> Open(
@@ -142,18 +144,27 @@ class SpilledTrainingData final : public TrainingDataSource {
  private:
   SpilledTrainingData(std::string path, std::FILE* f,
                       std::vector<int64_t> offsets,
-                      std::vector<int64_t> region_ids)
+                      std::vector<int64_t> region_ids, int64_t index_offset)
       : path_(std::move(path)),
         file_(f),
         offsets_(std::move(offsets)),
-        region_ids_(std::move(region_ids)) {}
+        region_ids_(std::move(region_ids)),
+        index_offset_(index_offset) {}
 
-  Status ReadRecordAt(int64_t offset, RegionTrainingSet* out);
+  /// One past the last byte of record i: the next record's offset, or the
+  /// footer index for the final record.
+  int64_t RecordEnd(size_t i) const {
+    return i + 1 < offsets_.size() ? offsets_[i + 1] : index_offset_;
+  }
+
+  Status ReadRecord(size_t index, RegionTrainingSet* out);
 
   std::string path_;
   std::FILE* file_;
   std::vector<int64_t> offsets_;
   std::vector<int64_t> region_ids_;
+  int64_t index_offset_ = 0;
+  std::vector<unsigned char> read_buffer_;  // reused across record reads
   int64_t simulated_latency_micros_ = 0;
 };
 
