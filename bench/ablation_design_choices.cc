@@ -19,6 +19,7 @@
 #include "datagen/scalability.h"
 #include "olap/iceberg.h"
 #include "storage/training_data.h"
+#include "storage/training_data_sink.h"
 
 namespace {
 using namespace bellwether;         // NOLINT
@@ -39,10 +40,12 @@ int main(int argc, char** argv) {
     config.dim1_fanouts = {7};
     config.dim2_fanouts = {7};
     config.item_hierarchy_fanouts = {fanout, fanout};
-    std::vector<storage::RegionTrainingSet> sets;
-    auto meta = datagen::GenerateScalability(config, nullptr, &sets);
+    storage::MemorySink sink;
+    auto meta = datagen::GenerateScalability(config, &sink);
     if (!meta.ok()) return 1;
-    storage::MemoryTrainingData source(std::move(sets));
+    auto src = sink.Finish();
+    if (!src.ok()) return 1;
+    storage::TrainingDataSource& source = **src;
     auto subsets =
         core::ItemSubsetSpace::Create(meta->items, meta->item_hierarchies);
     if (!subsets.ok()) return 1;
@@ -71,9 +74,9 @@ int main(int argc, char** argv) {
   mo.num_items = static_cast<int32_t>(300 * scale);
   datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(mo);
   const core::BellwetherSpec spec = dataset.MakeSpec(85.0, 0.5);
-  auto data = core::GenerateTrainingData(spec);
+  auto data = core::GenerateTrainingDataInMemory(spec);
   if (!data.ok()) return 1;
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource& source = *data->source;
   Row({"Estimate", "Time(s)", "Bellwether", "RMSE"});
   for (const bool cv : {false, true}) {
     core::BasicSearchOptions opts;
@@ -94,9 +97,11 @@ int main(int argc, char** argv) {
   Row({"Budget", "brute", "pruned-examined", "pruned-skipped"});
   for (double budget : {10.0, 30.0, 60.0, 85.0}) {
     auto brute = olap::FindFeasibleRegionsBruteForce(
-        *spec.space, data->region_costs, data->region_coverage, budget, 0.5);
+        *spec.space, data->profile.region_costs,
+        data->profile.region_coverage, budget, 0.5);
     auto pruned = olap::FindFeasibleRegionsPruned(
-        *spec.space, data->region_costs, data->region_coverage, budget, 0.5);
+        *spec.space, data->profile.region_costs,
+        data->profile.region_coverage, budget, 0.5);
     if (brute.regions != pruned.regions) {
       std::fprintf(stderr, "MISMATCH at budget %.0f\n", budget);
       return 1;

@@ -31,12 +31,12 @@ int main(int argc, char** argv) {
   config.seed = 404;
   const datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
   const core::BellwetherSpec spec = dataset.MakeSpec(60.0, 0.5);
-  auto data = core::GenerateTrainingData(spec);
+  auto data = core::GenerateTrainingDataInMemory(spec);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource& source = *data->source;
 
   // ---- [1] linear criterion ----
   std::printf("\n[1] linear criterion Error + w1*cost - w2*coverage\n");
@@ -49,20 +49,22 @@ int main(int argc, char** argv) {
   for (const auto& [w1, w2] :
        std::vector<std::pair<double, double>>{
            {0.0, 0.0}, {50.0, 0.0}, {200.0, 0.0}, {0.0, 5000.0}}) {
-    auto r = core::SelectLinearCriterion(*full, &source, data->region_costs,
-                                         data->region_coverage, w1, w2);
+    auto r = core::SelectLinearCriterion(*full, &source,
+                                         data->profile.region_costs,
+                                         data->profile.region_coverage, w1,
+                                         w2);
     if (!r.ok() || !r->found()) continue;
     Row({Fmt(w1, "%.0f"), Fmt(w2, "%.0f"),
          spec.space->RegionLabel(r->bellwether), Fmt(r->error.rmse),
-         Fmt(data->region_costs[r->bellwether], "%.1f")});
+         Fmt(data->profile.region_costs[r->bellwether], "%.1f")});
   }
 
   // ---- [2] combinatorial ----
   std::printf("\n[2] combinatorial bellwether (greedy region unions)\n");
   Row({"Budget", "Single-best", "Combination", "Regions"});
   for (double budget : {15.0, 30.0}) {
-    auto single =
-        core::SelectUnderBudget(*full, &source, data->region_costs, budget);
+    auto single = core::SelectUnderBudget(*full, &source,
+                                          data->profile.region_costs, budget);
     core::CombinatorialOptions copts;
     copts.budget = budget;
     copts.max_regions = 3;
@@ -108,7 +110,7 @@ int main(int argc, char** argv) {
   std::printf("\n[4] classification bellwether (label: profit above "
               "median?)\n");
   core::ClassificationOptions copts;
-  copts.labeler = core::ThresholdLabeler(core::MedianTarget(data->targets));
+  copts.labeler = core::ThresholdLabeler(core::MedianTarget(data->profile.targets));
   copts.num_classes = 2;
   copts.cv_folds = 5;
   copts.min_examples = 30;

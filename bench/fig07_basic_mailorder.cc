@@ -27,7 +27,7 @@ using core::BasicSearchOptions;
 using core::BasicSearchResult;
 
 void PrintErrorTable(const char* caption, const BasicSearchResult& full,
-                     storage::MemoryTrainingData* source,
+                     storage::TrainingDataSource* source,
                      const core::GeneratedTrainingData& data,
                      const core::BellwetherSpec& spec,
                      const std::vector<double>& budgets, bool with_sampling,
@@ -36,7 +36,8 @@ void PrintErrorTable(const char* caption, const BasicSearchResult& full,
   Row({"Budget", "BelErr", "AvgErr", with_sampling ? "SmpErr" : "",
        "Bellwether"});
   for (double budget : budgets) {
-    auto r = core::SelectUnderBudget(full, source, data.region_costs, budget);
+    auto r = core::SelectUnderBudget(full, source,
+                                     data.profile.region_costs, budget);
     if (!r.ok() || !r->found()) {
       Row({Fmt(budget, "%.0f"), "-", "-", "-", "(none feasible)"});
       continue;
@@ -70,7 +71,7 @@ int main(int argc, char** argv) {
 
   const double max_budget = 85.0;
   const core::BellwetherSpec spec = dataset.MakeSpec(max_budget, 0.5);
-  auto data = core::GenerateTrainingData(spec);
+  auto data = core::GenerateTrainingDataInMemory(spec);
   if (!data.ok()) {
     std::fprintf(stderr, "training data generation failed: %s\n",
                  data.status().ToString().c_str());
@@ -78,12 +79,12 @@ int main(int argc, char** argv) {
   }
   std::printf("feasible regions at budget %.0f: %zu (examined %lld, pruned "
               "%lld of %lld candidate regions)\n",
-              max_budget, data->sets.size(),
-              static_cast<long long>(data->feasible.regions_examined),
-              static_cast<long long>(data->feasible.regions_pruned),
+              max_budget, data->source->num_region_sets(),
+              static_cast<long long>(data->profile.feasible.regions_examined),
+              static_cast<long long>(data->profile.feasible.regions_pruned),
               static_cast<long long>(spec.space->NumRegions()));
 
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource& source = *data->source;
   const std::vector<double> budgets{5, 15, 25, 35, 45, 55, 65, 75, 85};
 
   // ---- (a) Cross-validation error vs budget ----
@@ -106,8 +107,8 @@ int main(int argc, char** argv) {
               "interval\n");
   Row({"Budget", "95%", "99%"});
   for (double budget : budgets) {
-    auto r = core::SelectUnderBudget(*cv_full, &source, data->region_costs,
-                                     budget);
+    auto r = core::SelectUnderBudget(*cv_full, &source,
+                                     data->profile.region_costs, budget);
     if (!r.ok() || !r->found()) {
       Row({Fmt(budget, "%.0f"), "-", "-"});
       continue;

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   Stopwatch total;
   datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
   const core::BellwetherSpec spec = dataset.MakeSpec(85.0, 0.5);
-  auto data = core::GenerateTrainingData(spec);
+  auto data = core::GenerateTrainingDataInMemory(spec);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
@@ -59,15 +59,15 @@ int main(int argc, char** argv) {
   eval.Pause();
   Row({"Budget", "Basic", "Tree", "Cube", "(predicted/missed)"});
   for (double budget : {10.0, 25.0, 40.0, 55.0, 70.0, 85.0}) {
-    const auto sets =
-        core::FilterSetsByBudget(data->sets, data->region_costs, budget);
+    const auto sets = core::FilterSetsByBudget(
+        *data->memory_sets(), data->profile.region_costs, budget);
     if (sets.empty()) {
       Row({Fmt(budget, "%.0f"), "-", "-", "-", "(no feasible region)"});
       continue;
     }
     core::ItemCentricInput input;
     input.sets = &sets;
-    input.targets = &data->targets;
+    input.targets = &data->profile.targets;
     input.item_table = &dataset.items;
     input.subsets = *subsets;
     eval.Resume();

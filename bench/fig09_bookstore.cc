@@ -34,12 +34,12 @@ int main(int argc, char** argv) {
 
   const double max_budget = 200.0;
   const core::BellwetherSpec spec = dataset.MakeSpec(max_budget, 0.4);
-  auto data = core::GenerateTrainingData(spec);
+  auto data = core::GenerateTrainingDataInMemory(spec);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource& source = *data->source;
 
   core::BasicSearchOptions opts;
   opts.estimate = regression::ErrorEstimate::kCrossValidation;
@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
   std::printf("\n(a) error vs budget — 10-fold cross-validation RMSE\n");
   Row({"Budget", "BelErr", "AvgErr", "SmpErr", "Returned region"});
   for (double budget : budgets) {
-    auto r =
-        core::SelectUnderBudget(*full, &source, data->region_costs, budget);
+    auto r = core::SelectUnderBudget(*full, &source,
+                                     data->profile.region_costs, budget);
     if (!r.ok() || !r->found()) {
       Row({Fmt(budget, "%.0f"), "-", "-", "-", "(none feasible)"});
       continue;
@@ -72,8 +72,8 @@ int main(int argc, char** argv) {
               "high)\n");
   Row({"Budget", "95%", "99%"});
   for (double budget : budgets) {
-    auto r =
-        core::SelectUnderBudget(*full, &source, data->region_costs, budget);
+    auto r = core::SelectUnderBudget(*full, &source,
+                                     data->profile.region_costs, budget);
     if (!r.ok() || !r->found()) {
       Row({Fmt(budget, "%.0f"), "-", "-"});
       continue;
@@ -102,15 +102,15 @@ int main(int argc, char** argv) {
   iopts.basic.min_examples = 15;
   Row({"Budget", "SingleRegion", "Tree", "Cube"});
   for (double budget : {50.0, 100.0, 150.0, 200.0}) {
-    const auto sets =
-        core::FilterSetsByBudget(data->sets, data->region_costs, budget);
+    const auto sets = core::FilterSetsByBudget(
+        *data->memory_sets(), data->profile.region_costs, budget);
     if (sets.empty()) {
       Row({Fmt(budget, "%.0f"), "-", "-", "-"});
       continue;
     }
     core::ItemCentricInput input;
     input.sets = &sets;
-    input.targets = &data->targets;
+    input.targets = &data->profile.targets;
     input.item_table = &dataset.items;
     input.subsets = *subsets;
     auto r = core::EvaluateItemCentric(input, iopts);

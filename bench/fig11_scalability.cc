@@ -18,6 +18,7 @@
 #include "core/bellwether_tree.h"
 #include "datagen/scalability.h"
 #include "storage/training_data.h"
+#include "storage/training_data_sink.h"
 
 namespace {
 
@@ -26,7 +27,7 @@ using namespace bellwether::bench;  // NOLINT
 
 struct Generated {
   datagen::ScalabilityDataset meta;
-  std::unique_ptr<storage::SpilledTrainingData> source;
+  std::unique_ptr<storage::TrainingDataSource> source;
   std::string path;
 };
 
@@ -45,18 +46,18 @@ Generated Generate(int64_t target_examples, int32_t items,
   config.dim2_fanouts = dim2;
   config.num_numeric_item_features = numeric_features;
   config.item_hierarchy_fanouts = {hierarchy_fanout};
-  auto writer = storage::SpillFileWriter::Create(out.path);
-  if (!writer.ok()) {
-    std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+  auto sink = storage::SpillSink::Create(out.path);
+  if (!sink.ok()) {
+    std::fprintf(stderr, "%s\n", sink.status().ToString().c_str());
     std::exit(1);
   }
-  auto meta = datagen::GenerateScalability(config, writer->get(), nullptr);
-  if (!meta.ok() || !(*writer)->Finish().ok()) {
+  auto meta = datagen::GenerateScalability(config, sink->get());
+  if (!meta.ok()) {
     std::fprintf(stderr, "generation failed\n");
     std::exit(1);
   }
   out.meta = std::move(meta).value();
-  auto src = storage::SpilledTrainingData::Open(out.path);
+  auto src = (*sink)->Finish();
   if (!src.ok()) {
     std::fprintf(stderr, "%s\n", src.status().ToString().c_str());
     std::exit(1);
@@ -106,7 +107,10 @@ int main(int argc, char** argv) {
     // The paper's simulation: every request of a region's training set is a
     // disk read; emulate a device with a fixed per-request latency so the
     // OS page cache does not mask the random-read penalty.
-    g.source->set_simulated_read_latency_micros(500);
+    auto* spilled =
+        dynamic_cast<storage::SpilledTrainingData*>(g.source.get());
+    if (spilled == nullptr) return 1;
+    spilled->set_simulated_read_latency_micros(500);
     auto subsets =
         core::ItemSubsetSpace::Create(g.meta.items, g.meta.item_hierarchies);
     if (!subsets.ok()) return 1;

@@ -15,6 +15,7 @@
 #include "core/bellwether_tree.h"
 #include "datagen/scalability.h"
 #include "storage/training_data.h"
+#include "storage/training_data_sink.h"
 
 namespace {
 using namespace bellwether;         // NOLINT
@@ -36,10 +37,12 @@ int main(int argc, char** argv) {
     config.dim1_fanouts = {9};
     config.dim2_fanouts = {9};  // 100 regions
     config.item_hierarchy_fanouts = {fanout, fanout};
-    std::vector<storage::RegionTrainingSet> sets;
-    auto meta = datagen::GenerateScalability(config, nullptr, &sets);
+    storage::MemorySink sink;
+    auto meta = datagen::GenerateScalability(config, &sink);
     if (!meta.ok()) return 1;
-    storage::MemoryTrainingData source(std::move(sets));
+    auto src = sink.Finish();
+    if (!src.ok()) return 1;
+    storage::TrainingDataSource& source = **src;
     auto subsets =
         core::ItemSubsetSpace::Create(meta->items, meta->item_hierarchies);
     if (!subsets.ok()) return 1;
@@ -65,10 +68,12 @@ int main(int argc, char** argv) {
     config.dim1_fanouts = {9};
     config.dim2_fanouts = {9};
     config.num_numeric_item_features = features;
-    std::vector<storage::RegionTrainingSet> sets;
-    auto meta = datagen::GenerateScalability(config, nullptr, &sets);
+    storage::MemorySink sink;
+    auto meta = datagen::GenerateScalability(config, &sink);
     if (!meta.ok()) return 1;
-    storage::MemoryTrainingData source(std::move(sets));
+    auto src = sink.Finish();
+    if (!src.ok()) return 1;
+    storage::TrainingDataSource& source = **src;
     core::TreeBuildConfig tree_cfg;
     tree_cfg.split_columns = meta->numeric_feature_columns;
     tree_cfg.min_items = 100;

@@ -22,6 +22,7 @@
 #include "core/bellwether_tree.h"
 #include "datagen/scalability.h"
 #include "storage/training_data.h"
+#include "storage/training_data_sink.h"
 
 namespace {
 
@@ -30,7 +31,7 @@ using namespace bellwether::bench;  // NOLINT
 
 struct Workload {
   datagen::ScalabilityDataset meta;
-  std::unique_ptr<storage::SpilledTrainingData> source;
+  std::unique_ptr<storage::TrainingDataSource> source;
   std::string path;
 };
 
@@ -45,18 +46,18 @@ Workload Generate(double scale) {
   config.dim2_fanouts = {3, 3};
   config.num_numeric_item_features = 2;
   config.item_hierarchy_fanouts = {2};
-  auto writer = storage::SpillFileWriter::Create(out.path);
-  if (!writer.ok()) {
-    std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+  auto sink = storage::SpillSink::Create(out.path);
+  if (!sink.ok()) {
+    std::fprintf(stderr, "%s\n", sink.status().ToString().c_str());
     std::exit(1);
   }
-  auto meta = datagen::GenerateScalability(config, writer->get(), nullptr);
-  if (!meta.ok() || !(*writer)->Finish().ok()) {
+  auto meta = datagen::GenerateScalability(config, sink->get());
+  if (!meta.ok()) {
     std::fprintf(stderr, "generation failed\n");
     std::exit(1);
   }
   out.meta = std::move(meta).value();
-  auto src = storage::SpilledTrainingData::Open(out.path);
+  auto src = (*sink)->Finish();
   if (!src.ok()) {
     std::fprintf(stderr, "%s\n", src.status().ToString().c_str());
     std::exit(1);

@@ -1,0 +1,177 @@
+// Out-of-core smoke bench for the streaming training-data pipeline
+// (docs/PERFORMANCE.md "Memory footprint & spill"): generates the mail-order
+// training data twice — once unbudgeted into memory, once through a
+// BudgetedSink with a deliberately tiny memory budget so the sets migrate
+// to disk mid-stream — then asserts the budgeted run is bit-identical in
+// every artifact the determinism tests compare (training sets, profile,
+// basic-search result). Results are written as JSON for the CI artifact:
+//
+//   ./build/bench/streaming_datagen --budget-bytes=4096 \
+//       --out=BENCH_streaming_datagen.json
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/basic_search.h"
+#include "core/training_data_gen.h"
+#include "datagen/mail_order.h"
+#include "obs/metrics.h"
+#include "storage/training_data.h"
+#include "storage/training_data_sink.h"
+
+namespace {
+
+using namespace bellwether;         // NOLINT
+using namespace bellwether::bench;  // NOLINT
+
+// Peak resident set size of this process, in bytes (Linux reports KiB).
+long PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
+  return usage.ru_maxrss * 1024L;
+}
+
+bool SetsIdentical(storage::TrainingDataSource* a,
+                   storage::TrainingDataSource* b) {
+  if (a->num_region_sets() != b->num_region_sets()) return false;
+  for (size_t i = 0; i < a->num_region_sets(); ++i) {
+    auto sa = a->Read(i);
+    auto sb = b->Read(i);
+    if (!sa.ok() || !sb.ok()) return false;
+    if (sa->region != sb->region || sa->items != sb->items ||
+        sa->features != sb->features || sa->targets != sb->targets ||
+        sa->weights != sb->weights) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 1.0);
+  const auto budget_bytes = static_cast<size_t>(
+      FlagDouble(argc, argv, "budget-bytes", 4096.0));
+  const std::string out_path =
+      FlagString(argc, argv, "out", "BENCH_streaming_datagen.json");
+  const std::string spill_path =
+      FlagString(argc, argv, "spill", "/tmp/bw_streaming_datagen.spill");
+  Banner("Streaming datagen",
+         "Budgeted out-of-core generation vs the unbudgeted run");
+
+  datagen::MailOrderConfig config;
+  config.num_items = static_cast<int32_t>(300 * scale);
+  config.seed = 1996;
+  const datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
+  const core::BellwetherSpec spec = dataset.MakeSpec(85.0, 0.5);
+
+  // ---- Unbudgeted reference: everything resident ----
+  Stopwatch sw_mem;
+  auto ref = core::GenerateTrainingDataInMemory(spec);
+  const double mem_seconds = sw_mem.ElapsedSeconds();
+  if (!ref.ok()) {
+    std::fprintf(stderr, "%s\n", ref.status().ToString().c_str());
+    return 1;
+  }
+  size_t total_bytes = 0, largest_set_bytes = 0;
+  for (const auto& set : *ref->memory_sets()) {
+    total_bytes += set.ByteSize();
+    largest_set_bytes = std::max(largest_set_bytes, set.ByteSize());
+  }
+
+  // ---- Budgeted run: budget << total data forces the spill ----
+  auto* gauge =
+      obs::DefaultMetrics().GetGauge(obs::kMDatagenPeakResidentBytes);
+  gauge->Reset();
+  Stopwatch sw_budget;
+  storage::BudgetedSink sink(budget_bytes, spill_path);
+  auto profile = core::GenerateTrainingData(spec, &sink);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  auto source = sink.Finish();
+  const double budget_seconds = sw_budget.ElapsedSeconds();
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  const double peak_resident = gauge->Value();
+
+  // ---- Bit-identity assertions (the out-of-core determinism contract) ----
+  bool identical = SetsIdentical(ref->source.get(), source->get());
+  identical = identical && profile->targets == ref->profile.targets &&
+              profile->region_costs == ref->profile.region_costs &&
+              profile->feasible.regions == ref->profile.feasible.regions;
+  core::BasicSearchOptions options;
+  options.estimate = regression::ErrorEstimate::kTrainingSet;
+  auto ref_search =
+      core::RunBasicBellwetherSearch(ref->source.get(), options);
+  auto budget_search = core::RunBasicBellwetherSearch(source->get(), options);
+  if (!ref_search.ok() || !budget_search.ok()) {
+    std::fprintf(stderr, "search failed\n");
+    return 1;
+  }
+  identical = identical &&
+              budget_search->bellwether == ref_search->bellwether &&
+              budget_search->error.rmse == ref_search->error.rmse &&
+              budget_search->model.beta() == ref_search->model.beta();
+
+  Row({"Mode", "Time(s)", "Resident", "Sets"});
+  Row({"memory", Fmt(mem_seconds, "%.3f"),
+       Fmt(static_cast<double>(total_bytes), "%.0f"),
+       Fmt(static_cast<double>(ref->source->num_region_sets()), "%.0f")});
+  Row({"budgeted", Fmt(budget_seconds, "%.3f"), Fmt(peak_resident, "%.0f"),
+       Fmt(static_cast<double>((*source)->num_region_sets()), "%.0f")});
+  std::printf("\nbudget=%zu bytes, total=%zu bytes, largest set=%zu bytes, "
+              "spilled=%s, identical=%s\n",
+              budget_bytes, total_bytes, largest_set_bytes,
+              sink.spilled() ? "yes" : "no", identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "determinism violation: budgeted generation differs from "
+                 "the unbudgeted run\n");
+    return 1;
+  }
+  if (!sink.spilled() && budget_bytes < total_bytes) {
+    std::fprintf(stderr, "budget below total data but the sink never "
+                         "spilled\n");
+    return 1;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"scale\": %.4f,\n"
+      "  \"memory_budget_bytes\": %zu,\n"
+      "  \"total_training_set_bytes\": %zu,\n"
+      "  \"largest_region_set_bytes\": %zu,\n"
+      "  \"region_sets\": %zu,\n"
+      "  \"spilled\": %s,\n"
+      "  \"identical_to_unbudgeted\": %s,\n"
+      "  \"peak_resident_training_bytes\": %.0f,\n"
+      "  \"peak_process_rss_bytes\": %ld,\n"
+      "  \"memory_run_seconds\": %.6f,\n"
+      "  \"budgeted_run_seconds\": %.6f\n"
+      "}\n",
+      scale, budget_bytes, total_bytes, largest_set_bytes,
+      ref->source->num_region_sets(), sink.spilled() ? "true" : "false",
+      identical ? "true" : "false", peak_resident, PeakRssBytes(),
+      mem_seconds, budget_seconds);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  std::remove(spill_path.c_str());
+  DumpTelemetryIfRequested(argc, argv);
+  return 0;
+}

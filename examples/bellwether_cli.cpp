@@ -240,15 +240,15 @@ Status Run(int argc, char** argv) {
   spec.min_coverage = coverage;
 
   BW_ASSIGN_OR_RETURN(core::GeneratedTrainingData data,
-                      core::GenerateTrainingData(spec));
+                      core::GenerateTrainingDataInMemory(spec));
   std::printf("%zu feasible regions under budget %.1f (coverage >= %.2f)\n",
-              data.sets.size(), budget, coverage);
-  storage::MemoryTrainingData source(data.sets);
+              data.source->num_region_sets(), budget, coverage);
   core::BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
   options.min_examples = 25;
-  BW_ASSIGN_OR_RETURN(core::BasicSearchResult result,
-                      core::RunBasicBellwetherSearch(&source, options));
+  BW_ASSIGN_OR_RETURN(
+      core::BasicSearchResult result,
+      core::RunBasicBellwetherSearch(data.source.get(), options));
   if (!result.found()) {
     return Status::NotFound("no usable bellwether region under the budget");
   }
@@ -264,7 +264,7 @@ Status Run(int argc, char** argv) {
               result.FractionIndistinguishable(0.95) < 0.05 ? "yes" : "no");
   std::printf("\nmodel coefficients:\n");
   for (size_t j = 0; j < result.model.beta().size(); ++j) {
-    std::printf("  %-20s %+.6g\n", data.feature_names[j].c_str(),
+    std::printf("  %-20s %+.6g\n", data.profile.feature_names[j].c_str(),
                 result.model.beta()[j]);
   }
   return Status::OK();

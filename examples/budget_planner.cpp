@@ -20,17 +20,17 @@ int main() {
   const datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
   const double max_budget = 90.0;
   const core::BellwetherSpec spec = dataset.MakeSpec(max_budget, 0.5);
-  auto data = core::GenerateTrainingData(spec);
+  auto data = core::GenerateTrainingDataInMemory(spec);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource* source = data->source.get();
 
   core::BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
   options.min_examples = 30;
-  auto full = core::RunBasicBellwetherSearch(&source, options);
+  auto full = core::RunBasicBellwetherSearch(source, options);
   if (!full.ok()) return 1;
 
   std::printf("%-8s %-16s %-8s %-22s %-10s\n", "budget", "bellwether",
@@ -38,8 +38,8 @@ int main() {
   double prev_rmse = -1.0;
   double knee = -1.0;
   for (double budget = 10.0; budget <= max_budget; budget += 10.0) {
-    auto r =
-        core::SelectUnderBudget(*full, &source, data->region_costs, budget);
+    auto r = core::SelectUnderBudget(*full, source,
+                                     data->profile.region_costs, budget);
     if (!r.ok() || !r->found()) {
       std::printf("%-8.0f (no feasible region)\n", budget);
       continue;
@@ -52,7 +52,7 @@ int main() {
                   r->error.rmse, lo, hi);
     std::printf("%-8.0f %-16s %-8.1f %-22s %-10s\n", budget,
                 spec.space->RegionLabel(r->bellwether).c_str(),
-                data->region_costs[r->bellwether], interval,
+                data->profile.region_costs[r->bellwether], interval,
                 indis < 0.05 ? "yes" : "no");
     // The knee: the first budget where spending 10 more improves the error
     // by under 2%.

@@ -35,12 +35,11 @@ int main() {
   const datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
   const core::BellwetherSpec spec = dataset.MakeSpec(/*budget=*/60.0,
                                                      /*min_coverage=*/0.5);
-  auto data = core::GenerateTrainingData(spec);
+  auto data = core::GenerateTrainingDataInMemory(spec);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
-  storage::MemoryTrainingData source(data->sets);
 
   auto subsets =
       core::ItemSubsetSpace::Create(dataset.items, dataset.item_hierarchies);
@@ -52,8 +51,8 @@ int main() {
   cube_config.min_subset_size = 25;
   cube_config.min_examples_per_model = 20;
   cube_config.compute_cv_stats = true;
-  auto cube =
-      core::BuildBellwetherCubeOptimized(&source, *subsets, cube_config);
+  auto cube = core::BuildBellwetherCubeOptimized(data->source.get(), *subsets,
+                                                 cube_config);
   if (!cube.ok()) {
     std::fprintf(stderr, "%s\n", cube.status().ToString().c_str());
     return 1;
@@ -71,17 +70,17 @@ int main() {
   PrintLevel(*cube, spec.space, {2, 1}, "base: [Category, Range]");
 
   // Item-centric prediction through the cube.
-  const core::RegionFeatureLookup lookup(&data->sets);
+  const core::RegionFeatureLookup lookup(data->memory_sets());
   std::printf("\nprediction for three items (95%% confidence rule):\n");
   for (int32_t item : {0, 1, 2}) {
     auto p = cube->PredictItem(item, lookup, 0.95);
     if (!p.ok()) continue;
     std::printf("  item %lld: subset %s, region %s -> predicted %.0f "
                 "(actual %.0f)\n",
-                static_cast<long long>(data->items.IdAt(item)),
+                static_cast<long long>(data->profile.items.IdAt(item)),
                 (*subsets)->SubsetLabel(p->subset).c_str(),
                 spec.space->RegionLabel(p->region).c_str(), p->value,
-                data->targets[item]);
+                data->profile.targets[item]);
   }
   return 0;
 }

@@ -33,14 +33,15 @@ int main() {
 
   const double budget = 55.0;  // marketing budget for the pilot observation
   const core::BellwetherSpec spec = dataset.MakeSpec(budget, 0.5);
-  auto data = core::GenerateTrainingData(spec);
+  auto data = core::GenerateTrainingDataInMemory(spec);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
 
   // Hold out every 10th item as a future product.
-  const int32_t num_items = static_cast<int32_t>(data->targets.size());
+  const int32_t num_items =
+      static_cast<int32_t>(data->profile.targets.size());
   std::vector<uint8_t> historical(num_items, 1);
   std::vector<int32_t> new_items;
   for (int32_t i = 0; i < num_items; i += 10) {
@@ -48,11 +49,11 @@ int main() {
     new_items.push_back(i);
   }
 
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource* source = data->source.get();
   core::BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
   options.min_examples = 30;
-  auto basic = core::RunBasicBellwetherSearch(&source, options, &historical);
+  auto basic = core::RunBasicBellwetherSearch(source, options, &historical);
   if (!basic.ok() || !basic->found()) return 1;
   std::printf("\nglobal bellwether region under budget %.0f: %s\n", budget,
               spec.space->RegionLabel(basic->bellwether).c_str());
@@ -65,7 +66,7 @@ int main() {
   tree_config.max_depth = 3;
   tree_config.max_numeric_split_points = 8;
   tree_config.min_examples_per_model = 20;
-  auto tree = core::BuildBellwetherTreeRainForest(&source, dataset.items,
+  auto tree = core::BuildBellwetherTreeRainForest(source, dataset.items,
                                                   tree_config, &historical);
   if (!tree.ok()) return 1;
   std::printf("\nbellwether tree (%d leaves):\n%s\n", tree->NumLeaves(),
@@ -73,25 +74,26 @@ int main() {
 
   // Predict the held-out products: collect pilot data from each one's
   // bellwether region and apply the region's model.
-  const core::RegionFeatureLookup lookup(&data->sets);
+  const core::RegionFeatureLookup lookup(data->memory_sets());
   double basic_sse = 0.0, tree_sse = 0.0;
   int64_t n = 0;
   std::printf("new product forecasts (first 8 shown):\n");
   std::printf("  %-8s %-12s %-12s %-12s %s\n", "item", "actual", "basic",
               "tree", "tree region");
   for (int32_t item : new_items) {
-    if (std::isnan(data->targets[item])) continue;
+    if (std::isnan(data->profile.targets[item])) continue;
     const double* xb = lookup.Find(basic->bellwether, item);
     auto tp = tree->PredictItem(item, lookup);
     if (xb == nullptr || !tp.ok()) continue;
     const double bp = basic->model.Predict(xb);
-    const double actual = data->targets[item];
+    const double actual = data->profile.targets[item];
     basic_sse += (bp - actual) * (bp - actual);
     tree_sse += (*tp - actual) * (*tp - actual);
     if (n < 8) {
       const int32_t node = tree->RouteItem(item);
       std::printf("  %-8lld %-12.0f %-12.0f %-12.0f %s\n",
-                  static_cast<long long>(data->items.IdAt(item)), actual, bp,
+                  static_cast<long long>(data->profile.items.IdAt(item)),
+                  actual, bp,
                   *tp,
                   spec.space->RegionLabel(tree->nodes()[node].region).c_str());
     }

@@ -97,19 +97,21 @@ int main() {
   spec.budget = 2.0;        // we can afford two cheap cells
   spec.min_coverage = 0.9;  // the region must cover 90% of the items
 
-  auto data = core::GenerateTrainingData(spec);
+  // Region sets stream into a sink as they are generated; the MemorySink
+  // behind GenerateTrainingDataInMemory keeps them resident and hands back
+  // the source directly — no copy.
+  auto data = core::GenerateTrainingDataInMemory(spec);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
   std::printf("feasible regions under budget %.0f: %zu\n", spec.budget,
-              data->sets.size());
+              data->source->num_region_sets());
 
   // ---- 3. The basic bellwether search -------------------------------------
-  storage::MemoryTrainingData source(data->sets);
   core::BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
-  auto result = core::RunBasicBellwetherSearch(&source, options);
+  auto result = core::RunBasicBellwetherSearch(data->source.get(), options);
   if (!result.ok() || !result->found()) {
     std::fprintf(stderr, "no bellwether found\n");
     return 1;
@@ -119,11 +121,11 @@ int main() {
               result->error.rmse, result->AverageError());
 
   // ---- 4. Predict a "new" item from its bellwether-region data ------------
-  const core::RegionFeatureLookup lookup(&data->sets);
-  const int32_t item = data->items.Find(40);
+  const core::RegionFeatureLookup lookup(data->memory_sets());
+  const int32_t item = data->profile.items.Find(40);
   const double* x = lookup.Find(result->bellwether, item);
   if (x == nullptr) return 1;
   std::printf("item 40: predicted season total %.1f, actual %.1f\n",
-              result->model.Predict(x), data->targets[item]);
+              result->model.Predict(x), data->profile.targets[item]);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "olap/cost.h"
 #include "olap/region.h"
 #include "regression/error.h"
@@ -95,6 +96,13 @@ struct BellwetherSpec {
       regression::ErrorEstimate::kCrossValidation;
   int32_t cv_folds = 10;
   uint64_t seed = 17;
+
+  /// Parallel region-set emission during training-data generation. The fact
+  /// scan and cube rollups stay sequential; only the per-region set
+  /// assembly runs on workers, merged into the sink in submission order —
+  /// so the emitted stream is bit-identical to the serial one for every
+  /// thread count.
+  exec::BellwetherExecOptions exec;
 
   /// How training-data generation treats malformed fact rows (non-finite
   /// target or measure values, injected corruption). Permissive quarantines

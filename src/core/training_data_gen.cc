@@ -1,10 +1,13 @@
 #include "core/training_data_gen.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "exec/parallel.h"
 #include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -127,78 +130,34 @@ double AggregateValues(AggFn fn, const std::vector<double>& vals) {
   return r.value_or(0.0);
 }
 
-}  // namespace
+// The §4.2 single-OLAP-query pipeline, decomposed into named stages that
+// each carry their own trace span. All state accumulated across stages
+// lives here; after FindFeasible() it is immutable, so EmitRegionSets can
+// assemble region sets on pool workers and stream them into the sink in
+// submission (= ascending RegionId) order.
+class TrainingDataGenerator {
+ public:
+  explicit TrainingDataGenerator(const BellwetherSpec& spec)
+      : spec_(spec),
+        space_(*spec.space),
+        fact_(*spec.fact),
+        item_table_(*spec.item_table) {}
 
-std::vector<std::string> FeatureNames(const BellwetherSpec& spec) {
-  std::vector<std::string> names;
-  names.reserve(1 + spec.item_feature_columns.size() +
-                spec.regional_features.size());
-  names.push_back("(intercept)");
-  for (const auto& c : spec.item_feature_columns) names.push_back(c);
-  for (const auto& q : spec.regional_features) names.push_back(q.name);
-  return names;
-}
-
-std::unique_ptr<storage::TrainingDataSource>
-GeneratedTrainingData::ToMemorySource() const {
-  return std::make_unique<storage::MemoryTrainingData>(sets);
-}
-
-int64_t GeneratedTrainingData::FindSet(olap::RegionId region) const {
-  for (size_t i = 0; i < sets.size(); ++i) {
-    if (sets[i].region == region) return static_cast<int64_t>(i);
-  }
-  return -1;
-}
-
-Result<GeneratedTrainingData> GenerateTrainingData(
-    const BellwetherSpec& spec) {
-  obs::TraceSpan span("GenerateTrainingData", "datagen");
-  BW_RETURN_IF_ERROR(ValidateSpec(spec));
-  const olap::RegionSpace& space = *spec.space;
-  const Table& fact = *spec.fact;
-  const Table& item_table = *spec.item_table;
-
-  GeneratedTrainingData out;
-  out.feature_names = FeatureNames(spec);
-
-  // ---- Item dictionary and item-table features ----
-  const size_t item_id_col =
-      item_table.schema().FieldIndexOrDie(spec.item_table_id_column);
-  std::vector<size_t> item_feat_cols;
-  for (const auto& c : spec.item_feature_columns) {
-    item_feat_cols.push_back(item_table.schema().FieldIndexOrDie(c));
-  }
-  std::vector<std::vector<double>> item_feats;  // dense index -> features
-  for (size_t r = 0; r < item_table.num_rows(); ++r) {
-    const auto& idc = item_table.column(item_id_col);
-    if (idc.IsNull(r)) continue;
-    const int32_t dense = out.items.GetOrAdd(idc.Int64At(r));
-    if (dense != static_cast<int32_t>(item_feats.size())) {
-      return Status::InvalidArgument("duplicate item id in item table");
-    }
-    std::vector<double> f(item_feat_cols.size(), 0.0);
-    for (size_t k = 0; k < item_feat_cols.size(); ++k) {
-      const auto& col = item_table.column(item_feat_cols[k]);
-      f[k] = col.IsNull(r) ? 0.0 : col.NumericAt(r);
-    }
-    item_feats.push_back(std::move(f));
-  }
-  const int32_t num_items = out.items.size();
-  if (num_items == 0) {
-    return Status::FailedPrecondition("item table has no items");
+  Result<TrainingDataProfile> Run(storage::TrainingDataSink* sink) {
+    BW_RETURN_IF_ERROR(ValidateSpec(spec_));
+    profile_.feature_names = FeatureNames(spec_);
+    BW_RETURN_IF_ERROR(BuildItemIndex());
+    BW_RETURN_IF_ERROR(PrepareFeatures());
+    BW_RETURN_IF_ERROR(ScanFactTable());
+    RollupCubes();
+    BW_RETURN_IF_ERROR(FinishTargets());
+    ComputeCoverageAndCosts();
+    FindFeasible();
+    BW_RETURN_IF_ERROR(EmitRegionSets(sink));
+    return std::move(profile_);
   }
 
-  // ---- Resolve fact columns ----
-  const size_t fact_item_col =
-      fact.schema().FieldIndexOrDie(spec.item_id_column);
-  std::vector<size_t> dim_cols;
-  for (const auto& c : spec.dimension_columns) {
-    dim_cols.push_back(fact.schema().FieldIndexOrDie(c));
-  }
-  const size_t target_col = fact.schema().FieldIndexOrDie(spec.target_column);
-
-  // ---- Prepare per-feature machinery ----
+ private:
   struct NumericFeature {
     size_t query_index;
     size_t value_col;                                  // column in fact
@@ -214,204 +173,258 @@ Result<GeneratedTrainingData> GenerateTrainingData(
     const table::Column* ref_measure;
     RegionItemCube<FkSetAgg> cube;
   };
-  // Key indexes, one per distinct reference used.
-  std::unordered_map<std::string, std::unordered_map<int64_t, size_t>>
-      key_indexes;
-  for (const auto& q : spec.regional_features) {
-    if (q.kind == FeatureQuery::Kind::kFactMeasure) continue;
-    if (key_indexes.count(q.reference)) continue;
-    const auto& ref = spec.references.at(q.reference);
-    BW_ASSIGN_OR_RETURN(auto index,
-                        BuildKeyIndex(*ref.table, ref.key_column));
-    key_indexes.emplace(q.reference, std::move(index));
+
+  // ---- Stage: item dictionary and item-table features ----
+  Status BuildItemIndex() {
+    obs::TraceSpan span("BuildItemIndex", "datagen");
+    const size_t item_id_col =
+        item_table_.schema().FieldIndexOrDie(spec_.item_table_id_column);
+    std::vector<size_t> item_feat_cols;
+    for (const auto& c : spec_.item_feature_columns) {
+      item_feat_cols.push_back(item_table_.schema().FieldIndexOrDie(c));
+    }
+    for (size_t r = 0; r < item_table_.num_rows(); ++r) {
+      const auto& idc = item_table_.column(item_id_col);
+      if (idc.IsNull(r)) continue;
+      const int32_t dense = profile_.items.GetOrAdd(idc.Int64At(r));
+      if (dense != static_cast<int32_t>(item_feats_.size())) {
+        return Status::InvalidArgument("duplicate item id in item table");
+      }
+      std::vector<double> f(item_feat_cols.size(), 0.0);
+      for (size_t k = 0; k < item_feat_cols.size(); ++k) {
+        const auto& col = item_table_.column(item_feat_cols[k]);
+        f[k] = col.IsNull(r) ? 0.0 : col.NumericAt(r);
+      }
+      item_feats_.push_back(std::move(f));
+    }
+    num_items_ = profile_.items.size();
+    if (num_items_ == 0) {
+      return Status::FailedPrecondition("item table has no items");
+    }
+    return Status::OK();
   }
 
-  std::vector<NumericFeature> numeric_features;
-  std::vector<FkFeature> fk_features;
-  for (size_t qi = 0; qi < spec.regional_features.size(); ++qi) {
-    const auto& q = spec.regional_features[qi];
-    if (q.kind == FeatureQuery::Kind::kFactMeasure) {
-      numeric_features.push_back(
-          {qi, fact.schema().FieldIndexOrDie(q.measure_column), nullptr,
-           nullptr, 0, RegionItemCube<NumericAgg>(&space, num_items)});
-    } else {
-      const auto& ref = spec.references.at(q.reference);
-      const table::Column* measure = &ref.table->ColumnByName(q.measure_column);
-      const size_t fk = fact.schema().FieldIndexOrDie(q.fk_column);
-      if (q.kind == FeatureQuery::Kind::kReferenceMeasure) {
-        numeric_features.push_back(
-            {qi, 0, &key_indexes.at(q.reference), measure, fk,
-             RegionItemCube<NumericAgg>(&space, num_items)});
+  // ---- Stage: resolve fact columns, key indexes, per-feature cubes ----
+  Status PrepareFeatures() {
+    obs::TraceSpan span("PrepareFeatures", "datagen");
+    fact_item_col_ = fact_.schema().FieldIndexOrDie(spec_.item_id_column);
+    for (const auto& c : spec_.dimension_columns) {
+      dim_cols_.push_back(fact_.schema().FieldIndexOrDie(c));
+    }
+    target_col_ = fact_.schema().FieldIndexOrDie(spec_.target_column);
+
+    // Key indexes, one per distinct reference used.
+    for (const auto& q : spec_.regional_features) {
+      if (q.kind == FeatureQuery::Kind::kFactMeasure) continue;
+      if (key_indexes_.count(q.reference)) continue;
+      const auto& ref = spec_.references.at(q.reference);
+      BW_ASSIGN_OR_RETURN(auto index,
+                          BuildKeyIndex(*ref.table, ref.key_column));
+      key_indexes_.emplace(q.reference, std::move(index));
+    }
+
+    for (size_t qi = 0; qi < spec_.regional_features.size(); ++qi) {
+      const auto& q = spec_.regional_features[qi];
+      if (q.kind == FeatureQuery::Kind::kFactMeasure) {
+        numeric_features_.push_back(
+            {qi, fact_.schema().FieldIndexOrDie(q.measure_column), nullptr,
+             nullptr, 0, RegionItemCube<NumericAgg>(&space_, num_items_)});
       } else {
-        fk_features.push_back({qi, fk, &key_indexes.at(q.reference), measure,
-                               RegionItemCube<FkSetAgg>(&space, num_items)});
+        const auto& ref = spec_.references.at(q.reference);
+        const table::Column* measure =
+            &ref.table->ColumnByName(q.measure_column);
+        const size_t fk = fact_.schema().FieldIndexOrDie(q.fk_column);
+        if (q.kind == FeatureQuery::Kind::kReferenceMeasure) {
+          numeric_features_.push_back(
+              {qi, 0, &key_indexes_.at(q.reference), measure, fk,
+               RegionItemCube<NumericAgg>(&space_, num_items_)});
+        } else {
+          fk_features_.push_back({qi, fk, &key_indexes_.at(q.reference),
+                                  measure,
+                                  RegionItemCube<FkSetAgg>(&space_,
+                                                           num_items_)});
+        }
       }
     }
+    count_cube_.emplace(&space_, num_items_);
+    target_agg_.assign(num_items_, NumericAgg{});
+    return Status::OK();
   }
 
-  // ---- Single pass over the fact table ----
-  obs::DefaultMetrics()
-      .GetCounter(obs::kMDatagenFactRowsScanned)
-      ->Increment(static_cast<int64_t>(fact.num_rows()));
-  RegionItemCube<NumericAgg> count_cube(&space, num_items);
-  std::vector<NumericAgg> target_agg(num_items);
-  olap::PointCoords point(space.num_dims());
-  obs::TraceSpan fact_span("FactTableScan", "datagen");
-  obs::Counter* quarantined_counter =
-      obs::DefaultMetrics().GetCounter(obs::kMDatagenRowsQuarantined);
-  for (size_t r = 0; r < fact.num_rows(); ++r) {
-    ++out.row_quarantine.rows_seen;
-    // Row validation happens before any accumulation, so a quarantined row
-    // contributes to no aggregate. On clean data no check fires and the
-    // generated training data is bit-identical to the unhardened path.
-    Status row_st = Status::OK();
-    if (robust::ShouldCorrupt(robust::kFaultDatagenRow)) {
-      row_st = Status::InvalidArgument("injected corrupt row");
-    } else if (!fact.column(target_col).IsNull(r) &&
-               !std::isfinite(fact.column(target_col).NumericAt(r))) {
-      row_st = Status::InvalidArgument("non-finite target value");
-    } else {
-      for (const auto& nf : numeric_features) {
-        if (nf.ref_index != nullptr) continue;
-        const auto& col = fact.column(nf.value_col);
-        if (!col.IsNull(r) && !std::isfinite(col.NumericAt(r))) {
-          row_st = Status::InvalidArgument(
-              "non-finite measure in column '" +
-              fact.schema().field(nf.value_col).name + "'");
+  // ---- Stage: single pass over the fact table, with row quarantine ----
+  Status ScanFactTable() {
+    obs::TraceSpan span("FactTableScan", "datagen");
+    obs::DefaultMetrics()
+        .GetCounter(obs::kMDatagenFactRowsScanned)
+        ->Increment(static_cast<int64_t>(fact_.num_rows()));
+    obs::Counter* quarantined_counter =
+        obs::DefaultMetrics().GetCounter(obs::kMDatagenRowsQuarantined);
+    olap::PointCoords point(space_.num_dims());
+    for (size_t r = 0; r < fact_.num_rows(); ++r) {
+      ++profile_.row_quarantine.rows_seen;
+      // Row validation happens before any accumulation, so a quarantined
+      // row contributes to no aggregate. On clean data no check fires and
+      // the generated training data is bit-identical to the unhardened
+      // path.
+      Status row_st = Status::OK();
+      if (robust::ShouldCorrupt(robust::kFaultDatagenRow)) {
+        row_st = Status::InvalidArgument("injected corrupt row");
+      } else if (!fact_.column(target_col_).IsNull(r) &&
+                 !std::isfinite(fact_.column(target_col_).NumericAt(r))) {
+        row_st = Status::InvalidArgument("non-finite target value");
+      } else {
+        for (const auto& nf : numeric_features_) {
+          if (nf.ref_index != nullptr) continue;
+          const auto& col = fact_.column(nf.value_col);
+          if (!col.IsNull(r) && !std::isfinite(col.NumericAt(r))) {
+            row_st = Status::InvalidArgument(
+                "non-finite measure in column '" +
+                fact_.schema().field(nf.value_col).name + "'");
+            break;
+          }
+        }
+      }
+      if (!row_st.ok()) {
+        const std::string context =
+            "fact row " + std::to_string(r) + ": " + row_st.message();
+        if (spec_.row_policy == robust::RowErrorPolicy::kStrict) {
+          return Status(row_st.code(), context);
+        }
+        profile_.row_quarantine.Quarantine(context);
+        quarantined_counter->Increment();
+        BW_LOG(obs::LogLevel::kWarn, "datagen") << "quarantined " << context;
+        continue;
+      }
+      const auto& idc = fact_.column(fact_item_col_);
+      if (idc.IsNull(r)) continue;
+      const int32_t item = profile_.items.Find(idc.Int64At(r));
+      if (item < 0) continue;  // transaction of an item outside I
+      bool coords_ok = true;
+      for (size_t d = 0; d < dim_cols_.size(); ++d) {
+        const auto& col = fact_.column(dim_cols_[d]);
+        if (col.IsNull(r)) {
+          coords_ok = false;
           break;
         }
+        point[d] = static_cast<int32_t>(col.Int64At(r));
       }
-    }
-    if (!row_st.ok()) {
-      const std::string context =
-          "fact row " + std::to_string(r) + ": " + row_st.message();
-      if (spec.row_policy == robust::RowErrorPolicy::kStrict) {
-        return Status(row_st.code(), context);
+      if (!coords_ok) continue;
+      // Target accumulates over the whole space.
+      if (!fact_.column(target_col_).IsNull(r)) {
+        target_agg_[item].Add(fact_.column(target_col_).NumericAt(r));
       }
-      out.row_quarantine.Quarantine(context);
-      quarantined_counter->Increment();
-      BW_LOG(obs::LogLevel::kWarn, "datagen") << "quarantined " << context;
-      continue;
-    }
-    const auto& idc = fact.column(fact_item_col);
-    if (idc.IsNull(r)) continue;
-    const int32_t item = out.items.Find(idc.Int64At(r));
-    if (item < 0) continue;  // transaction of an item outside I
-    bool coords_ok = true;
-    for (size_t d = 0; d < dim_cols.size(); ++d) {
-      const auto& col = fact.column(dim_cols[d]);
-      if (col.IsNull(r)) {
-        coords_ok = false;
-        break;
-      }
-      point[d] = static_cast<int32_t>(col.Int64At(r));
-    }
-    if (!coords_ok) continue;
-    // Target accumulates over the whole space.
-    if (!fact.column(target_col).IsNull(r)) {
-      target_agg[item].Add(fact.column(target_col).NumericAt(r));
-    }
-    count_cube.BaseCell(point, item).Add(1.0);
-    for (auto& nf : numeric_features) {
-      if (nf.ref_index == nullptr) {
-        const auto& col = fact.column(nf.value_col);
-        if (!col.IsNull(r)) {
-          nf.cube.BaseCell(point, item).Add(col.NumericAt(r));
+      count_cube_->BaseCell(point, item).Add(1.0);
+      for (auto& nf : numeric_features_) {
+        if (nf.ref_index == nullptr) {
+          const auto& col = fact_.column(nf.value_col);
+          if (!col.IsNull(r)) {
+            nf.cube.BaseCell(point, item).Add(col.NumericAt(r));
+          }
+        } else {
+          const auto& fkc = fact_.column(nf.fk_col);
+          if (fkc.IsNull(r)) continue;
+          auto it = nf.ref_index->find(fkc.Int64At(r));
+          if (it == nf.ref_index->end() ||
+              nf.ref_measure->IsNull(it->second)) {
+            continue;
+          }
+          nf.cube.BaseCell(point, item).Add(
+              nf.ref_measure->NumericAt(it->second));
         }
-      } else {
-        const auto& fkc = fact.column(nf.fk_col);
+      }
+      for (auto& ff : fk_features_) {
+        const auto& fkc = fact_.column(ff.fk_col);
         if (fkc.IsNull(r)) continue;
-        auto it = nf.ref_index->find(fkc.Int64At(r));
-        if (it == nf.ref_index->end() || nf.ref_measure->IsNull(it->second)) {
-          continue;
-        }
-        nf.cube.BaseCell(point, item).Add(
-            nf.ref_measure->NumericAt(it->second));
+        const int64_t fk = fkc.Int64At(r);
+        if (ff.ref_index->count(fk) == 0) continue;
+        ff.cube.BaseCell(point, item).Add(fk);
       }
     }
-    for (auto& ff : fk_features) {
-      const auto& fkc = fact.column(ff.fk_col);
-      if (fkc.IsNull(r)) continue;
-      const int64_t fk = fkc.Int64At(r);
-      if (ff.ref_index->count(fk) == 0) continue;
-      ff.cube.BaseCell(point, item).Add(fk);
+    return Status::OK();
+  }
+
+  // ---- Stage: CUBE rollups ----
+  void RollupCubes() {
+    obs::TraceSpan span("CubeRollup", "datagen");
+    count_cube_->Rollup();
+    for (auto& nf : numeric_features_) nf.cube.Rollup();
+    for (auto& ff : fk_features_) ff.cube.Rollup();
+  }
+
+  // ---- Stage: per-item targets ----
+  Status FinishTargets() {
+    obs::TraceSpan span("FinishTargets", "datagen");
+    profile_.targets.assign(num_items_,
+                            std::numeric_limits<double>::quiet_NaN());
+    for (int32_t i = 0; i < num_items_; ++i) {
+      auto v = target_agg_[i].Finish(spec_.target_fn);
+      if (v.has_value()) {
+        profile_.targets[i] = *v;
+        ++num_valid_items_;
+      }
+    }
+    if (num_valid_items_ == 0) {
+      return Status::FailedPrecondition("no item has a target value");
+    }
+    return Status::OK();
+  }
+
+  // ---- Stage: coverage and costs ----
+  void ComputeCoverageAndCosts() {
+    obs::TraceSpan span("CoverageAndCosts", "datagen");
+    profile_.region_costs = spec_.cost->region_costs();
+    profile_.region_coverage.assign(space_.NumRegions(), 0.0);
+    for (RegionId reg = 0; reg < space_.NumRegions(); ++reg) {
+      int64_t covered = 0;
+      for (int32_t i = 0; i < num_items_; ++i) {
+        if (std::isnan(profile_.targets[i])) continue;
+        if (count_cube_->Cell(reg, i).count > 0) ++covered;
+      }
+      profile_.region_coverage[reg] = static_cast<double>(covered) /
+                                      static_cast<double>(num_valid_items_);
     }
   }
 
-  fact_span.End();
-
-  // ---- CUBE rollups ----
-  obs::TraceSpan rollup_span("CubeRollup", "datagen");
-  count_cube.Rollup();
-  for (auto& nf : numeric_features) nf.cube.Rollup();
-  for (auto& ff : fk_features) ff.cube.Rollup();
-  rollup_span.End();
-
-  // ---- Targets ----
-  out.targets.assign(num_items, std::numeric_limits<double>::quiet_NaN());
-  int64_t num_valid_items = 0;
-  for (int32_t i = 0; i < num_items; ++i) {
-    auto v = target_agg[i].Finish(spec.target_fn);
-    if (v.has_value()) {
-      out.targets[i] = *v;
-      ++num_valid_items;
-    }
-  }
-  if (num_valid_items == 0) {
-    return Status::FailedPrecondition("no item has a target value");
+  // ---- Stage: feasible regions (iceberg) ----
+  void FindFeasible() {
+    obs::TraceSpan span("FindFeasibleRegions", "datagen");
+    profile_.feasible = olap::FindFeasibleRegionsPruned(
+        space_, profile_.region_costs, profile_.region_coverage,
+        spec_.budget, spec_.min_coverage);
+    obs::DefaultMetrics()
+        .GetCounter(obs::kMSearchRegionsPrunedCost)
+        ->Increment(profile_.feasible.pruned_by_cost);
+    obs::DefaultMetrics()
+        .GetCounter(obs::kMSearchRegionsPrunedCoverage)
+        ->Increment(profile_.feasible.pruned_by_coverage);
   }
 
-  // ---- Coverage and costs ----
-  out.region_costs = spec.cost->region_costs();
-  out.region_coverage.assign(space.NumRegions(), 0.0);
-  for (RegionId reg = 0; reg < space.NumRegions(); ++reg) {
-    int64_t covered = 0;
-    for (int32_t i = 0; i < num_items; ++i) {
-      if (std::isnan(out.targets[i])) continue;
-      if (count_cube.Cell(reg, i).count > 0) ++covered;
-    }
-    out.region_coverage[reg] =
-        static_cast<double>(covered) / static_cast<double>(num_valid_items);
-  }
-
-  // ---- Feasible regions (iceberg) ----
-  obs::TraceSpan iceberg_span("FindFeasibleRegions", "datagen");
-  out.feasible = olap::FindFeasibleRegionsPruned(
-      space, out.region_costs, out.region_coverage, spec.budget,
-      spec.min_coverage);
-  iceberg_span.End();
-  obs::DefaultMetrics()
-      .GetCounter(obs::kMSearchRegionsPrunedCost)
-      ->Increment(out.feasible.pruned_by_cost);
-  obs::DefaultMetrics()
-      .GetCounter(obs::kMSearchRegionsPrunedCoverage)
-      ->Increment(out.feasible.pruned_by_coverage);
-
-  // ---- Materialize the training set of every feasible region ----
-  obs::TraceSpan materialize_span("MaterializeTrainingSets", "datagen");
-  const int32_t p = static_cast<int32_t>(out.feature_names.size());
-  std::vector<double> fk_vals;
-  for (RegionId reg : out.feasible.regions) {
+  // Assembles one region's training set from the rolled-up cubes. Reads
+  // only state frozen before emission starts, so it is safe to run on pool
+  // workers.
+  RegionTrainingSet BuildRegionSet(RegionId reg) const {
+    const int32_t p = static_cast<int32_t>(profile_.feature_names.size());
     RegionTrainingSet set;
     set.region = reg;
     set.num_features = p;
-    for (int32_t i = 0; i < num_items; ++i) {
-      if (std::isnan(out.targets[i])) continue;
-      if (count_cube.Cell(reg, i).count == 0) continue;  // i not in I_r
+    std::vector<double> fk_vals;  // per-call scratch
+    for (int32_t i = 0; i < num_items_; ++i) {
+      if (std::isnan(profile_.targets[i])) continue;
+      if (count_cube_->Cell(reg, i).count == 0) continue;  // i not in I_r
       set.items.push_back(i);
-      set.targets.push_back(out.targets[i]);
-      if (spec.weight_by_support) {
+      set.targets.push_back(profile_.targets[i]);
+      if (spec_.weight_by_support) {
         set.weights.push_back(
-            static_cast<double>(count_cube.Cell(reg, i).count));
+            static_cast<double>(count_cube_->Cell(reg, i).count));
       }
       set.features.push_back(1.0);  // intercept
-      for (double f : item_feats[i]) set.features.push_back(f);
+      for (double f : item_feats_[i]) set.features.push_back(f);
       // Regional features, in query order.
       size_t nf_i = 0, ff_i = 0;
-      for (size_t qi = 0; qi < spec.regional_features.size(); ++qi) {
-        const auto& q = spec.regional_features[qi];
+      for (size_t qi = 0; qi < spec_.regional_features.size(); ++qi) {
+        const auto& q = spec_.regional_features[qi];
         if (q.kind == FeatureQuery::Kind::kFkDistinctMeasure) {
-          auto& ff = fk_features[ff_i++];
+          const auto& ff = fk_features_[ff_i++];
           const auto& cell = ff.cube.Cell(reg, i);
           fk_vals.clear();
           for (int64_t fk : cell.keys) {
@@ -423,32 +436,126 @@ Result<GeneratedTrainingData> GenerateTrainingData(
           }
           set.features.push_back(AggregateValues(q.fn, fk_vals));
         } else {
-          auto& nf = numeric_features[nf_i++];
+          const auto& nf = numeric_features_[nf_i++];
           const auto v = nf.cube.Cell(reg, i).Finish(q.fn);
           set.features.push_back(v.value_or(0.0));
         }
       }
     }
-    out.sets.push_back(std::move(set));
+    return set;
   }
-  materialize_span.End();
-  int64_t rows_emitted = 0;
-  for (const auto& s : out.sets) {
-    rows_emitted += static_cast<int64_t>(s.num_examples());
+
+  // ---- Stage: stream every feasible region's set into the sink ----
+  Status EmitRegionSets(storage::TrainingDataSink* sink) {
+    obs::TraceSpan span("EmitRegionSets", "datagen");
+    const int32_t num_threads =
+        exec::ResolveNumThreads(spec_.exec.num_threads);
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (num_threads > 1) pool = std::make_unique<exec::ThreadPool>(num_threads);
+    int64_t rows_emitted = 0;
+    {
+      // Sets are appended to the sink strictly in submission order — the
+      // ascending RegionId order of feasible.regions — so the emitted
+      // stream is bit-identical to the serial loop at any thread count.
+      exec::MergeInSubmissionOrder<RegionTrainingSet> reducer(
+          pool.get(), /*max_outstanding=*/4 * static_cast<size_t>(num_threads),
+          "datagen.emit_batch",
+          [&](size_t, RegionTrainingSet set) -> Status {
+            rows_emitted += static_cast<int64_t>(set.num_examples());
+            return sink->Append(std::move(set));
+          });
+      for (RegionId reg : profile_.feasible.regions) {
+        BW_RETURN_IF_ERROR(
+            reducer.Submit([this, reg] { return BuildRegionSet(reg); }));
+      }
+      BW_RETURN_IF_ERROR(reducer.Finish());
+    }
+    obs::DefaultMetrics()
+        .GetCounter(obs::kMDatagenRegionSetsEmitted)
+        ->Increment(static_cast<int64_t>(profile_.feasible.regions.size()));
+    obs::DefaultMetrics()
+        .GetCounter(obs::kMDatagenTrainingRowsEmitted)
+        ->Increment(rows_emitted);
+    BW_LOG(obs::LogLevel::kInfo, "datagen")
+        .Field("fact_rows", fact_.num_rows())
+        .Field("feasible_regions", profile_.feasible.regions.size())
+        .Field("pruned_by_cost", profile_.feasible.pruned_by_cost)
+        .Field("pruned_by_coverage", profile_.feasible.pruned_by_coverage)
+        .Field("training_rows", rows_emitted)
+        << "training data generated";
+    return Status::OK();
   }
-  obs::DefaultMetrics()
-      .GetCounter(obs::kMDatagenRegionSetsEmitted)
-      ->Increment(static_cast<int64_t>(out.sets.size()));
-  obs::DefaultMetrics()
-      .GetCounter(obs::kMDatagenTrainingRowsEmitted)
-      ->Increment(rows_emitted);
-  BW_LOG(obs::LogLevel::kInfo, "datagen")
-      .Field("fact_rows", fact.num_rows())
-      .Field("feasible_regions", out.feasible.regions.size())
-      .Field("pruned_by_cost", out.feasible.pruned_by_cost)
-      .Field("pruned_by_coverage", out.feasible.pruned_by_coverage)
-      .Field("training_rows", rows_emitted)
-      << "training data generated";
+
+  const BellwetherSpec& spec_;
+  const olap::RegionSpace& space_;
+  const Table& fact_;
+  const Table& item_table_;
+
+  TrainingDataProfile profile_;
+  std::vector<std::vector<double>> item_feats_;  // dense index -> features
+  int32_t num_items_ = 0;
+  int64_t num_valid_items_ = 0;
+
+  size_t fact_item_col_ = 0;
+  std::vector<size_t> dim_cols_;
+  size_t target_col_ = 0;
+
+  std::unordered_map<std::string, std::unordered_map<int64_t, size_t>>
+      key_indexes_;
+  std::vector<NumericFeature> numeric_features_;
+  std::vector<FkFeature> fk_features_;
+  std::optional<RegionItemCube<NumericAgg>> count_cube_;
+  std::vector<NumericAgg> target_agg_;
+};
+
+}  // namespace
+
+std::vector<std::string> FeatureNames(const BellwetherSpec& spec) {
+  std::vector<std::string> names;
+  names.reserve(1 + spec.item_feature_columns.size() +
+                spec.regional_features.size());
+  names.push_back("(intercept)");
+  for (const auto& c : spec.item_feature_columns) names.push_back(c);
+  for (const auto& q : spec.regional_features) names.push_back(q.name);
+  return names;
+}
+
+int64_t TrainingDataProfile::FindSet(olap::RegionId region) const {
+  // Sets are emitted 1:1 with feasible.regions, which FindFeasibleRegions
+  // produces in ascending RegionId order (the invariant every sink enforces
+  // at Finish time).
+  const auto& regs = feasible.regions;
+  const auto it = std::lower_bound(regs.begin(), regs.end(), region);
+  if (it == regs.end() || *it != region) return -1;
+  return static_cast<int64_t>(it - regs.begin());
+}
+
+const std::vector<storage::RegionTrainingSet>*
+GeneratedTrainingData::memory_sets() const {
+  const auto* mem =
+      dynamic_cast<const storage::MemoryTrainingData*>(source.get());
+  return mem == nullptr ? nullptr : &mem->sets();
+}
+
+Result<TrainingDataProfile> GenerateTrainingData(
+    const BellwetherSpec& spec, storage::TrainingDataSink* sink) {
+  obs::TraceSpan span("GenerateTrainingData", "datagen");
+  if (sink == nullptr) {
+    return Status::InvalidArgument("GenerateTrainingData: sink is null");
+  }
+  TrainingDataGenerator generator(spec);
+  return generator.Run(sink);
+}
+
+Result<GeneratedTrainingData> GenerateTrainingDataInMemory(
+    const BellwetherSpec& spec) {
+  storage::MemorySink sink;
+  BW_ASSIGN_OR_RETURN(TrainingDataProfile profile,
+                      GenerateTrainingData(spec, &sink));
+  BW_ASSIGN_OR_RETURN(auto source, sink.Finish());
+  GeneratedTrainingData out;
+  out.profile = std::move(profile);
+  out.source = std::move(source);
   return out;
 }
 

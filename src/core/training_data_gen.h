@@ -1,6 +1,7 @@
 #ifndef BELLWETHER_CORE_TRAINING_DATA_GEN_H_
 #define BELLWETHER_CORE_TRAINING_DATA_GEN_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -9,14 +10,17 @@
 #include "olap/cube.h"
 #include "olap/iceberg.h"
 #include "storage/training_data.h"
+#include "storage/training_data_sink.h"
 
 namespace bellwether::core {
 
-/// Everything derived from the historical database that the bellwether
-/// algorithms consume: the item dictionary, per-item targets, per-region
-/// cost/coverage, the feasible region set, and the training sets of all
-/// feasible regions ("the entire training data", paper §5.2).
-struct GeneratedTrainingData {
+/// Everything derived from the historical database *except* the training
+/// sets themselves: the item dictionary, per-item targets, per-region
+/// cost/coverage, the feasible region set, and quarantine stats. The sets
+/// stream into a caller-supplied TrainingDataSink during generation, so the
+/// profile stays lightweight no matter how large "the entire training data"
+/// (paper §5.2) is.
+struct TrainingDataProfile {
   olap::ItemDictionary items;
   /// Target value per dense item index; NaN when the item has no target
   /// (such items are excluded from every training set).
@@ -28,24 +32,47 @@ struct GeneratedTrainingData {
   std::vector<double> region_costs;
   std::vector<double> region_coverage;
   olap::FeasibleRegions feasible;
-  /// One training set per feasible region, ascending RegionId.
-  std::vector<storage::RegionTrainingSet> sets;
   /// Fact rows quarantined during the scan (see BellwetherSpec::row_policy);
   /// zero on clean data.
   robust::QuarantineStats row_quarantine;
 
-  /// Wraps `sets` in an in-memory TrainingDataSource (copies).
-  std::unique_ptr<storage::TrainingDataSource> ToMemorySource() const;
-
-  /// Index into `sets` of the given region, or -1.
+  /// Index of the given region's training set within the emitted stream, or
+  /// -1. Binary search: sets are emitted 1:1 with `feasible.regions`, which
+  /// is ascending.
   int64_t FindSet(olap::RegionId region) const;
+};
+
+/// Profile plus the finished source over the emitted sets — what most
+/// callers want. Produced by GenerateTrainingDataInMemory (or by pairing
+/// GenerateTrainingData with any sink and calling Finish yourself).
+struct GeneratedTrainingData {
+  TrainingDataProfile profile;
+  std::unique_ptr<storage::TrainingDataSource> source;
+
+  int64_t FindSet(olap::RegionId region) const {
+    return profile.FindSet(region);
+  }
+
+  /// Direct view of the region sets when `source` is memory-backed
+  /// (MemorySink, or a BudgetedSink that never spilled); nullptr for a
+  /// disk-backed source.
+  const std::vector<storage::RegionTrainingSet>* memory_sets() const;
 };
 
 /// Generates all training sets with one pass over the fact table plus one
 /// cube rollup per feature query — the single-OLAP-query evaluation strategy
 /// of §4.2 (rewrite to CUBE aggregates, then join the per-feature cubes and
-/// apply the iceberg constraints).
-Result<GeneratedTrainingData> GenerateTrainingData(const BellwetherSpec& spec);
+/// apply the iceberg constraints). Region sets are emitted into `sink` in
+/// ascending RegionId order as they are assembled (in parallel when
+/// spec.exec asks for it — bit-identical to serial at any thread count);
+/// the caller finalizes the sink. The sink is left unfinished on error.
+Result<TrainingDataProfile> GenerateTrainingData(
+    const BellwetherSpec& spec, storage::TrainingDataSink* sink);
+
+/// Convenience wrapper: generates through a MemorySink and finishes it,
+/// returning the profile together with the in-memory source.
+Result<GeneratedTrainingData> GenerateTrainingDataInMemory(
+    const BellwetherSpec& spec);
 
 /// Reference implementation of the *original* (un-rewritten) feature queries
 /// of §4.1 for a single region: evaluates

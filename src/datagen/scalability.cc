@@ -39,11 +39,9 @@ std::vector<std::string> ScalabilityDataset::TreeSplitColumns() const {
 }
 
 Result<ScalabilityDataset> GenerateScalability(
-    const ScalabilityConfig& config, storage::SpillFileWriter* writer,
-    std::vector<storage::RegionTrainingSet>* memory_sets) {
-  if ((writer == nullptr) == (memory_sets == nullptr)) {
-    return Status::InvalidArgument(
-        "provide exactly one of writer / memory_sets");
+    const ScalabilityConfig& config, storage::TrainingDataSink* sink) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("GenerateScalability: sink is null");
   }
   Rng rng(config.seed);
   ScalabilityDataset out;
@@ -113,18 +111,19 @@ Result<ScalabilityDataset> GenerateScalability(
   }
 
   // ---- Stream the entire training data, region-major ----
+  // The item/target columns are identical across regions; build them once
+  // and copy into each region's freshly built set, which is then moved into
+  // the sink — only one region is ever resident on the producer side.
   const int32_t p = 1 + config.num_regional_features;
-  storage::RegionTrainingSet set;
-  set.num_features = p;
-  set.items.resize(config.num_items);
-  set.targets.resize(config.num_items);
-  set.features.resize(static_cast<size_t>(config.num_items) * p);
-  for (int32_t i = 0; i < config.num_items; ++i) {
-    set.items[i] = i;
-    set.targets[i] = out.targets[i];
-  }
+  std::vector<int32_t> item_ids(config.num_items);
+  for (int32_t i = 0; i < config.num_items; ++i) item_ids[i] = i;
   for (RegionId r = 0; r < out.num_regions; ++r) {
+    storage::RegionTrainingSet set;
     set.region = r;
+    set.num_features = p;
+    set.items = item_ids;
+    set.targets = out.targets;
+    set.features.resize(static_cast<size_t>(config.num_items) * p);
     for (int32_t i = 0; i < config.num_items; ++i) {
       double* row = set.features.data() + static_cast<size_t>(i) * p;
       row[0] = 1.0;
@@ -132,11 +131,7 @@ Result<ScalabilityDataset> GenerateScalability(
         row[1 + k] = HashedFeature(config.seed, r, i, k);
       }
     }
-    if (writer != nullptr) {
-      BW_RETURN_IF_ERROR(writer->Append(set));
-    } else {
-      memory_sets->push_back(set);
-    }
+    BW_RETURN_IF_ERROR(sink->Append(std::move(set)));
   }
 
   for (int32_t h = 0; h < config.num_item_hierarchies; ++h) {

@@ -10,6 +10,7 @@
 #include "core/bellwether_cube.h"
 #include "olap/region.h"
 #include "storage/training_data.h"
+#include "storage/training_data_sink.h"
 #include "table/table.h"
 
 namespace bellwether::datagen {
@@ -50,13 +51,13 @@ struct ScalabilityDataset {
   std::vector<std::string> TreeSplitColumns() const;
 };
 
-/// Generates the dataset metadata and streams every region's training set to
-/// `writer` (ascending region order). The caller finalizes the writer and
-/// opens it as a SpilledTrainingData. Pass nullptr `writer` plus a non-null
-/// `memory_sets` to materialize in memory instead.
+/// Generates the dataset metadata and streams every region's training set
+/// into `sink` (ascending region order, one freshly built set per region —
+/// moved, never copied). The caller finalizes the sink: a MemorySink keeps
+/// everything resident, a SpillSink streams to disk, a BudgetedSink decides
+/// at runtime.
 Result<ScalabilityDataset> GenerateScalability(
-    const ScalabilityConfig& config, storage::SpillFileWriter* writer,
-    std::vector<storage::RegionTrainingSet>* memory_sets);
+    const ScalabilityConfig& config, storage::TrainingDataSink* sink);
 
 }  // namespace bellwether::datagen
 

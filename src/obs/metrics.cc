@@ -214,6 +214,9 @@ void RegisterStandardMetrics(MetricsRegistry* registry) {
                        "region training sets materialized");
   registry->GetCounter(kMDatagenTrainingRowsEmitted,
                        "training rows materialized across all region sets");
+  registry->GetGauge(kMDatagenPeakResidentBytes,
+                     "peak resident training-set bytes held by a "
+                     "TrainingDataSink during generation");
   registry->GetCounter(kMTreeNaiveScans,
                        "full passes over the training data by the naive "
                        "tree builder");

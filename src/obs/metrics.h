@@ -162,6 +162,11 @@ inline constexpr std::string_view kMDatagenRegionSetsEmitted =
     "bellwether_datagen_region_sets_emitted_total";
 inline constexpr std::string_view kMDatagenTrainingRowsEmitted =
     "bellwether_datagen_training_rows_emitted_total";
+/// Peak resident training-set bytes held by a TrainingDataSink during
+/// generation (gauge, SetMax-updated per append). Under a BudgetedSink this
+/// is bounded by memory_budget_bytes + the largest single region set.
+inline constexpr std::string_view kMDatagenPeakResidentBytes =
+    "bellwether_datagen_peak_resident_bytes";
 
 // Tree builders (core/bellwether_tree.cc).
 inline constexpr std::string_view kMTreeNaiveScans =

@@ -70,9 +70,16 @@ void BusyWaitMicros(int64_t micros) {
 }  // namespace
 
 size_t RegionTrainingSet::ByteSize() const {
-  return sizeof(int64_t) + sizeof(int32_t) + 2 * sizeof(int64_t) + 1 +
-         items.size() * sizeof(int32_t) + features.size() * sizeof(double) +
-         targets.size() * sizeof(double) + weights.size() * sizeof(double);
+  // Exactly the serialized spill-record size (header: region int64,
+  // num_features int32, count int64, has_weights uint8 — then the items,
+  // features, targets, and optional weights arrays). BudgetedSink's memory
+  // budget and the IoStats byte counters both rely on this matching what
+  // SpillFileWriter::Append actually writes.
+  constexpr size_t kHeaderBytes =
+      sizeof(int64_t) + sizeof(int32_t) + sizeof(int64_t) + sizeof(uint8_t);
+  return kHeaderBytes + items.size() * sizeof(int32_t) +
+         features.size() * sizeof(double) + targets.size() * sizeof(double) +
+         weights.size() * sizeof(double);
 }
 
 MemoryTrainingData::MemoryTrainingData(std::vector<RegionTrainingSet> sets)
@@ -99,6 +106,10 @@ Result<RegionTrainingSet> MemoryTrainingData::Read(size_t index) {
   if (index >= sets_.size()) {
     return Status::OutOfRange("region set index out of range");
   }
+  // The copy below is intentional: Read() models the paper's "read the
+  // training data of one region from storage" random access, so callers own
+  // (and may mutate) the returned set while sets_ stays canonical. In-place
+  // iteration goes through Scan().
   BW_RETURN_IF_ERROR(robust::MaybeInjectIo(robust::kFaultStorageRead));
   ++io_stats_.region_reads;
   io_stats_.bytes_read += static_cast<int64_t>(sets_[index].ByteSize());

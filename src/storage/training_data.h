@@ -32,7 +32,9 @@ struct RegionTrainingSet {
   bool weighted() const { return !weights.empty(); }
   /// Weight of example i (1.0 when unweighted).
   double weight(size_t i) const { return weights.empty() ? 1.0 : weights[i]; }
-  /// Approximate serialized size, used for I/O accounting.
+  /// Exact serialized spill-record size (header + items + features +
+  /// targets + weights), used for I/O accounting and the BudgetedSink
+  /// memory budget.
   size_t ByteSize() const;
 };
 
@@ -76,7 +78,8 @@ class TrainingDataSource {
   IoStats io_stats_;
 };
 
-/// In-memory source; Read() copies, Scan() visits in place.
+/// In-memory source; Read() copies (intentionally — callers own the
+/// returned set), Scan() visits in place.
 class MemoryTrainingData final : public TrainingDataSource {
  public:
   explicit MemoryTrainingData(std::vector<RegionTrainingSet> sets);

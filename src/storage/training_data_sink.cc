@@ -1,0 +1,124 @@
+#include "storage/training_data_sink.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bellwether::storage {
+
+namespace {
+
+obs::Gauge* PeakResidentGauge() {
+  static obs::Gauge* g =
+      obs::DefaultMetrics().GetGauge(obs::kMDatagenPeakResidentBytes);
+  return g;
+}
+
+}  // namespace
+
+void TrainingDataSink::NoteAppend(const RegionTrainingSet& set,
+                                  size_t resident_bytes) {
+  if (!ordering_violated_ && static_cast<int64_t>(set.region) <= last_region_ &&
+      sets_appended_ > 0) {
+    ordering_violated_ = true;
+    ordering_error_ = "region " + std::to_string(set.region) +
+                      " appended after region " + std::to_string(last_region_);
+  }
+  last_region_ = static_cast<int64_t>(set.region);
+  ++sets_appended_;
+  PeakResidentGauge()->SetMax(static_cast<double>(resident_bytes));
+}
+
+Status TrainingDataSink::CheckOrdering() const {
+  if (ordering_violated_) {
+    return Status::FailedPrecondition(
+        "training sets not in ascending RegionId order: " + ordering_error_);
+  }
+  return Status::OK();
+}
+
+Status MemorySink::Append(RegionTrainingSet&& set) {
+  NoteAppend(set, resident_bytes_ + set.ByteSize());
+  resident_bytes_ += set.ByteSize();
+  sets_.push_back(std::move(set));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TrainingDataSource>> MemorySink::Finish() {
+  BW_RETURN_IF_ERROR(CheckOrdering());
+  resident_bytes_ = 0;
+  return std::unique_ptr<TrainingDataSource>(
+      std::make_unique<MemoryTrainingData>(std::move(sets_)));
+}
+
+Result<std::unique_ptr<SpillSink>> SpillSink::Create(const std::string& path) {
+  BW_ASSIGN_OR_RETURN(auto writer, SpillFileWriter::Create(path));
+  return std::unique_ptr<SpillSink>(new SpillSink(path, std::move(writer)));
+}
+
+Status SpillSink::Append(RegionTrainingSet&& set) {
+  NoteAppend(set, set.ByteSize());
+  return writer_->Append(set);
+}
+
+Result<std::unique_ptr<TrainingDataSource>> SpillSink::Finish() {
+  BW_RETURN_IF_ERROR(CheckOrdering());
+  BW_CHECK(writer_ != nullptr);
+  BW_RETURN_IF_ERROR(writer_->Finish());
+  writer_.reset();
+  BW_ASSIGN_OR_RETURN(auto source, SpilledTrainingData::Open(path_));
+  return std::unique_ptr<TrainingDataSource>(std::move(source));
+}
+
+BudgetedSink::BudgetedSink(size_t memory_budget_bytes, std::string spill_path)
+    : memory_budget_bytes_(memory_budget_bytes),
+      spill_path_(std::move(spill_path)) {}
+
+Status BudgetedSink::MigrateToSpill() {
+  obs::TraceSpan span("BudgetedSink::MigrateToSpill", "storage");
+  BW_ASSIGN_OR_RETURN(writer_, SpillFileWriter::Create(spill_path_));
+  spilled_ = true;
+  for (auto& set : buffered_) {
+    BW_RETURN_IF_ERROR(writer_->Append(set));
+    // Release each set as soon as it is on disk, so the resident footprint
+    // shrinks monotonically during the migration instead of doubling.
+    set = RegionTrainingSet{};
+  }
+  buffered_.clear();
+  buffered_.shrink_to_fit();
+  resident_bytes_ = 0;
+  return Status::OK();
+}
+
+Status BudgetedSink::Append(RegionTrainingSet&& set) {
+  const size_t incoming = set.ByteSize();
+  NoteAppend(set, resident_bytes_ + incoming);
+  if (writer_ == nullptr &&
+      resident_bytes_ + incoming <= memory_budget_bytes_) {
+    resident_bytes_ += incoming;
+    buffered_.push_back(std::move(set));
+    return Status::OK();
+  }
+  if (writer_ == nullptr) {
+    BW_RETURN_IF_ERROR(MigrateToSpill());
+  }
+  return writer_->Append(set);
+}
+
+Result<std::unique_ptr<TrainingDataSource>> BudgetedSink::Finish() {
+  BW_RETURN_IF_ERROR(CheckOrdering());
+  if (writer_ == nullptr) {
+    resident_bytes_ = 0;
+    return std::unique_ptr<TrainingDataSource>(
+        std::make_unique<MemoryTrainingData>(std::move(buffered_)));
+  }
+  BW_RETURN_IF_ERROR(writer_->Finish());
+  writer_.reset();
+  BW_ASSIGN_OR_RETURN(auto source, SpilledTrainingData::Open(spill_path_));
+  return std::unique_ptr<TrainingDataSource>(std::move(source));
+}
+
+}  // namespace bellwether::storage

@@ -23,7 +23,7 @@ class ClassificationCubeTest : public ::testing::Test {
     dataset_ =
         new datagen::MailOrderDataset(datagen::GenerateMailOrder(config));
     spec_ = new BellwetherSpec(dataset_->MakeSpec(50.0, 0.5));
-    auto data = GenerateTrainingData(*spec_);
+    auto data = GenerateTrainingDataInMemory(*spec_);
     ASSERT_TRUE(data.ok());
     data_ = new GeneratedTrainingData(std::move(data).value());
     auto subsets = ItemSubsetSpace::Create(dataset_->items,
@@ -39,7 +39,7 @@ class ClassificationCubeTest : public ::testing::Test {
   }
   static ClassificationCubeConfig MakeConfig() {
     ClassificationCubeConfig config;
-    config.labeler = ThresholdLabeler(MedianTarget(data_->targets));
+    config.labeler = ThresholdLabeler(MedianTarget(data_->profile.targets));
     config.num_classes = 2;
     config.min_subset_size = 25;
     config.min_examples_per_model = 15;
@@ -59,7 +59,8 @@ std::shared_ptr<const ItemSubsetSpace>* ClassificationCubeTest::subsets_ =
     nullptr;
 
 TEST_F(ClassificationCubeTest, OptimizedMatchesNaive) {
-  storage::MemoryTrainingData s1(data_->sets), s2(data_->sets);
+  storage::MemoryTrainingData s1(*data_->memory_sets()),
+      s2(*data_->memory_sets());
   const auto config = MakeConfig();
   auto naive = BuildClassificationCubeNaive(&s1, *subsets_, config);
   auto opt = BuildClassificationCubeOptimized(&s2, *subsets_, config);
@@ -82,7 +83,8 @@ TEST_F(ClassificationCubeTest, OptimizedMatchesNaive) {
 }
 
 TEST_F(ClassificationCubeTest, OptimizedScansOnceNaiveScansPerSubset) {
-  storage::MemoryTrainingData s1(data_->sets), s2(data_->sets);
+  storage::MemoryTrainingData s1(*data_->memory_sets()),
+      s2(*data_->memory_sets());
   const auto config = MakeConfig();
   auto opt = BuildClassificationCubeOptimized(&s1, *subsets_, config);
   ASSERT_TRUE(opt.ok());
@@ -90,11 +92,11 @@ TEST_F(ClassificationCubeTest, OptimizedScansOnceNaiveScansPerSubset) {
   auto naive = BuildClassificationCubeNaive(&s2, *subsets_, config);
   ASSERT_TRUE(naive.ok());
   EXPECT_EQ(s2.io_stats().region_reads,
-            static_cast<int64_t>(naive->cells().size() * data_->sets.size()));
+            static_cast<int64_t>(naive->cells().size() * data_->memory_sets()->size()));
 }
 
 TEST_F(ClassificationCubeTest, RootCellFindsPlantedState) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::MemoryTrainingData source(*data_->memory_sets());
   auto cube =
       BuildClassificationCubeOptimized(&source, *subsets_, MakeConfig());
   ASSERT_TRUE(cube.ok());
@@ -109,25 +111,25 @@ TEST_F(ClassificationCubeTest, RootCellFindsPlantedState) {
 }
 
 TEST_F(ClassificationCubeTest, PredictsHeldOutLabelsAboveChance) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::MemoryTrainingData source(*data_->memory_sets());
   const auto config = MakeConfig();
   auto cube = BuildClassificationCubeOptimized(&source, *subsets_, config);
   ASSERT_TRUE(cube.ok());
-  const RegionFeatureLookup lookup(&data_->sets);
+  const RegionFeatureLookup lookup(data_->memory_sets());
   int64_t correct = 0, total = 0;
-  for (int32_t i = 0; i < static_cast<int32_t>(data_->targets.size()); ++i) {
-    if (std::isnan(data_->targets[i])) continue;
+  for (int32_t i = 0; i < static_cast<int32_t>(data_->profile.targets.size()); ++i) {
+    if (std::isnan(data_->profile.targets[i])) continue;
     auto p = cube->PredictItem(i, lookup);
     if (!p.ok()) continue;
     ++total;
-    if (*p == config.labeler(data_->targets[i])) ++correct;
+    if (*p == config.labeler(data_->profile.targets[i])) ++correct;
   }
   ASSERT_GT(total, 80);
   EXPECT_GT(static_cast<double>(correct) / total, 0.7);
 }
 
 TEST_F(ClassificationCubeTest, ValidatesConfig) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::MemoryTrainingData source(*data_->memory_sets());
   ClassificationCubeConfig config;  // no labeler
   EXPECT_FALSE(
       BuildClassificationCubeOptimized(&source, *subsets_, config).ok());

@@ -155,12 +155,12 @@ TEST(ClassificationSearchTest, FindsPlantedStateForProfitabilityLabels) {
   config.seed = 201;
   const datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
   const BellwetherSpec spec = dataset.MakeSpec(60.0, 0.5);
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_TRUE(data.ok());
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource& source = *data->source;
 
   ClassificationOptions options;
-  options.labeler = ThresholdLabeler(MedianTarget(data->targets));
+  options.labeler = ThresholdLabeler(MedianTarget(data->profile.targets));
   options.num_classes = 2;
   options.cv_folds = 5;
   options.min_examples = 40;
@@ -176,7 +176,7 @@ TEST(ClassificationSearchTest, FindsPlantedStateForProfitabilityLabels) {
   // The refit model predicts sensibly on its own region's data.
   const int64_t idx = data->FindSet(result->bellwether);
   ASSERT_GE(idx, 0);
-  const auto& set = data->sets[idx];
+  const auto& set = (*data->memory_sets())[idx];
   int64_t correct = 0;
   for (size_t i = 0; i < set.num_examples(); ++i) {
     const int32_t label = options.labeler(set.targets[i]);

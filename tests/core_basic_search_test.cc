@@ -25,7 +25,7 @@ class BasicSearchTest : public ::testing::Test {
         datagen::GenerateMailOrder(config));
     spec_ = new BellwetherSpec(dataset_->MakeSpec(/*budget=*/60.0,
                                                   /*min_coverage=*/0.5));
-    auto data = GenerateTrainingData(*spec_);
+    auto data = GenerateTrainingDataInMemory(*spec_);
     ASSERT_TRUE(data.ok()) << data.status().ToString();
     data_ = new GeneratedTrainingData(std::move(data).value());
   }
@@ -48,7 +48,7 @@ BellwetherSpec* BasicSearchTest::spec_ = nullptr;
 GeneratedTrainingData* BasicSearchTest::data_ = nullptr;
 
 TEST_F(BasicSearchTest, FindsAMinimumErrorRegion) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   auto result = RunBasicBellwetherSearch(&source, options);
@@ -60,14 +60,14 @@ TEST_F(BasicSearchTest, FindsAMinimumErrorRegion) {
       EXPECT_GE(s.error.rmse, result->error.rmse - 1e-12);
     }
   }
-  EXPECT_EQ(result->scores.size(), data_->sets.size());
+  EXPECT_EQ(result->scores.size(), data_->source->num_region_sets());
 }
 
 TEST_F(BasicSearchTest, BellwetherIsInThePlantedState) {
   // The planted state's data tracks total profit with far less noise than
   // any other state, so the chosen region's location coordinate must be the
   // planted state (windows may differ).
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
   options.cv_folds = 10;
@@ -81,7 +81,7 @@ TEST_F(BasicSearchTest, BellwetherIsInThePlantedState) {
 }
 
 TEST_F(BasicSearchTest, BellwetherBeatsTheAverageRegion) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
   auto result = RunBasicBellwetherSearch(&source, options);
@@ -91,7 +91,7 @@ TEST_F(BasicSearchTest, BellwetherBeatsTheAverageRegion) {
 }
 
 TEST_F(BasicSearchTest, PlantedBellwetherIsNearlyUnique) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
   auto result = RunBasicBellwetherSearch(&source, options);
@@ -103,17 +103,17 @@ TEST_F(BasicSearchTest, PlantedBellwetherIsNearlyUnique) {
 }
 
 TEST_F(BasicSearchTest, SelectUnderBudgetRestrictsAndRefits) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   auto full = RunBasicBellwetherSearch(&source, options);
   ASSERT_TRUE(full.ok());
   const double tight_budget = 10.0;
   auto tight =
-      SelectUnderBudget(*full, &source, data_->region_costs, tight_budget);
+      SelectUnderBudget(*full, &source, data_->profile.region_costs, tight_budget);
   ASSERT_TRUE(tight.ok());
   for (const auto& s : tight->scores) {
-    EXPECT_LE(data_->region_costs[s.region], tight_budget);
+    EXPECT_LE(data_->profile.region_costs[s.region], tight_budget);
   }
   if (tight->found()) {
     EXPECT_GE(tight->error.rmse, full->error.rmse - 1e-12);
@@ -121,14 +121,14 @@ TEST_F(BasicSearchTest, SelectUnderBudgetRestrictsAndRefits) {
 }
 
 TEST_F(BasicSearchTest, ErrorDecreasesWithBudget) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   auto full = RunBasicBellwetherSearch(&source, options);
   ASSERT_TRUE(full.ok());
   double prev = std::numeric_limits<double>::infinity();
   for (double budget : {10.0, 25.0, 45.0, 60.0}) {
-    auto r = SelectUnderBudget(*full, &source, data_->region_costs, budget);
+    auto r = SelectUnderBudget(*full, &source, data_->profile.region_costs, budget);
     ASSERT_TRUE(r.ok());
     if (!r->found()) continue;
     EXPECT_LE(r->error.rmse, prev + 1e-12);
@@ -137,8 +137,8 @@ TEST_F(BasicSearchTest, ErrorDecreasesWithBudget) {
 }
 
 TEST_F(BasicSearchTest, ItemMaskRestrictsTrainingRows) {
-  storage::MemoryTrainingData source(data_->sets);
-  std::vector<uint8_t> mask(data_->targets.size(), 0);
+  storage::TrainingDataSource& source = *data_->source;
+  std::vector<uint8_t> mask(data_->profile.targets.size(), 0);
   for (size_t i = 0; i < mask.size(); i += 2) mask[i] = 1;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
@@ -155,7 +155,7 @@ TEST_F(BasicSearchTest, ItemMaskRestrictsTrainingRows) {
 TEST_F(BasicSearchTest, TrainingErrorTracksCvError) {
   // Fig. 7(c): for linear models, the training-set error curve is almost
   // identical to the cross-validation curve. Check region-level agreement.
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions cv_opts;
   cv_opts.estimate = regression::ErrorEstimate::kCrossValidation;
   BasicSearchOptions tr_opts;
@@ -179,7 +179,7 @@ TEST_F(BasicSearchTest, TrainingErrorTracksCvError) {
 }
 
 TEST_F(BasicSearchTest, RandomSamplingBaselineIsWorseThanBellwether) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
   auto result = RunBasicBellwetherSearch(&source, options);

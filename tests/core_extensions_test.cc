@@ -22,7 +22,7 @@ class ExtensionsTest : public ::testing::Test {
     dataset_ =
         new datagen::MailOrderDataset(datagen::GenerateMailOrder(config));
     spec_ = new BellwetherSpec(dataset_->MakeSpec(60.0, 0.5));
-    auto data = GenerateTrainingData(*spec_);
+    auto data = GenerateTrainingDataInMemory(*spec_);
     ASSERT_TRUE(data.ok()) << data.status().ToString();
     data_ = new GeneratedTrainingData(std::move(data).value());
   }
@@ -43,64 +43,64 @@ GeneratedTrainingData* ExtensionsTest::data_ = nullptr;
 // ---- Linear optimization criterion (§3.2) ----
 
 TEST_F(ExtensionsTest, LinearCriterionWithZeroWeightsMatchesMinError) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   auto full = RunBasicBellwetherSearch(&source, options);
   ASSERT_TRUE(full.ok());
-  auto linear = SelectLinearCriterion(*full, &source, data_->region_costs,
-                                      data_->region_coverage, 0.0, 0.0);
+  auto linear = SelectLinearCriterion(*full, &source, data_->profile.region_costs,
+                                      data_->profile.region_coverage, 0.0, 0.0);
   ASSERT_TRUE(linear.ok());
   EXPECT_EQ(linear->bellwether, full->bellwether);
 }
 
 TEST_F(ExtensionsTest, CostWeightPushesTowardCheaperRegions) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   auto full = RunBasicBellwetherSearch(&source, options);
   ASSERT_TRUE(full.ok());
   ASSERT_TRUE(full->found());
   // A huge cost weight turns the objective into cost minimization.
-  auto frugal = SelectLinearCriterion(*full, &source, data_->region_costs,
-                                      data_->region_coverage, 1e9, 0.0);
+  auto frugal = SelectLinearCriterion(*full, &source, data_->profile.region_costs,
+                                      data_->profile.region_coverage, 1e9, 0.0);
   ASSERT_TRUE(frugal.ok());
   ASSERT_TRUE(frugal->found());
-  EXPECT_LE(data_->region_costs[frugal->bellwether],
-            data_->region_costs[full->bellwether]);
+  EXPECT_LE(data_->profile.region_costs[frugal->bellwether],
+            data_->profile.region_costs[full->bellwether]);
   // And it is the globally cheapest usable region.
   for (const auto& s : full->scores) {
     if (!s.usable) continue;
-    EXPECT_GE(data_->region_costs[s.region],
-              data_->region_costs[frugal->bellwether] - 1e-12);
+    EXPECT_GE(data_->profile.region_costs[s.region],
+              data_->profile.region_costs[frugal->bellwether] - 1e-12);
   }
 }
 
 TEST_F(ExtensionsTest, CoverageWeightPushesTowardBroaderRegions) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   auto full = RunBasicBellwetherSearch(&source, options);
   ASSERT_TRUE(full.ok());
-  auto broad = SelectLinearCriterion(*full, &source, data_->region_costs,
-                                     data_->region_coverage, 0.0, 1e9);
+  auto broad = SelectLinearCriterion(*full, &source, data_->profile.region_costs,
+                                     data_->profile.region_coverage, 0.0, 1e9);
   ASSERT_TRUE(broad.ok());
   ASSERT_TRUE(broad->found());
   for (const auto& s : full->scores) {
     if (!s.usable) continue;
-    EXPECT_LE(data_->region_coverage[s.region],
-              data_->region_coverage[broad->bellwether] + 1e-12);
+    EXPECT_LE(data_->profile.region_coverage[s.region],
+              data_->profile.region_coverage[broad->bellwether] + 1e-12);
   }
 }
 
 TEST_F(ExtensionsTest, LinearCriterionValidatesTables) {
-  storage::MemoryTrainingData source(data_->sets);
+  storage::TrainingDataSource& source = *data_->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   auto full = RunBasicBellwetherSearch(&source, options);
   ASSERT_TRUE(full.ok());
   std::vector<double> short_cov(3, 0.0);
-  EXPECT_FALSE(SelectLinearCriterion(*full, &source, data_->region_costs,
+  EXPECT_FALSE(SelectLinearCriterion(*full, &source, data_->profile.region_costs,
                                      short_cov, 1.0, 1.0)
                    .ok());
 }
@@ -166,11 +166,11 @@ TEST_F(ExtensionsTest, CombinatorialRejectsZeroBudget) {
 TEST_F(ExtensionsTest, WeightBySupportProducesWeightedSets) {
   BellwetherSpec wspec = *spec_;
   wspec.weight_by_support = true;
-  auto wdata = GenerateTrainingData(wspec);
+  auto wdata = GenerateTrainingDataInMemory(wspec);
   ASSERT_TRUE(wdata.ok());
-  ASSERT_EQ(wdata->sets.size(), data_->sets.size());
+  ASSERT_EQ(wdata->memory_sets()->size(), data_->memory_sets()->size());
   bool any_weighted = false;
-  for (const auto& set : wdata->sets) {
+  for (const auto& set : *wdata->memory_sets()) {
     ASSERT_EQ(set.weights.size(), set.items.size());
     for (double w : set.weights) EXPECT_GE(w, 1.0);
     any_weighted = true;
@@ -181,12 +181,13 @@ TEST_F(ExtensionsTest, WeightBySupportProducesWeightedSets) {
 TEST_F(ExtensionsTest, WeightedNaivePathMatchesCubePath) {
   BellwetherSpec wspec = *spec_;
   wspec.weight_by_support = true;
-  auto wdata = GenerateTrainingData(wspec);
+  auto wdata = GenerateTrainingDataInMemory(wspec);
   ASSERT_TRUE(wdata.ok());
   // Compare the weights on a handful of regions against the naive path.
   int compared = 0;
-  for (size_t k = 0; k < wdata->sets.size() && compared < 5; k += 37) {
-    const auto& set = wdata->sets[k];
+  const auto& wsets = *wdata->memory_sets();
+  for (size_t k = 0; k < wsets.size() && compared < 5; k += 37) {
+    const auto& set = wsets[k];
     auto naive = GenerateRegionTrainingSetNaive(wspec, set.region);
     ASSERT_TRUE(naive.ok());
     ASSERT_EQ(naive->weights, set.weights);
@@ -198,9 +199,9 @@ TEST_F(ExtensionsTest, WeightedNaivePathMatchesCubePath) {
 TEST_F(ExtensionsTest, WeightedSearchRunsAndFindsPlantedState) {
   BellwetherSpec wspec = *spec_;
   wspec.weight_by_support = true;
-  auto wdata = GenerateTrainingData(wspec);
+  auto wdata = GenerateTrainingDataInMemory(wspec);
   ASSERT_TRUE(wdata.ok());
-  storage::MemoryTrainingData source(wdata->sets);
+  storage::TrainingDataSource& source = *wdata->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   options.min_examples = 30;

@@ -98,12 +98,12 @@ struct TinyDb {
 
 TEST(TrainingDataGenTest, TargetsAreWholeSpaceAggregates) {
   TinyDb db;
-  auto data = GenerateTrainingData(db.MakeSpec(100.0, 0.0));
+  auto data = GenerateTrainingDataInMemory(db.MakeSpec(100.0, 0.0));
   ASSERT_TRUE(data.ok());
-  ASSERT_EQ(data->targets.size(), 3u);
-  EXPECT_NEAR(data->targets[0], 10 + 20 + 5 + 40, 1e-9);  // item 1
-  EXPECT_NEAR(data->targets[1], 7 + 9, 1e-9);             // item 2
-  EXPECT_NEAR(data->targets[2], -2, 1e-9);                // item 3
+  ASSERT_EQ(data->profile.targets.size(), 3u);
+  EXPECT_NEAR(data->profile.targets[0], 10 + 20 + 5 + 40, 1e-9);  // item 1
+  EXPECT_NEAR(data->profile.targets[1], 7 + 9, 1e-9);             // item 2
+  EXPECT_NEAR(data->profile.targets[2], -2, 1e-9);                // item 3
 }
 
 TEST(TrainingDataGenTest, FeatureNamesLayout) {
@@ -118,13 +118,13 @@ TEST(TrainingDataGenTest, FeatureNamesLayout) {
 
 TEST(TrainingDataGenTest, RegionalFeatureValues) {
   TinyDb db;
-  auto data = GenerateTrainingData(db.MakeSpec(100.0, 0.0));
+  auto data = GenerateTrainingDataInMemory(db.MakeSpec(100.0, 0.0));
   ASSERT_TRUE(data.ok());
   // Region [1-2, WI]: item 1 has rows (10, ad100), (20, ad101), (5, ad100).
   const olap::RegionId r = *db.space->FindRegion({"1-2", "WI"});
   const int64_t idx = data->FindSet(r);
   ASSERT_GE(idx, 0);
-  const auto& set = data->sets[idx];
+  const auto& set = (*data->memory_sets())[idx];
   // Items present: 1 and 3.
   ASSERT_EQ(set.items.size(), 2u);
   EXPECT_EQ(set.items[0], 0);
@@ -141,30 +141,32 @@ TEST(TrainingDataGenTest, RegionalFeatureValues) {
 
 TEST(TrainingDataGenTest, CoverageCountsItemsWithData) {
   TinyDb db;
-  auto data = GenerateTrainingData(db.MakeSpec(100.0, 0.0));
+  auto data = GenerateTrainingDataInMemory(db.MakeSpec(100.0, 0.0));
   ASSERT_TRUE(data.ok());
   // [1-1, WI]: only item 1 -> 1/3. [1-2, All]: all items -> 1.
-  EXPECT_NEAR(data->region_coverage[*db.space->FindRegion({"1-1", "WI"})],
-              1.0 / 3.0, 1e-12);
-  EXPECT_NEAR(data->region_coverage[*db.space->FindRegion({"1-2", "All"})],
-              1.0, 1e-12);
+  EXPECT_NEAR(
+      data->profile.region_coverage[*db.space->FindRegion({"1-1", "WI"})],
+      1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(
+      data->profile.region_coverage[*db.space->FindRegion({"1-2", "All"})],
+      1.0, 1e-12);
 }
 
 TEST(TrainingDataGenTest, BudgetAndCoveragePruneRegions) {
   TinyDb db;
   // Each finest cell costs 1; [1-2, All] costs 2*3=6.
-  auto all = GenerateTrainingData(db.MakeSpec(100.0, 0.0));
+  auto all = GenerateTrainingDataInMemory(db.MakeSpec(100.0, 0.0));
   ASSERT_TRUE(all.ok());
-  auto tight = GenerateTrainingData(db.MakeSpec(2.0, 0.0));
+  auto tight = GenerateTrainingDataInMemory(db.MakeSpec(2.0, 0.0));
   ASSERT_TRUE(tight.ok());
-  EXPECT_LT(tight->sets.size(), all->sets.size());
-  for (const auto& set : tight->sets) {
-    EXPECT_LE(all->region_costs[set.region], 2.0);
+  EXPECT_LT(tight->memory_sets()->size(), all->memory_sets()->size());
+  for (const auto& set : *tight->memory_sets()) {
+    EXPECT_LE(all->profile.region_costs[set.region], 2.0);
   }
-  auto covered = GenerateTrainingData(db.MakeSpec(100.0, 0.9));
+  auto covered = GenerateTrainingDataInMemory(db.MakeSpec(100.0, 0.9));
   ASSERT_TRUE(covered.ok());
-  for (const auto& set : covered->sets) {
-    EXPECT_GE(all->region_coverage[set.region], 0.9);
+  for (const auto& set : *covered->memory_sets()) {
+    EXPECT_GE(all->profile.region_coverage[set.region], 0.9);
   }
 }
 
@@ -174,10 +176,10 @@ TEST(TrainingDataGenTest, BudgetAndCoveragePruneRegions) {
 TEST(TrainingDataGenTest, CubePathMatchesNaiveQueriesEverywhere) {
   TinyDb db;
   const BellwetherSpec spec = db.MakeSpec(100.0, 0.0);
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_TRUE(data.ok());
-  ASSERT_GT(data->sets.size(), 0u);
-  for (const auto& set : data->sets) {
+  ASSERT_GT(data->memory_sets()->size(), 0u);
+  for (const auto& set : *data->memory_sets()) {
     auto naive = GenerateRegionTrainingSetNaive(spec, set.region);
     ASSERT_TRUE(naive.ok()) << naive.status().ToString();
     ASSERT_EQ(naive->items, set.items)
@@ -211,23 +213,63 @@ TEST(TrainingDataGenTest, ValidatesSpec) {
   TinyDb db;
   BellwetherSpec spec = db.MakeSpec(10.0, 0.0);
   spec.target_column = "Nope";
-  EXPECT_FALSE(GenerateTrainingData(spec).ok());
+  EXPECT_FALSE(GenerateTrainingDataInMemory(spec).ok());
   spec = db.MakeSpec(10.0, 0.0);
   spec.dimension_columns = {"Time"};
-  EXPECT_FALSE(GenerateTrainingData(spec).ok());
+  EXPECT_FALSE(GenerateTrainingDataInMemory(spec).ok());
   spec = db.MakeSpec(10.0, 0.0);
   spec.regional_features[1].reference = "unknown";
-  EXPECT_FALSE(GenerateTrainingData(spec).ok());
+  EXPECT_FALSE(GenerateTrainingDataInMemory(spec).ok());
 }
 
 TEST(TrainingDataGenTest, MemorySourceRoundTrip) {
   TinyDb db;
-  auto data = GenerateTrainingData(db.MakeSpec(100.0, 0.0));
+  auto data = GenerateTrainingDataInMemory(db.MakeSpec(100.0, 0.0));
   ASSERT_TRUE(data.ok());
-  auto source = data->ToMemorySource();
-  EXPECT_EQ(source->num_region_sets(), data->sets.size());
-  auto ids = source->RegionIds();
+  ASSERT_NE(data->source, nullptr);
+  ASSERT_NE(data->memory_sets(), nullptr);
+  EXPECT_EQ(data->source->num_region_sets(), data->memory_sets()->size());
+  EXPECT_EQ(data->source->num_region_sets(),
+            data->profile.feasible.regions.size());
+  auto ids = data->source->RegionIds();
   EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+// Generation streams into a caller-supplied sink; the sink observes every
+// feasible region exactly once, in ascending RegionId order.
+TEST(TrainingDataGenTest, SinkReceivesSetsInAscendingRegionOrder) {
+  TinyDb db;
+  storage::MemorySink sink;
+  auto profile = GenerateTrainingData(db.MakeSpec(100.0, 0.0), &sink);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(sink.sets_appended(),
+            static_cast<int64_t>(profile->feasible.regions.size()));
+  auto source = sink.Finish();
+  ASSERT_TRUE(source.ok());
+  auto ids = (*source)->RegionIds();
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(ids, profile->feasible.regions);
+}
+
+TEST(TrainingDataGenTest, NullSinkIsRejected) {
+  TinyDb db;
+  EXPECT_FALSE(GenerateTrainingData(db.MakeSpec(100.0, 0.0), nullptr).ok());
+}
+
+// FindSet binary-searches the ascending feasible-region list.
+TEST(TrainingDataGenTest, FindSetMatchesLinearScan) {
+  TinyDb db;
+  auto data = GenerateTrainingDataInMemory(db.MakeSpec(100.0, 0.0));
+  ASSERT_TRUE(data.ok());
+  const auto& regions = data->profile.feasible.regions;
+  ASSERT_FALSE(regions.empty());
+  for (olap::RegionId r = 0; r < db.space->NumRegions(); ++r) {
+    int64_t expected = -1;
+    for (size_t i = 0; i < regions.size(); ++i) {
+      if (regions[i] == r) expected = static_cast<int64_t>(i);
+    }
+    EXPECT_EQ(data->FindSet(r), expected) << "region " << r;
+  }
 }
 
 }  // namespace

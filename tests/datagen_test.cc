@@ -159,11 +159,11 @@ TEST(ScalabilityTest, MemoryGeneration) {
   config.num_items = 100;
   config.dim1_fanouts = {2};
   config.dim2_fanouts = {2};
-  std::vector<storage::RegionTrainingSet> sets;
-  auto d = GenerateScalability(config, nullptr, &sets);
+  storage::MemorySink sink;
+  auto d = GenerateScalability(config, &sink);
   ASSERT_TRUE(d.ok()) << d.status().ToString();
   EXPECT_EQ(d->num_regions, 9);  // (1+2) * (1+2)
-  EXPECT_EQ(sets.size(), 9u);
+  EXPECT_EQ(sink.sets_appended(), 9);
   EXPECT_EQ(d->total_examples, 900);
   EXPECT_EQ(d->items.num_rows(), 100u);
   EXPECT_EQ(d->numeric_feature_columns.size(), 4u);
@@ -175,31 +175,32 @@ TEST(ScalabilityTest, SpillGenerationMatchesMemory) {
   config.num_items = 50;
   config.dim1_fanouts = {2};
   config.dim2_fanouts = {2};
-  std::vector<storage::RegionTrainingSet> mem;
-  ASSERT_TRUE(GenerateScalability(config, nullptr, &mem).ok());
+  storage::MemorySink mem_sink;
+  ASSERT_TRUE(GenerateScalability(config, &mem_sink).ok());
+  auto mem_src = mem_sink.Finish();
+  ASSERT_TRUE(mem_src.ok());
   const std::string path = ::testing::TempDir() + "/scal_spill.bin";
-  {
-    auto writer = storage::SpillFileWriter::Create(path);
-    ASSERT_TRUE(writer.ok());
-    ASSERT_TRUE(GenerateScalability(config, writer->get(), nullptr).ok());
-    ASSERT_TRUE((*writer)->Finish().ok());
-  }
-  auto src = storage::SpilledTrainingData::Open(path);
+  auto spill_sink = storage::SpillSink::Create(path);
+  ASSERT_TRUE(spill_sink.ok());
+  ASSERT_TRUE(GenerateScalability(config, spill_sink->get()).ok());
+  auto src = (*spill_sink)->Finish();
   ASSERT_TRUE(src.ok());
-  ASSERT_EQ((*src)->num_region_sets(), mem.size());
-  for (size_t i = 0; i < mem.size(); ++i) {
+  ASSERT_EQ((*src)->num_region_sets(), (*mem_src)->num_region_sets());
+  for (size_t i = 0; i < (*mem_src)->num_region_sets(); ++i) {
     auto s = (*src)->Read(i);
+    auto m = (*mem_src)->Read(i);
     ASSERT_TRUE(s.ok());
-    EXPECT_EQ(s->region, mem[i].region);
-    EXPECT_EQ(s->features, mem[i].features);
-    EXPECT_EQ(s->targets, mem[i].targets);
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(s->region, m->region);
+    EXPECT_EQ(s->features, m->features);
+    EXPECT_EQ(s->targets, m->targets);
   }
   std::remove(path.c_str());
 }
 
-TEST(ScalabilityTest, RejectsAmbiguousSink) {
+TEST(ScalabilityTest, RejectsNullSink) {
   ScalabilityConfig config;
-  EXPECT_FALSE(GenerateScalability(config, nullptr, nullptr).ok());
+  EXPECT_FALSE(GenerateScalability(config, nullptr).ok());
 }
 
 }  // namespace

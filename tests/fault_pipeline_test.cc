@@ -127,15 +127,15 @@ TEST(FaultPipelineTest, QuarantinedRowsMatchInjectionAndCleanSubset) {
   Result<GeneratedTrainingData> faulted = Status::IoError("not yet run");
   {
     ScopedFaults faults("datagen.row:corrupt@" + std::to_string(kCorrupt));
-    faulted = GenerateTrainingData(spec);
+    faulted = GenerateTrainingDataInMemory(spec);
   }
   ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
   // Quarantine counters equal the injected corruption exactly.
-  EXPECT_EQ(faulted->row_quarantine.rows_quarantined, kCorrupt);
-  EXPECT_EQ(faulted->row_quarantine.rows_seen,
+  EXPECT_EQ(faulted->profile.row_quarantine.rows_quarantined, kCorrupt);
+  EXPECT_EQ(faulted->profile.row_quarantine.rows_seen,
             static_cast<int64_t>(db.fact.num_rows()));
-  ASSERT_FALSE(faulted->row_quarantine.sample_errors.empty());
-  EXPECT_NE(faulted->row_quarantine.sample_errors[0].find(
+  ASSERT_FALSE(faulted->profile.row_quarantine.sample_errors.empty());
+  EXPECT_NE(faulted->profile.row_quarantine.sample_errors[0].find(
                 "injected corrupt row"),
             std::string::npos);
   EXPECT_EQ(obs::DefaultMetrics()
@@ -156,17 +156,17 @@ TEST(FaultPipelineTest, QuarantinedRowsMatchInjectionAndCleanSubset) {
   }
   BellwetherSpec clean_spec = spec;
   clean_spec.fact = &trimmed;
-  auto clean = GenerateTrainingData(clean_spec);
+  auto clean = GenerateTrainingDataInMemory(clean_spec);
   ASSERT_TRUE(clean.ok()) << clean.status().ToString();
-  EXPECT_EQ(clean->row_quarantine.rows_quarantined, 0);
+  EXPECT_EQ(clean->profile.row_quarantine.rows_quarantined, 0);
 
   // Identical training data...
-  EXPECT_EQ(faulted->targets, clean->targets);
-  ExpectSetsEqual(faulted->sets, clean->sets);
+  EXPECT_EQ(faulted->profile.targets, clean->profile.targets);
+  ExpectSetsEqual(*faulted->memory_sets(), *clean->memory_sets());
 
   // ...and therefore an identical bellwether.
-  storage::MemoryTrainingData faulted_src(faulted->sets);
-  storage::MemoryTrainingData clean_src(clean->sets);
+  storage::TrainingDataSource& faulted_src = *faulted->source;
+  storage::TrainingDataSource& clean_src = *clean->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   auto a = RunBasicBellwetherSearch(&faulted_src, options);
@@ -181,7 +181,7 @@ TEST(FaultPipelineTest, StrictPolicyFailsNamingTheRow) {
   BellwetherSpec spec = db.MakeSpec(60.0, 0.5);
   spec.row_policy = robust::RowErrorPolicy::kStrict;
   ScopedFaults faults("datagen.row:corrupt@1");
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_FALSE(data.ok());
   EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(data.status().ToString().find("fact row 0"), std::string::npos);
@@ -192,14 +192,14 @@ TEST(FaultPipelineTest, ProbabilisticCorruptionCompletesWithExactCounters) {
   const BellwetherSpec spec = db.MakeSpec(60.0, 0.5);
   robust::FaultRegistry::Default().set_seed(2026);
   ScopedFaults faults("datagen.row:corrupt@0.02");
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_TRUE(data.ok()) << data.status().ToString();
   const int64_t injected =
       robust::FaultRegistry::Default().fires(robust::kFaultDatagenRow);
   EXPECT_GT(injected, 0);  // ~2% of a >1000-row fact table
-  EXPECT_EQ(data->row_quarantine.rows_quarantined, injected);
+  EXPECT_EQ(data->profile.row_quarantine.rows_quarantined, injected);
   // The pipeline still produces a usable bellwether.
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource& source = *data->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   auto result = RunBasicBellwetherSearch(&source, options);

@@ -118,9 +118,9 @@ RandomDb MakeRandomDb(Rng* rng, olap::WindowKind kind) {
 }
 
 void ExpectEquivalent(const RandomDb& db, const BellwetherSpec& spec) {
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_TRUE(data.ok()) << data.status().ToString();
-  for (const auto& set : data->sets) {
+  for (const auto& set : *data->memory_sets()) {
     auto naive = GenerateRegionTrainingSetNaive(spec, set.region);
     ASSERT_TRUE(naive.ok()) << naive.status().ToString();
     ASSERT_EQ(naive->items, set.items)

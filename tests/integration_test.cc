@@ -29,21 +29,21 @@ TEST(IntegrationTest, MailOrderSpilledPipeline) {
   config.seed = 3;
   const datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
   const BellwetherSpec spec = dataset.MakeSpec(50.0, 0.4);
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_TRUE(data.ok());
 
   const std::string path = ::testing::TempDir() + "/integration_mail.spill";
   {
     auto writer = storage::SpillFileWriter::Create(path);
     ASSERT_TRUE(writer.ok());
-    for (const auto& set : data->sets) {
+    for (const auto& set : *data->memory_sets()) {
       ASSERT_TRUE((*writer)->Append(set).ok());
     }
     ASSERT_TRUE((*writer)->Finish().ok());
   }
   auto disk = storage::SpilledTrainingData::Open(path);
   ASSERT_TRUE(disk.ok());
-  storage::MemoryTrainingData memory(data->sets);
+  storage::TrainingDataSource& memory = *data->source;
 
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
@@ -67,9 +67,9 @@ TEST(IntegrationTest, TreeLemmaHoldsOnRealPipelineData) {
   config.seed = 5;
   const datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
   const BellwetherSpec spec = dataset.MakeSpec(40.0, 0.4);
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_TRUE(data.ok());
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource& source = *data->source;
   TreeBuildConfig tree_config;
   tree_config.split_columns = {"Category", "RDExpense"};
   tree_config.min_items = 25;
@@ -95,9 +95,9 @@ TEST(IntegrationTest, CubeLemmaHoldsOnRealPipelineData) {
   config.seed = 7;
   const datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
   const BellwetherSpec spec = dataset.MakeSpec(40.0, 0.4);
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_TRUE(data.ok());
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource& source = *data->source;
   auto subsets =
       ItemSubsetSpace::Create(dataset.items, dataset.item_hierarchies);
   ASSERT_TRUE(subsets.ok());
@@ -158,10 +158,10 @@ TEST(IntegrationTest, BookStoreFullPipelineRuns) {
   config.seed = 17;
   const datagen::BookStoreDataset dataset = datagen::GenerateBookStore(config);
   const BellwetherSpec spec = dataset.MakeSpec(150.0, 0.3);
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_TRUE(data.ok());
-  ASSERT_GT(data->sets.size(), 0u);
-  storage::MemoryTrainingData source(data->sets);
+  ASSERT_GT(data->source->num_region_sets(), 0u);
+  storage::TrainingDataSource& source = *data->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
   options.min_examples = 15;
@@ -278,9 +278,9 @@ TEST(IntegrationTest, SlidingWindowsFindMidYearBellwether) {
   spec.budget = 2.0;  // at most two cells: forces small windows
   spec.min_coverage = 0.9;
 
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_TRUE(data.ok()) << data.status().ToString();
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource& source = *data->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
   options.min_examples = 20;

@@ -148,10 +148,10 @@ TEST(TelemetryScanTest, BasicSearchTelemetryAccountsForEveryRegion) {
   datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
   const BellwetherSpec spec = dataset.MakeSpec(/*budget=*/60.0,
                                                /*min_coverage=*/0.5);
-  auto data = GenerateTrainingData(spec);
+  auto data = GenerateTrainingDataInMemory(spec);
   ASSERT_TRUE(data.ok()) << data.status().ToString();
 
-  storage::MemoryTrainingData source(data->sets);
+  storage::TrainingDataSource& source = *data->source;
   BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
   auto result = RunBasicBellwetherSearch(&source, options);
@@ -164,18 +164,18 @@ TEST(TelemetryScanTest, BasicSearchTelemetryAccountsForEveryRegion) {
   EXPECT_EQ(t.regions_enumerated,
             t.regions_scored + t.skipped_min_examples + t.model_fit_failures);
   int64_t rows = 0;
-  for (const auto& set : data->sets) rows += set.num_examples();
+  for (const auto& set : *data->memory_sets()) rows += set.num_examples();
   EXPECT_EQ(t.rows_scanned, rows);
   EXPECT_GE(t.scan_seconds, 0.0);
   EXPECT_EQ(t.pruned_by_cost, 0);  // no budget applied yet
 
   // Re-selection under a tight budget records the regions it skipped.
-  auto under = SelectUnderBudget(*result, &source, data->region_costs,
+  auto under = SelectUnderBudget(*result, &source, data->profile.region_costs,
                                  /*budget=*/20.0);
   ASSERT_TRUE(under.ok());
   int64_t over_budget = 0;
   for (const auto& s : result->scores) {
-    if (data->region_costs[s.region] > 20.0) ++over_budget;
+    if (data->profile.region_costs[s.region] > 20.0) ++over_budget;
   }
   EXPECT_EQ(under->telemetry.pruned_by_cost, over_budget);
   EXPECT_GT(under->telemetry.pruned_by_cost, 0);
