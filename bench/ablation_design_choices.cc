@@ -27,8 +27,10 @@ using namespace bellwether::bench;  // NOLINT
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchRunner runner(argc, argv, "ablation_design_choices",
+                     "Design-choice ablations");
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
-  Banner("Ablation", "Design-choice ablations");
+  runner.report().SetConfig("scale", scale);
 
   // ---- 1. Optimized rollup vs per-subset refits ----
   std::printf("\n[1] Theorem-1 rollup vs per-subset accumulation, "
@@ -41,7 +43,10 @@ int main(int argc, char** argv) {
     config.dim2_fanouts = {7};
     config.item_hierarchy_fanouts = {fanout, fanout};
     storage::MemorySink sink;
-    auto meta = datagen::GenerateScalability(config, &sink);
+    Result<datagen::ScalabilityDataset> meta = Status::OK();
+    runner.TimePhase("datagen", [&] {
+      meta = datagen::GenerateScalability(config, &sink);
+    });
     if (!meta.ok()) return 1;
     auto src = sink.Finish();
     if (!src.ok()) return 1;
@@ -53,15 +58,15 @@ int main(int argc, char** argv) {
     cube_cfg.min_subset_size = 1;
     cube_cfg.min_examples_per_model = 10;
     cube_cfg.compute_cv_stats = false;
-    Stopwatch sw;
-    auto scan =
-        core::BuildBellwetherCubeSingleScan(&source, *subsets, cube_cfg);
-    const double t_scan = sw.ElapsedSeconds();
+    Result<core::BellwetherCube> scan = Status::OK();
+    const double t_scan = runner.TimePhase("cube_single_scan", [&] {
+      scan = core::BuildBellwetherCubeSingleScan(&source, *subsets, cube_cfg);
+    });
     if (!scan.ok()) return 1;
-    sw.Restart();
-    auto opt =
-        core::BuildBellwetherCubeOptimized(&source, *subsets, cube_cfg);
-    const double t_opt = sw.ElapsedSeconds();
+    Result<core::BellwetherCube> opt = Status::OK();
+    const double t_opt = runner.TimePhase("cube_optimized", [&] {
+      opt = core::BuildBellwetherCubeOptimized(&source, *subsets, cube_cfg);
+    });
     if (!opt.ok()) return 1;
     Row({Fmt(static_cast<double>(scan->cells().size()), "%.0f"),
          Fmt(t_scan, "%.2f"), Fmt(t_opt, "%.2f"),
@@ -72,9 +77,15 @@ int main(int argc, char** argv) {
   std::printf("\n[2] basic search scoring: training-set vs 10-fold CV\n");
   datagen::MailOrderConfig mo;
   mo.num_items = static_cast<int32_t>(300 * scale);
-  datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(mo);
+  datagen::MailOrderDataset dataset;
+  runner.TimePhase("datagen", [&] {
+    dataset = datagen::GenerateMailOrder(mo);
+  });
   const core::BellwetherSpec spec = dataset.MakeSpec(85.0, 0.5);
-  auto data = core::GenerateTrainingDataInMemory(spec);
+  Result<core::GeneratedTrainingData> data = Status::OK();
+  runner.TimePhase("training_data_gen", [&] {
+    data = core::GenerateTrainingDataInMemory(spec);
+  });
   if (!data.ok()) return 1;
   storage::TrainingDataSource& source = *data->source;
   Row({"Estimate", "Time(s)", "Bellwether", "RMSE"});
@@ -83,9 +94,11 @@ int main(int argc, char** argv) {
     opts.estimate = cv ? regression::ErrorEstimate::kCrossValidation
                        : regression::ErrorEstimate::kTrainingSet;
     opts.min_examples = 40;
-    Stopwatch sw;
-    auto r = core::RunBasicBellwetherSearch(&source, opts);
-    const double t = sw.ElapsedSeconds();
+    Result<core::BasicSearchResult> r = Status::OK();
+    const double t = runner.TimePhase(
+        cv ? "search_cv" : "search_training_set", [&] {
+          r = core::RunBasicBellwetherSearch(&source, opts);
+        });
     if (!r.ok() || !r->found()) return 1;
     Row({cv ? "10-fold-CV" : "training-set", Fmt(t, "%.2f"),
          spec.space->RegionLabel(r->bellwether), Fmt(r->error.rmse)});
@@ -96,12 +109,17 @@ int main(int argc, char** argv) {
               "(examined regions)\n");
   Row({"Budget", "brute", "pruned-examined", "pruned-skipped"});
   for (double budget : {10.0, 30.0, 60.0, 85.0}) {
-    auto brute = olap::FindFeasibleRegionsBruteForce(
-        *spec.space, data->profile.region_costs,
-        data->profile.region_coverage, budget, 0.5);
-    auto pruned = olap::FindFeasibleRegionsPruned(
-        *spec.space, data->profile.region_costs,
-        data->profile.region_coverage, budget, 0.5);
+    olap::FeasibleRegions brute, pruned;
+    runner.TimePhase("iceberg_brute_force", [&] {
+      brute = olap::FindFeasibleRegionsBruteForce(
+          *spec.space, data->profile.region_costs,
+          data->profile.region_coverage, budget, 0.5);
+    });
+    runner.TimePhase("iceberg_pruned", [&] {
+      pruned = olap::FindFeasibleRegionsPruned(
+          *spec.space, data->profile.region_costs,
+          data->profile.region_coverage, budget, 0.5);
+    });
     if (brute.regions != pruned.regions) {
       std::fprintf(stderr, "MISMATCH at budget %.0f\n", budget);
       return 1;
@@ -111,6 +129,5 @@ int main(int argc, char** argv) {
          Fmt(static_cast<double>(pruned.regions_examined), "%.0f"),
          Fmt(static_cast<double>(pruned.regions_pruned), "%.0f")});
   }
-  DumpTelemetryIfRequested(argc, argv);
-  return 0;
+  return runner.Finish();
 }

@@ -10,6 +10,9 @@
 
 #include "common/stopwatch.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "robust/fault_injection.h"
 
 namespace bellwether::bench {
@@ -110,6 +113,75 @@ inline void ArmFaultsIfRequested(int argc, char** argv) {
   }
   std::printf("fault injection armed: %s\n", spec.c_str());
 }
+
+/// Common flight-recorder harness for the bench drivers. Every driver
+/// constructs one BenchRunner at the top of main (arms faults, prints the
+/// banner), records measured work through TimePhase()/report(), and returns
+/// Finish() — which captures trace spans, metrics, and environment metadata
+/// into the report and writes `BENCH_<name>.json` (overridable with
+/// --report-out=<path>; --no-report suppresses it). Setup work (data
+/// generation) must be timed as its own phase, never folded into the
+/// measured build phase.
+class BenchRunner {
+ public:
+  BenchRunner(int argc, char** argv, const char* name, const char* title)
+      : argc_(argc), argv_(argv), report_(name) {
+    ArmFaultsIfRequested(argc, argv);
+    const std::string faults = FlagString(argc, argv, "faults", "");
+    if (!faults.empty()) report_.SetText("faults_armed", faults);
+    Banner(name, title);
+  }
+
+  obs::RunReport& report() { return report_; }
+
+  /// Overrides the default report path (`BENCH_<name>.json`). Drivers with a
+  /// legacy --out flag route it here; --report-out still wins.
+  void set_default_report_path(std::string path) {
+    default_report_path_ = std::move(path);
+  }
+
+  /// Runs `fn` under a trace span and records its wall time as a report
+  /// phase. Same-name calls accumulate. Returns the elapsed seconds.
+  double TimePhase(const char* phase, const std::function<void()>& fn) {
+    obs::TraceSpan span(phase, "bench");
+    const double seconds = TimeIt(fn);
+    report_.AddPhase(phase, seconds);
+    return seconds;
+  }
+
+  /// Finalizes and writes the report (plus the legacy --metrics-out dump).
+  /// Returns the process exit code: 0, or 1 when the report write failed.
+  int Finish() {
+    obs::RegisterStandardMetrics(&obs::DefaultMetrics());
+    report_.CapturePhasesFromTrace();
+    report_.CaptureMetrics();
+    report_.CaptureEnvironment();
+    int code = 0;
+    if (!FlagBool(argc_, argv_, "no-report")) {
+      const std::string path =
+          FlagString(argc_, argv_, "report-out",
+                     default_report_path_.empty()
+                         ? "BENCH_" + report_.name() + ".json"
+                         : default_report_path_);
+      const Status st = obs::WriteTextFile(path, report_.ToJson() + "\n");
+      if (st.ok()) {
+        std::printf("\nrun report written to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "run report write failed: %s\n",
+                     st.ToString().c_str());
+        code = 1;
+      }
+    }
+    DumpTelemetryIfRequested(argc_, argv_);
+    return code;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  obs::RunReport report_;
+  std::string default_report_path_;
+};
 
 }  // namespace bellwether::bench
 

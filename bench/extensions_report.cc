@@ -24,14 +24,25 @@ using namespace bellwether::bench;  // NOLINT
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchRunner runner(argc, argv, "extensions_report",
+                     "§3.2/§3.4 future-work extensions, implemented");
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
-  Banner("Extensions", "§3.2/§3.4 future-work extensions, implemented");
   datagen::MailOrderConfig config;
   config.num_items = static_cast<int32_t>(200 * scale);
   config.seed = 404;
-  const datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
+  runner.report().SetConfig("scale", scale);
+  runner.report().SetConfig("num_items",
+                            static_cast<int64_t>(config.num_items));
+  runner.report().SetConfig("seed", static_cast<int64_t>(config.seed));
+  datagen::MailOrderDataset dataset;
+  runner.TimePhase("datagen", [&] {
+    dataset = datagen::GenerateMailOrder(config);
+  });
   const core::BellwetherSpec spec = dataset.MakeSpec(60.0, 0.5);
-  auto data = core::GenerateTrainingDataInMemory(spec);
+  Result<core::GeneratedTrainingData> data = Status::OK();
+  runner.TimePhase("training_data_gen", [&] {
+    data = core::GenerateTrainingDataInMemory(spec);
+  });
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
@@ -43,7 +54,10 @@ int main(int argc, char** argv) {
   core::BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kCrossValidation;
   options.min_examples = 30;
-  auto full = core::RunBasicBellwetherSearch(&source, options);
+  Result<core::BasicSearchResult> full = Status::OK();
+  runner.TimePhase("search_cv", [&] {
+    full = core::RunBasicBellwetherSearch(&source, options);
+  });
   if (!full.ok() || !full->found()) return 1;
   Row({"w1(cost)", "w2(cover)", "Region", "RMSE", "Cost"});
   for (const auto& [w1, w2] :
@@ -70,8 +84,10 @@ int main(int argc, char** argv) {
     copts.max_regions = 3;
     copts.cv_folds = 5;
     copts.min_examples = 20;
-    Stopwatch sw;
-    auto combo = core::RunCombinatorialSearch(spec, copts);
+    Result<core::CombinatorialResult> combo = Status::OK();
+    runner.TimePhase("combinatorial_search", [&] {
+      combo = core::RunCombinatorialSearch(spec, copts);
+    });
     std::string regions = "-";
     std::string combo_err = "-";
     if (combo.ok() && combo->found()) {
@@ -94,13 +110,15 @@ int main(int argc, char** argv) {
   core::MiSearchOptions mi_opts;
   mi_opts.cv_folds = 5;
   mi_opts.min_bags = 30;
-  Stopwatch mi_sw;
-  auto mi = core::RunMultiInstanceSearch(spec, mi_opts);
+  Result<core::MiSearchResult> mi = Status::OK();
+  const double mi_s = runner.TimePhase("multi_instance_search", [&] {
+    mi = core::RunMultiInstanceSearch(spec, mi_opts);
+  });
   if (mi.ok() && mi->found()) {
     std::printf("  bellwether %s  cv rmse %.4g  (%zu regions scored, "
                 "%.1fs)\n",
                 spec.space->RegionLabel(mi->bellwether).c_str(),
-                mi->error.rmse, mi->scores.size(), mi_sw.ElapsedSeconds());
+                mi->error.rmse, mi->scores.size(), mi_s);
     std::printf("  aggregated-feature search on the same data: %s  %.4g\n",
                 spec.space->RegionLabel(full->bellwether).c_str(),
                 full->error.rmse);
@@ -114,13 +132,15 @@ int main(int argc, char** argv) {
   copts.num_classes = 2;
   copts.cv_folds = 5;
   copts.min_examples = 30;
-  auto cls = core::RunClassificationBellwetherSearch(&source, copts);
+  Result<core::ClassificationSearchResult> cls = Status::OK();
+  runner.TimePhase("classification_search", [&] {
+    cls = core::RunClassificationBellwetherSearch(&source, copts);
+  });
   if (cls.ok() && cls->found()) {
     std::printf("  bellwether %s  misclassification %.3f  (average region "
                 "%.3f, chance 0.5)\n",
                 spec.space->RegionLabel(cls->bellwether).c_str(),
                 cls->error.rmse, cls->AverageError());
   }
-  DumpTelemetryIfRequested(argc, argv);
-  return 0;
+  return runner.Finish();
 }

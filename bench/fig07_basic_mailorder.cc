@@ -12,7 +12,6 @@
 
 #include "bench/bench_util.h"
 #include "common/random.h"
-#include "common/stopwatch.h"
 #include "core/baselines.h"
 #include "core/basic_search.h"
 #include "core/training_data_gen.h"
@@ -56,22 +55,33 @@ void PrintErrorTable(const char* caption, const BasicSearchResult& full,
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchRunner runner(argc, argv, "fig07_basic_mailorder",
+                     "Basic bellwether analysis of the mail order dataset");
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
   datagen::MailOrderConfig config;
   config.num_items = static_cast<int32_t>(400 * scale);
   config.seed = 1996;
-  Banner("Figure 7", "Basic bellwether analysis of the mail order dataset");
+  runner.report().SetConfig("scale", scale);
+  runner.report().SetConfig("num_items", static_cast<int64_t>(config.num_items));
+  runner.report().SetConfig("seed", static_cast<int64_t>(config.seed));
   std::printf("items=%d months=%d (planted bellwether: [1-8, %s])\n",
               config.num_items, config.num_months, config.planted_state);
 
-  Stopwatch total;
-  datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
+  // Setup (data generation) is timed as its own phase, separate from the
+  // measured search phases below.
+  datagen::MailOrderDataset dataset;
+  const double gen_s = runner.TimePhase("datagen", [&] {
+    dataset = datagen::GenerateMailOrder(config);
+  });
   std::printf("generated %zu transactions in %.1fs\n",
-              dataset.fact.num_rows(), total.ElapsedSeconds());
+              dataset.fact.num_rows(), gen_s);
 
   const double max_budget = 85.0;
   const core::BellwetherSpec spec = dataset.MakeSpec(max_budget, 0.5);
-  auto data = core::GenerateTrainingDataInMemory(spec);
+  Result<core::GeneratedTrainingData> data = Status::OK();
+  runner.TimePhase("training_data_gen", [&] {
+    data = core::GenerateTrainingDataInMemory(spec);
+  });
   if (!data.ok()) {
     std::fprintf(stderr, "training data generation failed: %s\n",
                  data.status().ToString().c_str());
@@ -83,6 +93,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(data->profile.feasible.regions_examined),
               static_cast<long long>(data->profile.feasible.regions_pruned),
               static_cast<long long>(spec.space->NumRegions()));
+  runner.report().SetCount(
+      "feasible_regions",
+      static_cast<int64_t>(data->source->num_region_sets()));
 
   storage::TrainingDataSource& source = *data->source;
   const std::vector<double> budgets{5, 15, 25, 35, 45, 55, 65, 75, 85};
@@ -92,41 +105,56 @@ int main(int argc, char** argv) {
   cv_opts.estimate = regression::ErrorEstimate::kCrossValidation;
   cv_opts.cv_folds = 10;
   cv_opts.min_examples = 40;
-  auto cv_full = core::RunBasicBellwetherSearch(&source, cv_opts);
+  Result<BasicSearchResult> cv_full = Status::OK();
+  runner.TimePhase("search_cv", [&] {
+    cv_full = core::RunBasicBellwetherSearch(&source, cv_opts);
+  });
   if (!cv_full.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
                  cv_full.status().ToString().c_str());
     return 1;
   }
-  PrintErrorTable("(a) error vs budget — 10-fold cross-validation RMSE",
-                  *cv_full, &source, *data, spec, budgets,
-                  /*with_sampling=*/true, config.seed);
-
-  // ---- (b) Fraction of indistinguishable regions ----
-  std::printf("\n(b) fraction of regions within the bellwether's confidence "
-              "interval\n");
-  Row({"Budget", "95%", "99%"});
-  for (double budget : budgets) {
-    auto r = core::SelectUnderBudget(*cv_full, &source,
-                                     data->profile.region_costs, budget);
-    if (!r.ok() || !r->found()) {
-      Row({Fmt(budget, "%.0f"), "-", "-"});
-      continue;
-    }
-    Row({Fmt(budget, "%.0f"), Fmt(r->FractionIndistinguishable(0.95)),
-         Fmt(r->FractionIndistinguishable(0.99))});
+  runner.report().SetCount("cv.regions_scored",
+                           cv_full->telemetry.regions_scored);
+  runner.report().SetCount("cv.bellwether_region",
+                           static_cast<int64_t>(cv_full->bellwether));
+  if (cv_full->found()) {
+    runner.report().SetValue("cv.bellwether_rmse", cv_full->error.rmse);
   }
+  runner.TimePhase("budget_sweep", [&] {
+    PrintErrorTable("(a) error vs budget — 10-fold cross-validation RMSE",
+                    *cv_full, &source, *data, spec, budgets,
+                    /*with_sampling=*/true, config.seed);
+
+    // ---- (b) Fraction of indistinguishable regions ----
+    std::printf("\n(b) fraction of regions within the bellwether's "
+                "confidence interval\n");
+    Row({"Budget", "95%", "99%"});
+    for (double budget : budgets) {
+      auto r = core::SelectUnderBudget(*cv_full, &source,
+                                       data->profile.region_costs, budget);
+      if (!r.ok() || !r->found()) {
+        Row({Fmt(budget, "%.0f"), "-", "-"});
+        continue;
+      }
+      Row({Fmt(budget, "%.0f"), Fmt(r->FractionIndistinguishable(0.95)),
+           Fmt(r->FractionIndistinguishable(0.99))});
+    }
+  });
 
   // ---- (c) Training-set error vs budget ----
   BasicSearchOptions tr_opts = cv_opts;
   tr_opts.estimate = regression::ErrorEstimate::kTrainingSet;
-  auto tr_full = core::RunBasicBellwetherSearch(&source, tr_opts);
+  Result<BasicSearchResult> tr_full = Status::OK();
+  runner.TimePhase("search_training_set", [&] {
+    tr_full = core::RunBasicBellwetherSearch(&source, tr_opts);
+  });
   if (!tr_full.ok()) return 1;
+  runner.report().SetCount("training_set.bellwether_region",
+                           static_cast<int64_t>(tr_full->bellwether));
   PrintErrorTable("(c) error vs budget — training-set RMSE (cheap estimate)",
                   *tr_full, &source, *data, spec, budgets,
                   /*with_sampling=*/false, config.seed);
 
-  std::printf("\ntotal: %.1fs\n", total.ElapsedSeconds());
-  DumpTelemetryIfRequested(argc, argv);
-  return 0;
+  return runner.Finish();
 }

@@ -18,16 +18,26 @@ using namespace bellwether::bench;  // NOLINT
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchRunner runner(argc, argv, "fig08_itemcentric_mailorder",
+                     "Bellwether-based prediction on the mail order dataset");
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
   datagen::MailOrderConfig config;
   config.num_items = static_cast<int32_t>(300 * scale);
   config.seed = 1996;
-  Banner("Figure 8", "Bellwether-based prediction on the mail order dataset");
+  runner.report().SetConfig("scale", scale);
+  runner.report().SetConfig("num_items",
+                            static_cast<int64_t>(config.num_items));
+  runner.report().SetConfig("seed", static_cast<int64_t>(config.seed));
 
-  Stopwatch total;
-  datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
+  datagen::MailOrderDataset dataset;
+  runner.TimePhase("datagen", [&] {
+    dataset = datagen::GenerateMailOrder(config);
+  });
   const core::BellwetherSpec spec = dataset.MakeSpec(85.0, 0.5);
-  auto data = core::GenerateTrainingDataInMemory(spec);
+  Result<core::GeneratedTrainingData> data = Status::OK();
+  runner.TimePhase("training_data_gen", [&] {
+    data = core::GenerateTrainingDataInMemory(spec);
+  });
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
@@ -53,14 +63,16 @@ int main(int argc, char** argv) {
   opts.basic.estimate = regression::ErrorEstimate::kTrainingSet;
   opts.basic.min_examples = 20;
 
-  // Accumulates evaluation time only: paused across the per-budget setup
-  // (set filtering, input wiring) so the report isolates the method cost.
-  Stopwatch eval;
-  eval.Pause();
+  // Per-budget setup (set filtering, input wiring) is timed separately from
+  // the measured evaluation, so the report isolates the method cost.
+  int64_t budgets_evaluated = 0;
   Row({"Budget", "Basic", "Tree", "Cube", "(predicted/missed)"});
   for (double budget : {10.0, 25.0, 40.0, 55.0, 70.0, 85.0}) {
-    const auto sets = core::FilterSetsByBudget(
-        *data->memory_sets(), data->profile.region_costs, budget);
+    std::vector<storage::RegionTrainingSet> sets;
+    runner.TimePhase("budget_setup", [&] {
+      sets = core::FilterSetsByBudget(
+          *data->memory_sets(), data->profile.region_costs, budget);
+    });
     if (sets.empty()) {
       Row({Fmt(budget, "%.0f"), "-", "-", "-", "(no feasible region)"});
       continue;
@@ -70,14 +82,16 @@ int main(int argc, char** argv) {
     input.targets = &data->profile.targets;
     input.item_table = &dataset.items;
     input.subsets = *subsets;
-    eval.Resume();
-    auto r = core::EvaluateItemCentric(input, opts);
-    eval.Pause();
+    Result<core::ItemCentricResult> r = Status::OK();
+    runner.TimePhase("evaluate", [&] {
+      r = core::EvaluateItemCentric(input, opts);
+    });
     if (!r.ok()) {
       Row({Fmt(budget, "%.0f"), "-", "-", "-",
            r.status().ToString().c_str()});
       continue;
     }
+    ++budgets_evaluated;
     char counts[64];
     std::snprintf(counts, sizeof(counts), "(%lld/%lld)",
                   static_cast<long long>(r->basic.predicted),
@@ -85,8 +99,6 @@ int main(int argc, char** argv) {
     Row({Fmt(budget, "%.0f"), Fmt(r->basic.rmse), Fmt(r->tree.rmse),
          Fmt(r->cube.rmse), counts});
   }
-  std::printf("\ntotal: %.1fs (evaluation only: %.1fs)\n",
-              total.ElapsedSeconds(), eval.ElapsedSeconds());
-  DumpTelemetryIfRequested(argc, argv);
-  return 0;
+  runner.report().SetCount("budgets_evaluated", budgets_evaluated);
+  return runner.Finish();
 }

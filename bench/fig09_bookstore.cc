@@ -22,19 +22,28 @@ using namespace bellwether::bench;  // NOLINT
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchRunner runner(argc, argv, "fig09_bookstore",
+                     "Bellwether analysis of the book store dataset");
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
   datagen::BookStoreConfig config;
   config.num_books = static_cast<int32_t>(200 * scale);
-  Banner("Figure 9", "Bellwether analysis of the book store dataset");
-  Stopwatch total;
-  datagen::BookStoreDataset dataset = datagen::GenerateBookStore(config);
+  runner.report().SetConfig("scale", scale);
+  runner.report().SetConfig("num_books",
+                            static_cast<int64_t>(config.num_books));
+  datagen::BookStoreDataset dataset;
+  runner.TimePhase("datagen", [&] {
+    dataset = datagen::GenerateBookStore(config);
+  });
   std::printf("books=%zu transactions=%zu (no planted bellwether; small "
               "sample)\n",
               dataset.items.num_rows(), dataset.fact.num_rows());
 
   const double max_budget = 200.0;
   const core::BellwetherSpec spec = dataset.MakeSpec(max_budget, 0.4);
-  auto data = core::GenerateTrainingDataInMemory(spec);
+  Result<core::GeneratedTrainingData> data = Status::OK();
+  runner.TimePhase("training_data_gen", [&] {
+    data = core::GenerateTrainingDataInMemory(spec);
+  });
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
@@ -45,13 +54,21 @@ int main(int argc, char** argv) {
   opts.estimate = regression::ErrorEstimate::kCrossValidation;
   opts.cv_folds = 10;
   opts.min_examples = 30;
-  auto full = core::RunBasicBellwetherSearch(&source, opts);
+  Result<core::BasicSearchResult> full = Status::OK();
+  runner.TimePhase("search_cv", [&] {
+    full = core::RunBasicBellwetherSearch(&source, opts);
+  });
   if (!full.ok()) {
     std::fprintf(stderr, "%s\n", full.status().ToString().c_str());
     return 1;
   }
+  runner.report().SetCount("search.regions_scored",
+                           full->telemetry.regions_scored);
+  runner.report().SetCount("search.bellwether_region",
+                           static_cast<int64_t>(full->bellwether));
 
   const std::vector<double> budgets{25, 50, 75, 100, 125, 150, 175, 200};
+  obs::TraceSpan sweep_span("budget_sweep", "bench");
   std::printf("\n(a) error vs budget — 10-fold cross-validation RMSE\n");
   Row({"Budget", "BelErr", "AvgErr", "SmpErr", "Returned region"});
   for (double budget : budgets) {
@@ -82,6 +99,7 @@ int main(int argc, char** argv) {
          Fmt(r->FractionIndistinguishable(0.99))});
   }
 
+  sweep_span.End();
   std::printf("\n(c) item-centric prediction — no clear winner expected\n");
   auto subsets =
       core::ItemSubsetSpace::Create(dataset.items, dataset.item_hierarchies);
@@ -102,8 +120,11 @@ int main(int argc, char** argv) {
   iopts.basic.min_examples = 15;
   Row({"Budget", "SingleRegion", "Tree", "Cube"});
   for (double budget : {50.0, 100.0, 150.0, 200.0}) {
-    const auto sets = core::FilterSetsByBudget(
-        *data->memory_sets(), data->profile.region_costs, budget);
+    std::vector<storage::RegionTrainingSet> sets;
+    runner.TimePhase("budget_setup", [&] {
+      sets = core::FilterSetsByBudget(
+          *data->memory_sets(), data->profile.region_costs, budget);
+    });
     if (sets.empty()) {
       Row({Fmt(budget, "%.0f"), "-", "-", "-"});
       continue;
@@ -113,7 +134,10 @@ int main(int argc, char** argv) {
     input.targets = &data->profile.targets;
     input.item_table = &dataset.items;
     input.subsets = *subsets;
-    auto r = core::EvaluateItemCentric(input, iopts);
+    Result<core::ItemCentricResult> r = Status::OK();
+    runner.TimePhase("evaluate", [&] {
+      r = core::EvaluateItemCentric(input, iopts);
+    });
     if (!r.ok()) {
       Row({Fmt(budget, "%.0f"), "-", "-", "-"});
       continue;
@@ -121,7 +145,5 @@ int main(int argc, char** argv) {
     Row({Fmt(budget, "%.0f"), Fmt(r->basic.rmse), Fmt(r->tree.rmse),
          Fmt(r->cube.rmse)});
   }
-  std::printf("\ntotal: %.1fs\n", total.ElapsedSeconds());
-  DumpTelemetryIfRequested(argc, argv);
-  return 0;
+  return runner.Finish();
 }

@@ -24,8 +24,10 @@ struct Point {
   double cube = 0.0;
 };
 
-Point RunOne(int32_t tree_nodes, double noise, int32_t datasets,
-             int32_t items) {
+// Setup (dataset generation) and the measured evaluation are timed as
+// separate report phases; a point averages `datasets` generated datasets.
+Point RunOne(BenchRunner* runner, int32_t tree_nodes, double noise,
+             int32_t datasets, int32_t items) {
   Point acc;
   for (int32_t d = 0; d < datasets; ++d) {
     datagen::SimulationConfig config;
@@ -34,7 +36,10 @@ Point RunOne(int32_t tree_nodes, double noise, int32_t datasets,
     config.noise = noise;
     config.num_hierarchies = 6;
     config.seed = 1000 * (d + 1) + tree_nodes;
-    datagen::SimulationDataset sim = datagen::GenerateSimulation(config);
+    datagen::SimulationDataset sim;
+    runner->TimePhase("datagen", [&] {
+      sim = datagen::GenerateSimulation(config);
+    });
     auto subsets =
         core::ItemSubsetSpace::Create(sim.items, sim.item_hierarchies);
     if (!subsets.ok()) continue;
@@ -53,7 +58,10 @@ Point RunOne(int32_t tree_nodes, double noise, int32_t datasets,
     opts.cube.min_examples_per_model = 10;
     opts.cube.compute_cv_stats = true;
     opts.basic.estimate = regression::ErrorEstimate::kTrainingSet;
-    auto r = core::EvaluateItemCentric(input, opts);
+    Result<core::ItemCentricResult> r = Status::OK();
+    runner->TimePhase("evaluate", [&] {
+      r = core::EvaluateItemCentric(input, opts);
+    });
     if (!r.ok()) continue;
     acc.basic += r->basic.rmse / datasets;
     acc.tree += r->tree.rmse / datasets;
@@ -65,31 +73,31 @@ Point RunOne(int32_t tree_nodes, double noise, int32_t datasets,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bellwether::bench::ArmFaultsIfRequested(argc, argv);
+  BenchRunner runner(argc, argv, "fig10_simulation",
+                     "Error of cube, basic and tree on simulated data");
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
   const int32_t datasets =
       static_cast<int32_t>(FlagDouble(argc, argv, "datasets", 5));
   const int32_t items = static_cast<int32_t>(500 * scale);
-  Banner("Figure 10", "Error of cube, basic and tree on simulated data");
+  runner.report().SetConfig("scale", scale);
+  runner.report().SetConfig("datasets", static_cast<int64_t>(datasets));
+  runner.report().SetConfig("items", static_cast<int64_t>(items));
   std::printf("items=%d datasets_per_point=%d (paper: 1000 items, 10 "
               "datasets)\n",
               items, datasets);
-  Stopwatch total;
 
   std::printf("\n(a) RMSE vs noise level (generator complexity: 15 nodes)\n");
   Row({"Noise", "cube", "basic", "tree"});
   for (double noise : {0.05, 0.5, 1.0, 2.0, 4.0}) {
-    const Point p = RunOne(15, noise, datasets, items);
+    const Point p = RunOne(&runner, 15, noise, datasets, items);
     Row({Fmt(noise), Fmt(p.cube), Fmt(p.basic), Fmt(p.tree)});
   }
 
   std::printf("\n(b) RMSE vs number of generator-tree nodes (noise 0.5)\n");
   Row({"Nodes", "cube", "basic", "tree"});
   for (int32_t nodes : {3, 7, 15, 31, 63}) {
-    const Point p = RunOne(nodes, 0.5, datasets, items);
+    const Point p = RunOne(&runner, nodes, 0.5, datasets, items);
     Row({Fmt(nodes, "%.0f"), Fmt(p.cube), Fmt(p.basic), Fmt(p.tree)});
   }
-  std::printf("\ntotal: %.1fs\n", total.ElapsedSeconds());
-  DumpTelemetryIfRequested(argc, argv);
-  return 0;
+  return runner.Finish();
 }

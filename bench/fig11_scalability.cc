@@ -88,8 +88,10 @@ core::CubeBuildConfig CubeConfig() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchRunner runner(argc, argv, "fig11_scalability",
+                     "Scalability of the algorithms (disk-resident data)");
   const double scale = FlagDouble(argc, argv, "scale", 0.1);
-  Banner("Figure 11", "Scalability of the algorithms (disk-resident data)");
+  runner.report().SetConfig("scale", scale);
   std::printf("scale=%.2f of the paper's sizes (use --scale=1.0 for 2.5M-10M "
               "examples)\n", scale);
 
@@ -102,8 +104,11 @@ int main(int argc, char** argv) {
     const int64_t examples = static_cast<int64_t>(target * scale * 3.0);
     // 169 regions (two {3,3} trees, 13 nodes each).
     const int32_t items = static_cast<int32_t>(examples / 169);
-    Generated g = Generate(examples, items, {3, 3}, {3, 3},
-                           /*numeric_features=*/2, /*hierarchy_fanout=*/2);
+    Generated g;
+    runner.TimePhase("datagen", [&] {
+      g = Generate(examples, items, {3, 3}, {3, 3},
+                   /*numeric_features=*/2, /*hierarchy_fanout=*/2);
+    });
     // The paper's simulation: every request of a region's training set is a
     // disk read; emulate a device with a fixed per-request latency so the
     // OS page cache does not mask the random-read penalty.
@@ -117,27 +122,29 @@ int main(int argc, char** argv) {
     const auto tree_cfg = TreeConfig(g.meta, /*max_depth=*/2,
                                      /*min_items=*/50);
     const auto cube_cfg = CubeConfig();
-    const double t_naive_tree = TimeIt([&] {
+    const double t_naive_tree = runner.TimePhase("tree_naive", [&] {
       auto r = core::BuildBellwetherTreeNaive(g.source.get(), g.meta.items,
                                               tree_cfg);
       if (!r.ok()) std::exit(1);
     });
-    const double t_rf_tree = TimeIt([&] {
+    const double t_rf_tree = runner.TimePhase("tree_rainforest", [&] {
       auto r = core::BuildBellwetherTreeRainForest(g.source.get(),
                                                    g.meta.items, tree_cfg);
       if (!r.ok()) std::exit(1);
     });
-    const double t_naive_cube = TimeIt([&] {
+    const double t_naive_cube = runner.TimePhase("cube_naive", [&] {
       auto r = core::BuildBellwetherCubeNaive(g.source.get(), *subsets,
                                               cube_cfg);
       if (!r.ok()) std::exit(1);
     });
-    const double t_scan_cube = TimeIt([&] {
+    const double t_scan_cube =
+        runner.TimePhase("cube_single_scan_latency", [&] {
       auto r = core::BuildBellwetherCubeSingleScan(g.source.get(), *subsets,
                                                    cube_cfg);
       if (!r.ok()) std::exit(1);
     });
-    const double t_opt_cube = TimeIt([&] {
+    const double t_opt_cube =
+        runner.TimePhase("cube_optimized_latency", [&] {
       auto r = core::BuildBellwetherCubeOptimized(g.source.get(), *subsets,
                                                   cube_cfg);
       if (!r.ok()) std::exit(1);
@@ -158,19 +165,21 @@ int main(int argc, char** argv) {
     const int64_t paper_examples = 2500000 * static_cast<int64_t>(k + 1);
     const int32_t items =
         static_cast<int32_t>(2500 * scale * 10.0);  // paper: 2500 items
-    Generated g = Generate(static_cast<int64_t>(paper_examples * scale),
-                           items, region_shapes[k].first,
-                           region_shapes[k].second, 4, 3);
+    Generated g;
+    runner.TimePhase("datagen", [&] {
+      g = Generate(static_cast<int64_t>(paper_examples * scale), items,
+                   region_shapes[k].first, region_shapes[k].second, 4, 3);
+    });
     auto subsets =
         core::ItemSubsetSpace::Create(g.meta.items, g.meta.item_hierarchies);
     if (!subsets.ok()) return 1;
     const auto cube_cfg = CubeConfig();
-    const double t_scan = TimeIt([&] {
+    const double t_scan = runner.TimePhase("cube_single_scan", [&] {
       auto r = core::BuildBellwetherCubeSingleScan(g.source.get(), *subsets,
                                                    cube_cfg);
       if (!r.ok()) std::exit(1);
     });
-    const double t_opt = TimeIt([&] {
+    const double t_opt = runner.TimePhase("cube_optimized", [&] {
       auto r = core::BuildBellwetherCubeOptimized(g.source.get(), *subsets,
                                                   cube_cfg);
       if (!r.ok()) std::exit(1);
@@ -186,11 +195,13 @@ int main(int argc, char** argv) {
   for (size_t k = 0; k < region_shapes.size(); ++k) {
     const int64_t paper_examples = 2500000 * static_cast<int64_t>(k + 1);
     const int32_t items = static_cast<int32_t>(2500 * scale * 10.0);
-    Generated g = Generate(static_cast<int64_t>(paper_examples * scale),
-                           items, region_shapes[k].first,
-                           region_shapes[k].second, 4, 3);
+    Generated g;
+    runner.TimePhase("datagen", [&] {
+      g = Generate(static_cast<int64_t>(paper_examples * scale), items,
+                   region_shapes[k].first, region_shapes[k].second, 4, 3);
+    });
     const auto tree_cfg = TreeConfig(g.meta, /*max_depth=*/3);
-    const double t = TimeIt([&] {
+    const double t = runner.TimePhase("tree_rainforest_scan", [&] {
       auto r = core::BuildBellwetherTreeRainForest(g.source.get(),
                                                    g.meta.items, tree_cfg);
       if (!r.ok()) std::exit(1);
@@ -199,6 +210,5 @@ int main(int argc, char** argv) {
          Fmt(t, "%.2f")});
     std::remove(g.path.c_str());
   }
-  DumpTelemetryIfRequested(argc, argv);
-  return 0;
+  return runner.Finish();
 }

@@ -23,8 +23,10 @@ using namespace bellwether::bench;  // NOLINT
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchRunner runner(argc, argv, "fig12_characteristics",
+                     "Characteristics of the optimized cube and RF tree");
   const double scale = FlagDouble(argc, argv, "scale", 0.1);
-  Banner("Figure 12", "Characteristics of the optimized cube and RF tree");
+  runner.report().SetConfig("scale", scale);
 
   // ---- (a) optimized cube vs number of significant subsets ----
   // Paper: 2.5M examples, subsets varied via the item hierarchies.
@@ -38,7 +40,10 @@ int main(int argc, char** argv) {
     config.dim2_fanouts = {9};  // 100 regions
     config.item_hierarchy_fanouts = {fanout, fanout};
     storage::MemorySink sink;
-    auto meta = datagen::GenerateScalability(config, &sink);
+    Result<datagen::ScalabilityDataset> meta = Status::OK();
+    runner.TimePhase("datagen", [&] {
+      meta = datagen::GenerateScalability(config, &sink);
+    });
     if (!meta.ok()) return 1;
     auto src = sink.Finish();
     if (!src.ok()) return 1;
@@ -50,12 +55,13 @@ int main(int argc, char** argv) {
     cube_cfg.min_subset_size = 1;  // every non-empty subset is significant
     cube_cfg.min_examples_per_model = 10;
     cube_cfg.compute_cv_stats = false;
-    Stopwatch sw;
-    auto cube =
-        core::BuildBellwetherCubeOptimized(&source, *subsets, cube_cfg);
+    Result<core::BellwetherCube> cube = Status::OK();
+    const double t_cube = runner.TimePhase("cube_optimized", [&] {
+      cube = core::BuildBellwetherCubeOptimized(&source, *subsets, cube_cfg);
+    });
     if (!cube.ok()) return 1;
     Row({Fmt(static_cast<double>(cube->cells().size()), "%.0f"),
-         Fmt(sw.ElapsedSeconds(), "%.2f")});
+         Fmt(t_cube, "%.2f")});
   }
 
   // ---- (b) RF tree vs number of item-table features ----
@@ -69,7 +75,10 @@ int main(int argc, char** argv) {
     config.dim2_fanouts = {9};
     config.num_numeric_item_features = features;
     storage::MemorySink sink;
-    auto meta = datagen::GenerateScalability(config, &sink);
+    Result<datagen::ScalabilityDataset> meta = Status::OK();
+    runner.TimePhase("datagen", [&] {
+      meta = datagen::GenerateScalability(config, &sink);
+    });
     if (!meta.ok()) return 1;
     auto src = sink.Finish();
     if (!src.ok()) return 1;
@@ -80,12 +89,13 @@ int main(int argc, char** argv) {
     tree_cfg.max_depth = 3;
     tree_cfg.max_numeric_split_points = 4;
     tree_cfg.min_examples_per_model = 10;
-    Stopwatch sw;
-    auto tree = core::BuildBellwetherTreeRainForest(&source, meta->items,
-                                                    tree_cfg);
+    Result<core::BellwetherTree> tree = Status::OK();
+    const double t_tree = runner.TimePhase("tree_rainforest", [&] {
+      tree = core::BuildBellwetherTreeRainForest(&source, meta->items,
+                                                 tree_cfg);
+    });
     if (!tree.ok()) return 1;
-    Row({Fmt(features, "%.0f"), Fmt(sw.ElapsedSeconds(), "%.2f")});
+    Row({Fmt(features, "%.0f"), Fmt(t_tree, "%.2f")});
   }
-  DumpTelemetryIfRequested(argc, argv);
-  return 0;
+  return runner.Finish();
 }

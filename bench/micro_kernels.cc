@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "datagen/hierarchy_util.h"
 #include "olap/cost.h"
@@ -224,6 +225,40 @@ void BM_SpillRead(benchmark::State& state) {
 }
 BENCHMARK(BM_SpillRead);
 
+// Console reporter that also records every per-iteration run as a report
+// phase "bm/<name>" whose wall time is seconds per iteration, so the micro
+// benchmarks feed the same BENCH_<name>.json flight-recorder format (and
+// benchdiff gate) as the figure drivers.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(obs::RunReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      if (run.iterations <= 0) continue;
+      report_->AddPhase("bm/" + run.benchmark_name(),
+                        run.real_accumulated_time /
+                            static_cast<double>(run.iterations));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  obs::RunReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bellwether::bench::BenchRunner runner(argc, argv, "micro_kernels",
+                                        "Kernel micro-benchmarks");
+  // benchmark::Initialize strips the flags it recognizes and leaves ours
+  // (--report-out etc.) in place for BenchRunner.
+  benchmark::Initialize(&argc, argv);
+  RecordingReporter reporter(&runner.report());
+  const size_t run = benchmark::RunSpecifiedBenchmarks(&reporter);
+  runner.report().SetCount("benchmarks_run", static_cast<int64_t>(run));
+  benchmark::Shutdown();
+  return runner.Finish();
+}

@@ -75,7 +75,7 @@ struct BuildResult {
   double cube_seconds = 0.0;
 };
 
-BuildResult RunAll(Workload& w,
+BuildResult RunAll(BenchRunner* runner, Workload& w,
                    const std::shared_ptr<const core::ItemSubsetSpace>& subsets,
                    int32_t num_threads) {
   core::BasicSearchOptions search_options;  // cross-validated: compute-heavy
@@ -95,17 +95,18 @@ BuildResult RunAll(Workload& w,
   cube_config.compute_cv_stats = false;
   cube_config.exec.num_threads = num_threads;
 
+  const std::string suffix = "_t" + std::to_string(num_threads);
   Result<core::BasicSearchResult> search = Status::OK();
   Result<core::BellwetherTree> tree = Status::OK();
   Result<core::BellwetherCube> cube = Status::OK();
-  const double t_search = TimeIt([&] {
+  const double t_search = runner->TimePhase(("search" + suffix).c_str(), [&] {
     search = core::RunBasicBellwetherSearch(w.source.get(), search_options);
   });
-  const double t_tree = TimeIt([&] {
+  const double t_tree = runner->TimePhase(("tree" + suffix).c_str(), [&] {
     tree = core::BuildBellwetherTreeRainForest(w.source.get(), w.meta.items,
                                                tree_config);
   });
-  const double t_cube = TimeIt([&] {
+  const double t_cube = runner->TimePhase(("cube" + suffix).c_str(), [&] {
     cube = core::BuildBellwetherCubeSingleScan(w.source.get(), subsets,
                                                cube_config);
   });
@@ -158,15 +159,17 @@ bool IdenticalToSerial(const BuildResult& got, const BuildResult& ref) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchRunner runner(argc, argv, "parallel_scaling",
+                     "Thread-pooled search/tree/cube vs the serial builds");
   const double scale = FlagDouble(argc, argv, "scale", 0.1);
-  const std::string out_path =
-      FlagString(argc, argv, "out", "BENCH_parallel_scaling.json");
-  Banner("Parallel scaling",
-         "Thread-pooled search/tree/cube vs the serial builds");
+  runner.set_default_report_path(
+      FlagString(argc, argv, "out", "BENCH_parallel_scaling.json"));
+  runner.report().SetConfig("scale", scale);
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("hardware_concurrency=%u scale=%.2f\n", hw, scale);
 
-  Workload w = Generate(scale);
+  Workload w;
+  runner.TimePhase("datagen", [&] { w = Generate(scale); });
   auto subsets =
       core::ItemSubsetSpace::Create(w.meta.items, w.meta.item_hierarchies);
   if (!subsets.ok()) {
@@ -176,12 +179,14 @@ int main(int argc, char** argv) {
   std::printf("examples=%lld regions=%lld\n",
               static_cast<long long>(w.meta.total_examples),
               static_cast<long long>(w.meta.num_regions));
+  runner.report().SetCount("examples", w.meta.total_examples);
+  runner.report().SetCount("regions", w.meta.num_regions);
 
   const std::vector<int32_t> thread_counts{1, 2, 4};
   std::vector<BuildResult> results;
   Row({"Threads", "search (s)", "tree (s)", "cube (s)", "identical"});
   for (int32_t t : thread_counts) {
-    results.push_back(RunAll(w, *subsets, t));
+    results.push_back(RunAll(&runner, w, *subsets, t));
     const BuildResult& r = results.back();
     const bool identical = IdenticalToSerial(r, results.front());
     Row({Fmt(static_cast<double>(t), "%.0f"), Fmt(r.search_seconds, "%.3f"),
@@ -196,35 +201,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::FILE* out = std::fopen(out_path.c_str(), "wb");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-    return 1;
-  }
+  // All runs were bit-identical to the serial build (checked above): record
+  // it as a logical count so benchdiff would flag any future drift.
+  runner.report().SetCount("identical_to_serial", 1);
   const BuildResult& serial = results.front();
-  std::fprintf(out,
-               "{\n  \"hardware_concurrency\": %u,\n  \"scale\": %.4f,\n"
-               "  \"examples\": %lld,\n  \"regions\": %lld,\n  \"runs\": [\n",
-               hw, scale, static_cast<long long>(w.meta.total_examples),
-               static_cast<long long>(w.meta.num_regions));
-  for (size_t i = 0; i < results.size(); ++i) {
-    const BuildResult& r = results[i];
-    std::fprintf(
-        out,
-        "    {\"threads\": %d, \"search_seconds\": %.6f, "
-        "\"tree_seconds\": %.6f, \"cube_seconds\": %.6f, "
-        "\"search_speedup\": %.3f, \"tree_speedup\": %.3f, "
-        "\"cube_speedup\": %.3f, \"identical_to_serial\": true}%s\n",
-        thread_counts[i], r.search_seconds, r.tree_seconds, r.cube_seconds,
-        serial.search_seconds / r.search_seconds,
-        serial.tree_seconds / r.tree_seconds,
-        serial.cube_seconds / r.cube_seconds,
-        i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path.c_str());
+  const BuildResult& fastest = results.back();
+  std::printf("speedup at %d threads: search %.2fx tree %.2fx cube %.2fx\n",
+              thread_counts.back(),
+              serial.search_seconds / fastest.search_seconds,
+              serial.tree_seconds / fastest.tree_seconds,
+              serial.cube_seconds / fastest.cube_seconds);
   std::remove(w.path.c_str());
-  DumpTelemetryIfRequested(argc, argv);
-  return 0;
+  return runner.Finish();
 }

@@ -9,8 +9,6 @@
 //   ./build/bench/streaming_datagen --budget-bytes=4096 \
 //       --out=BENCH_streaming_datagen.json
 
-#include <sys/resource.h>
-
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -28,13 +26,6 @@ namespace {
 
 using namespace bellwether;         // NOLINT
 using namespace bellwether::bench;  // NOLINT
-
-// Peak resident set size of this process, in bytes (Linux reports KiB).
-long PeakRssBytes() {
-  struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
-  return usage.ru_maxrss * 1024L;
-}
 
 bool SetsIdentical(storage::TrainingDataSource* a,
                    storage::TrainingDataSource* b) {
@@ -55,26 +46,34 @@ bool SetsIdentical(storage::TrainingDataSource* a,
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchRunner runner(argc, argv, "streaming_datagen",
+                     "Budgeted out-of-core generation vs the unbudgeted run");
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
   const auto budget_bytes = static_cast<size_t>(
       FlagDouble(argc, argv, "budget-bytes", 4096.0));
-  const std::string out_path =
-      FlagString(argc, argv, "out", "BENCH_streaming_datagen.json");
+  runner.set_default_report_path(
+      FlagString(argc, argv, "out", "BENCH_streaming_datagen.json"));
   const std::string spill_path =
       FlagString(argc, argv, "spill", "/tmp/bw_streaming_datagen.spill");
-  Banner("Streaming datagen",
-         "Budgeted out-of-core generation vs the unbudgeted run");
+  runner.report().SetConfig("scale", scale);
+  runner.report().SetConfig("memory_budget_bytes",
+                            static_cast<int64_t>(budget_bytes));
 
   datagen::MailOrderConfig config;
   config.num_items = static_cast<int32_t>(300 * scale);
   config.seed = 1996;
-  const datagen::MailOrderDataset dataset = datagen::GenerateMailOrder(config);
+  runner.report().SetConfig("seed", static_cast<int64_t>(config.seed));
+  datagen::MailOrderDataset dataset;
+  runner.TimePhase("datagen", [&] {
+    dataset = datagen::GenerateMailOrder(config);
+  });
   const core::BellwetherSpec spec = dataset.MakeSpec(85.0, 0.5);
 
   // ---- Unbudgeted reference: everything resident ----
-  Stopwatch sw_mem;
-  auto ref = core::GenerateTrainingDataInMemory(spec);
-  const double mem_seconds = sw_mem.ElapsedSeconds();
+  Result<core::GeneratedTrainingData> ref = Status::OK();
+  const double mem_seconds = runner.TimePhase("training_data_gen_memory", [&] {
+    ref = core::GenerateTrainingDataInMemory(spec);
+  });
   if (!ref.ok()) {
     std::fprintf(stderr, "%s\n", ref.status().ToString().c_str());
     return 1;
@@ -89,15 +88,18 @@ int main(int argc, char** argv) {
   auto* gauge =
       obs::DefaultMetrics().GetGauge(obs::kMDatagenPeakResidentBytes);
   gauge->Reset();
-  Stopwatch sw_budget;
   storage::BudgetedSink sink(budget_bytes, spill_path);
-  auto profile = core::GenerateTrainingData(spec, &sink);
+  Result<core::TrainingDataProfile> profile = Status::OK();
+  Result<std::unique_ptr<storage::TrainingDataSource>> source = Status::OK();
+  const double budget_seconds =
+      runner.TimePhase("training_data_gen_budgeted", [&] {
+        profile = core::GenerateTrainingData(spec, &sink);
+        if (profile.ok()) source = sink.Finish();
+      });
   if (!profile.ok()) {
     std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
     return 1;
   }
-  auto source = sink.Finish();
-  const double budget_seconds = sw_budget.ElapsedSeconds();
   if (!source.ok()) {
     std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
@@ -111,9 +113,14 @@ int main(int argc, char** argv) {
               profile->feasible.regions == ref->profile.feasible.regions;
   core::BasicSearchOptions options;
   options.estimate = regression::ErrorEstimate::kTrainingSet;
-  auto ref_search =
-      core::RunBasicBellwetherSearch(ref->source.get(), options);
-  auto budget_search = core::RunBasicBellwetherSearch(source->get(), options);
+  Result<core::BasicSearchResult> ref_search = Status::OK();
+  Result<core::BasicSearchResult> budget_search = Status::OK();
+  runner.TimePhase("search_reference", [&] {
+    ref_search = core::RunBasicBellwetherSearch(ref->source.get(), options);
+  });
+  runner.TimePhase("search_budgeted", [&] {
+    budget_search = core::RunBasicBellwetherSearch(source->get(), options);
+  });
   if (!ref_search.ok() || !budget_search.ok()) {
     std::fprintf(stderr, "search failed\n");
     return 1;
@@ -145,33 +152,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::FILE* out = std::fopen(out_path.c_str(), "wb");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(
-      out,
-      "{\n"
-      "  \"scale\": %.4f,\n"
-      "  \"memory_budget_bytes\": %zu,\n"
-      "  \"total_training_set_bytes\": %zu,\n"
-      "  \"largest_region_set_bytes\": %zu,\n"
-      "  \"region_sets\": %zu,\n"
-      "  \"spilled\": %s,\n"
-      "  \"identical_to_unbudgeted\": %s,\n"
-      "  \"peak_resident_training_bytes\": %.0f,\n"
-      "  \"peak_process_rss_bytes\": %ld,\n"
-      "  \"memory_run_seconds\": %.6f,\n"
-      "  \"budgeted_run_seconds\": %.6f\n"
-      "}\n",
-      scale, budget_bytes, total_bytes, largest_set_bytes,
-      ref->source->num_region_sets(), sink.spilled() ? "true" : "false",
-      identical ? "true" : "false", peak_resident, PeakRssBytes(),
-      mem_seconds, budget_seconds);
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path.c_str());
+  runner.report().SetCount("total_training_set_bytes",
+                           static_cast<int64_t>(total_bytes));
+  runner.report().SetCount("largest_region_set_bytes",
+                           static_cast<int64_t>(largest_set_bytes));
+  runner.report().SetCount(
+      "region_sets", static_cast<int64_t>(ref->source->num_region_sets()));
+  runner.report().SetCount("spilled", sink.spilled() ? 1 : 0);
+  runner.report().SetCount("identical_to_unbudgeted", identical ? 1 : 0);
+  runner.report().SetValue("peak_resident_training_bytes", peak_resident);
+  (void)mem_seconds;
+  (void)budget_seconds;
   std::remove(spill_path.c_str());
-  DumpTelemetryIfRequested(argc, argv);
-  return 0;
+  return runner.Finish();
 }

@@ -112,6 +112,39 @@ const SearchMetrics& Metrics() {
   return m;
 }
 
+// Fills the flight-recorder document on a finished search result. The
+// config section deliberately omits options.exec.num_threads: logical
+// sections (and the fingerprint) must match between serial and parallel
+// runs of the same search.
+void FillSearchReport(std::string_view name,
+                      const BasicSearchOptions& options,
+                      BasicSearchResult* result) {
+  obs::RunReport& r = result->report;
+  r.set_name(std::string(name));
+  r.SetConfig("search.estimate",
+              static_cast<int64_t>(options.estimate));
+  r.SetConfig("search.cv_folds", static_cast<int64_t>(options.cv_folds));
+  r.SetConfig("search.seed", static_cast<int64_t>(options.seed));
+  r.SetConfig("search.min_examples",
+              static_cast<int64_t>(options.min_examples));
+  const SearchTelemetry& t = result->telemetry;
+  r.SetCount("search.regions_enumerated", t.regions_enumerated);
+  r.SetCount("search.regions_scored", t.regions_scored);
+  r.SetCount("search.skipped_min_examples", t.skipped_min_examples);
+  r.SetCount("search.model_fit_failures", t.model_fit_failures);
+  r.SetCount("search.pruned_by_cost", t.pruned_by_cost);
+  r.SetCount("search.rows_scanned", t.rows_scanned);
+  r.SetCount("search.ridge_refits", t.ridge_refits);
+  r.SetCount("search.mean_fallbacks", t.mean_fallbacks);
+  r.SetCount("search.found", result->found() ? 1 : 0);
+  r.SetCount("search.bellwether_region",
+             static_cast<int64_t>(result->bellwether));
+  r.SetCount("search.model_degradation",
+             static_cast<int64_t>(result->model_degradation));
+  if (result->found()) r.SetValue("search.bellwether_rmse", result->error.rmse);
+  r.AddPhase("search.scan", t.scan_seconds);
+}
+
 }  // namespace
 
 Result<BasicSearchResult> RunBasicBellwetherSearch(
@@ -202,6 +235,7 @@ Result<BasicSearchResult> RunBasicBellwetherSearch(
         source, result.scores[result.bellwether_index].source_index,
         item_mask, &result));
   }
+  FillSearchReport("basic_search", options, &result);
   return result;
 }
 
@@ -237,6 +271,22 @@ Result<BasicSearchResult> SelectUnderBudget(
     BW_RETURN_IF_ERROR(RefitModel(
         source, result.scores[result.bellwether_index].source_index,
         item_mask, &result));
+  }
+  result.report = full.report;
+  result.report.set_name("select_under_budget");
+  result.report.SetConfig("search.budget", budget);
+  result.report.SetCount("search.pruned_by_cost",
+                         result.telemetry.pruned_by_cost);
+  result.report.SetCount("search.ridge_refits", result.telemetry.ridge_refits);
+  result.report.SetCount("search.mean_fallbacks",
+                         result.telemetry.mean_fallbacks);
+  result.report.SetCount("search.found", result.found() ? 1 : 0);
+  result.report.SetCount("search.bellwether_region",
+                         static_cast<int64_t>(result.bellwether));
+  result.report.SetCount("search.model_degradation",
+                         static_cast<int64_t>(result.model_degradation));
+  if (result.found()) {
+    result.report.SetValue("search.bellwether_rmse", result.error.rmse);
   }
   return result;
 }
@@ -279,6 +329,21 @@ Result<BasicSearchResult> SelectLinearCriterion(
     BW_RETURN_IF_ERROR(RefitModel(
         source, result.scores[result.bellwether_index].source_index,
         item_mask, &result));
+  }
+  result.report = full.report;
+  result.report.set_name("select_linear_criterion");
+  result.report.SetConfig("search.cost_weight", cost_weight);
+  result.report.SetConfig("search.coverage_weight", coverage_weight);
+  result.report.SetCount("search.ridge_refits", result.telemetry.ridge_refits);
+  result.report.SetCount("search.mean_fallbacks",
+                         result.telemetry.mean_fallbacks);
+  result.report.SetCount("search.found", result.found() ? 1 : 0);
+  result.report.SetCount("search.bellwether_region",
+                         static_cast<int64_t>(result.bellwether));
+  result.report.SetCount("search.model_degradation",
+                         static_cast<int64_t>(result.model_degradation));
+  if (result.found()) {
+    result.report.SetValue("search.bellwether_rmse", result.error.rmse);
   }
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "exec/thread_pool.h"
+#include "obs/report.h"
 #include "olap/region.h"
 #include "regression/error.h"
 #include "regression/linear_model.h"
@@ -51,6 +52,10 @@ struct BasicSearchResult {
       regression::FitDegradation::kNone;
   std::vector<RegionScore> scores;
   SearchTelemetry telemetry;
+  /// Flight-recorder document for this search: config fingerprint, logical
+  /// counts (mirroring `telemetry`), the pick, and the scan wall time as a
+  /// phase. Logical sections are bit-identical across thread counts.
+  obs::RunReport report;
 
   bool found() const { return bellwether != olap::kInvalidRegion; }
 

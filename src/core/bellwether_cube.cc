@@ -110,9 +110,10 @@ const CubeMetrics& Metrics() {
 
 // Converts per-subset picks into the final cube, optionally attaching
 // cross-validated error statistics for the confidence-bound prediction rule.
-// Completes and attaches `telemetry` (cells, wall time from `build_watch`).
+// Completes and attaches `telemetry` (cells, wall time from `build_watch`)
+// and the flight-recorder report (named after `builder_name`).
 Result<BellwetherCube> FinalizeCube(
-    storage::TrainingDataSource* source,
+    std::string_view builder_name, storage::TrainingDataSource* source,
     std::shared_ptr<const ItemSubsetSpace> subsets,
     const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask,
     const std::vector<int32_t>& sizes,
@@ -216,6 +217,29 @@ Result<BellwetherCube> FinalizeCube(
   BellwetherCube cube(std::move(subsets), std::move(cell_of),
                       std::move(cells));
   cube.set_build_telemetry(telemetry);
+  // Flight-recorder document. Config deliberately omits
+  // config.exec.num_threads and the checkpoint path: logical sections (and
+  // the fingerprint) must match serial/parallel and resumed/uninterrupted
+  // builds of the same cube.
+  obs::RunReport report{std::string(builder_name)};
+  report.SetConfig("cube.min_subset_size",
+                   static_cast<int64_t>(config.min_subset_size));
+  report.SetConfig("cube.min_examples_per_model",
+                   static_cast<int64_t>(config.min_examples_per_model));
+  report.SetConfig("cube.compute_cv_stats",
+                   static_cast<int64_t>(config.compute_cv_stats ? 1 : 0));
+  report.SetConfig("cube.cv_folds", static_cast<int64_t>(config.cv_folds));
+  report.SetConfig("cube.seed", static_cast<int64_t>(config.seed));
+  report.SetCount("cube.data_passes", telemetry.data_passes);
+  report.SetCount("cube.significant_subsets", telemetry.significant_subsets);
+  report.SetCount("cube.cells_materialized", telemetry.cells_materialized);
+  report.SetCount("cube.ridge_refits", telemetry.ridge_refits);
+  report.SetCount("cube.mean_fallbacks", telemetry.mean_fallbacks);
+  report.SetCount("cube.fallback_picks", telemetry.fallback_picks);
+  report.SetCount("cube.checkpoints_saved", telemetry.checkpoints_saved);
+  report.SetCount("cube.resumed_regions", telemetry.resumed_regions);
+  report.AddPhase("cube.build", telemetry.build_seconds);
+  cube.set_build_report(std::move(report));
   return cube;
 }
 
@@ -402,7 +426,7 @@ Result<BellwetherCube> BuildBellwetherCubeNaive(
     }
   }
   Metrics().naive_passes->Increment(telemetry.data_passes);
-  return FinalizeCube(source, std::move(subsets), config, item_mask, sizes,
+  return FinalizeCube("cube_naive", source, std::move(subsets), config, item_mask, sizes,
                       significant, std::move(picks), telemetry, build_watch);
 }
 
@@ -609,7 +633,7 @@ Result<BellwetherCube> BuildBellwetherCubeSingleScan(
   }
   telemetry.data_passes = 1;
   Metrics().single_scan_passes->Increment(1);
-  return FinalizeCube(source, std::move(subsets), config, item_mask, sizes,
+  return FinalizeCube("cube_single_scan", source, std::move(subsets), config, item_mask, sizes,
                       significant, std::move(picks), telemetry, build_watch);
 }
 
@@ -659,7 +683,7 @@ Result<BellwetherCube> BuildBellwetherCubeOptimized(
   }));
   telemetry.data_passes = 1;
   Metrics().optimized_passes->Increment(1);
-  return FinalizeCube(source, std::move(subsets), config, item_mask, sizes,
+  return FinalizeCube("cube_optimized", source, std::move(subsets), config, item_mask, sizes,
                       significant, std::move(picks), telemetry, build_watch);
 }
 

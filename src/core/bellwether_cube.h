@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/eval_util.h"
 #include "exec/thread_pool.h"
+#include "obs/report.h"
 #include "olap/region.h"
 #include "regression/error.h"
 #include "regression/linear_model.h"
@@ -199,11 +200,18 @@ class BellwetherCube {
   const CubeBuildTelemetry& build_telemetry() const { return telemetry_; }
   void set_build_telemetry(const CubeBuildTelemetry& t) { telemetry_ = t; }
 
+  /// Flight-recorder document of the build (config fingerprint, logical
+  /// subset/cell counts, robustness events, build wall time as a phase).
+  /// Logical sections are bit-identical across thread counts.
+  const obs::RunReport& build_report() const { return build_report_; }
+  void set_build_report(obs::RunReport r) { build_report_ = std::move(r); }
+
  private:
   std::shared_ptr<const ItemSubsetSpace> subsets_;
   std::vector<int64_t> cell_of_;  // SubsetId -> index into cells_, or -1
   std::vector<CubeCell> cells_;
   CubeBuildTelemetry telemetry_;
+  obs::RunReport build_report_;
 };
 
 /// Naive algorithm (§6.2): one basic bellwether search per significant

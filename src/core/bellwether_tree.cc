@@ -394,6 +394,38 @@ void ExpandChildren(const ItemSplitFeatures& feats, PendingNode&& work,
   }
 }
 
+// Fills the flight-recorder document on a finished tree. The config section
+// deliberately omits config.exec.num_threads: logical sections (and the
+// fingerprint) must match between serial and parallel builds.
+void FillTreeReport(std::string_view name, const TreeBuildConfig& config,
+                    const TreeBuildTelemetry& t, BellwetherTree* tree) {
+  obs::RunReport r{std::string(name)};
+  std::string cols;
+  for (const auto& c : config.split_columns) {
+    if (!cols.empty()) cols += ",";
+    cols += c;
+  }
+  r.SetConfig("tree.split_columns", cols);
+  r.SetConfig("tree.min_items", static_cast<int64_t>(config.min_items));
+  r.SetConfig("tree.max_depth", static_cast<int64_t>(config.max_depth));
+  r.SetConfig("tree.max_numeric_split_points",
+              static_cast<int64_t>(config.max_numeric_split_points));
+  r.SetConfig("tree.min_examples_per_model",
+              static_cast<int64_t>(config.min_examples_per_model));
+  r.SetConfig("tree.require_positive_goodness",
+              static_cast<int64_t>(config.require_positive_goodness ? 1 : 0));
+  r.SetCount("tree.data_passes", t.data_passes);
+  r.SetCount("tree.region_reads", t.region_reads);
+  r.SetCount("tree.nodes_created", t.nodes_created);
+  r.SetCount("tree.levels", t.levels);
+  r.SetCount("tree.candidates_evaluated", t.candidates_evaluated);
+  r.SetCount("tree.suff_stats_peak", t.suff_stats_peak);
+  r.SetCount("tree.ridge_refits", t.ridge_refits);
+  r.SetCount("tree.mean_fallbacks", t.mean_fallbacks);
+  r.AddPhase("tree.build", t.build_seconds);
+  tree->set_build_report(std::move(r));
+}
+
 }  // namespace
 
 Result<BellwetherTree> BuildBellwetherTreeNaive(
@@ -508,6 +540,7 @@ Result<BellwetherTree> BuildBellwetherTreeNaive(
       .Field("seconds", telemetry.build_seconds)
       << "naive tree built";
   tree.set_build_telemetry(telemetry);
+  FillTreeReport("tree_naive", config, telemetry, &tree);
   return tree;
 }
 
@@ -743,6 +776,7 @@ Result<BellwetherTree> BuildBellwetherTreeRainForest(
       .Field("seconds", telemetry.build_seconds)
       << "rainforest tree built";
   tree.set_build_telemetry(telemetry);
+  FillTreeReport("tree_rainforest", config, telemetry, &tree);
   return tree;
 }
 

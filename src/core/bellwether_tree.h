@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/eval_util.h"
 #include "exec/thread_pool.h"
+#include "obs/report.h"
 #include "olap/region.h"
 #include "regression/linear_model.h"
 #include "storage/training_data.h"
@@ -147,10 +148,17 @@ class BellwetherTree {
   const TreeBuildTelemetry& build_telemetry() const { return telemetry_; }
   void set_build_telemetry(const TreeBuildTelemetry& t) { telemetry_ = t; }
 
+  /// Flight-recorder document of the build (config fingerprint, logical
+  /// pass/node counts, build wall time as a phase). Logical sections are
+  /// bit-identical across thread counts.
+  const obs::RunReport& build_report() const { return build_report_; }
+  void set_build_report(obs::RunReport r) { build_report_ = std::move(r); }
+
  private:
   std::shared_ptr<const ItemSplitFeatures> features_;
   std::vector<TreeNode> nodes_;
   TreeBuildTelemetry telemetry_;
+  obs::RunReport build_report_;
 };
 
 /// Construction parameters shared by the naive and RainForest builders.

@@ -32,6 +32,22 @@ Status WriteTextFile(const std::string& path, const std::string& content) {
   return Status::OK();
 }
 
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("read error on " + path);
+  return out;
+}
+
 Status DumpDefaultTelemetry(const std::string& metrics_path,
                             const std::string& trace_path) {
   RegisterStandardMetrics(&DefaultMetrics());

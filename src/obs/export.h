@@ -22,6 +22,9 @@ Status DumpDefaultTelemetry(const std::string& metrics_path,
 /// Writes `content` to `path`, truncating.
 Status WriteTextFile(const std::string& path, const std::string& content);
 
+/// Reads `path` in full (benchdiff loads run reports with this).
+Result<std::string> ReadTextFile(const std::string& path);
+
 }  // namespace bellwether::obs
 
 #endif  // BELLWETHER_OBS_EXPORT_H_

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "obs/trace.h"
+
 namespace bellwether::obs {
 
 namespace {
@@ -57,10 +59,10 @@ void Logger::Write(LogLevel severity, std::string_view component,
           std::chrono::steady_clock::now().time_since_epoch())
           .count();
   std::FILE* out = sink_ != nullptr ? sink_ : stderr;
-  std::fprintf(out, "ts=%.6f level=%s component=%.*s msg=\"%.*s\"\n", ts,
-               LogLevelName(severity), static_cast<int>(component.size()),
-               component.data(), static_cast<int>(message.size()),
-               message.data());
+  std::fprintf(out, "ts=%.6f tid=%u level=%s component=%.*s msg=\"%.*s\"\n",
+               ts, CurrentThreadId(), LogLevelName(severity),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
 }
 
 }  // namespace bellwether::obs

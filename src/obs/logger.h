@@ -27,8 +27,12 @@ LogLevel ParseLogLevel(std::string_view text);
 const char* LogLevelName(LogLevel level);
 
 /// Process-wide leveled logger writing one structured line per message to
-/// stderr: `ts=<seconds> level=<level> component=<component> msg="..."`
-/// followed by any fields attached via LogMessage::Field.
+/// stderr:
+/// `ts=<seconds> tid=<thread> level=<level> component=<component> msg="..."`
+/// followed by any fields attached via LogMessage::Field. `ts` is a
+/// monotonic (steady_clock) timestamp and `tid` is the small sequential
+/// thread id shared with trace spans (obs::CurrentThreadId), so parallel
+/// log lines are attributable and can be correlated with spans.
 class Logger {
  public:
   /// Singleton; the first call reads BELLWETHER_LOG_LEVEL from the

@@ -164,6 +164,26 @@ std::string MetricsRegistry::ToJson() const {
          ",\"histograms\":" + histograms + "}";
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, e] : entries_) {
+    if (e.counter != nullptr) {
+      out.counters.emplace(name, e.counter->Value());
+    } else if (e.gauge != nullptr) {
+      out.gauges.emplace(name, e.gauge->Value());
+    } else {
+      MetricsSnapshot::HistogramState h;
+      h.bounds = e.histogram->bucket_bounds();
+      h.bucket_counts = e.histogram->BucketCounts();
+      h.total_count = e.histogram->TotalCount();
+      h.sum = e.histogram->Sum();
+      out.histograms.emplace(name, std::move(h));
+    }
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, e] : entries_) {

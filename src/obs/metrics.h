@@ -75,9 +75,28 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Point-in-time copy of every registered metric, keyed by name in sorted
+/// order (std::map), so consumers can serialize without holding the registry
+/// lock and two snapshots of the same state compare equal.
+struct MetricsSnapshot {
+  struct HistogramState {
+    std::vector<double> bounds;          // finite upper bounds
+    std::vector<int64_t> bucket_counts;  // non-cumulative, bounds.size() + 1
+    int64_t total_count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramState> histograms;
+};
+
 /// Thread-safe registry of named metrics. Lookup registers on first use and
 /// returns a stable pointer; subsequent lookups of the same name return the
 /// same metric, so hot paths should cache the pointer.
+///
+/// Iteration order everywhere (Prometheus text, JSON, MetricNames,
+/// Snapshot) is sorted by metric name, so exports diff cleanly between
+/// runs regardless of registration order.
 ///
 /// Metric names follow the Prometheus convention:
 /// `bellwether_<area>_<what>_<unit-or-total>` (see docs/OBSERVABILITY.md).
@@ -107,6 +126,9 @@ class MetricsRegistry {
   /// Histogram bucket counts in the JSON are cumulative, `le` ascending,
   /// ending with the +Inf bucket (le = null).
   std::string ToJson() const;
+
+  /// Copies every registered metric's current value (sorted by name).
+  MetricsSnapshot Snapshot() const;
 
   /// Zeroes every registered metric, keeping registrations (bench harnesses
   /// call this between phases).

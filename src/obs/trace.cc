@@ -11,12 +11,6 @@ namespace {
 std::atomic<uint64_t> g_next_span_id{1};
 std::atomic<uint32_t> g_next_thread_id{1};
 
-uint32_t ThisThreadId() {
-  thread_local const uint32_t id =
-      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
-  return id;
-}
-
 // Ids of the spans currently open on this thread, outermost first.
 std::vector<uint64_t>& ThisThreadSpanStack() {
   thread_local std::vector<uint64_t> stack;
@@ -24,6 +18,12 @@ std::vector<uint64_t>& ThisThreadSpanStack() {
 }
 
 }  // namespace
+
+uint32_t CurrentThreadId() {
+  thread_local const uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -64,7 +64,8 @@ std::string Trace::ToChromeTraceJson() const {
   std::sort(events.begin(), events.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
               if (a.start_us != b.start_us) return a.start_us < b.start_us;
-              return a.depth < b.depth;
+              if (a.depth != b.depth) return a.depth < b.depth;
+              return a.span_id < b.span_id;  // total order: output diffs clean
             });
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -100,7 +101,7 @@ TraceSpan::TraceSpan(std::string_view name, std::string_view category,
   event_.category = std::string(category);
   event_.start_us = trace_->NowMicros();
   event_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
-  event_.thread_id = ThisThreadId();
+  event_.thread_id = CurrentThreadId();
   auto& stack = ThisThreadSpanStack();
   event_.parent_span_id = stack.empty() ? 0 : stack.back();
   event_.depth = static_cast<int32_t>(stack.size());

@@ -65,6 +65,11 @@ class Trace {
 /// The process-wide trace buffer the built-in instrumentation records into.
 Trace& DefaultTrace();
 
+/// Small sequential id of the calling thread (1, 2, ... in first-use order).
+/// The same id tags every trace span and log line the thread records, so
+/// parallel-exec output is attributable across both streams.
+uint32_t CurrentThreadId();
+
 /// RAII scoped span: records wall time from construction to destruction
 /// into a Trace. Spans nest: each thread keeps a span stack, and a span
 /// opened while another is live on the same thread records it as parent.

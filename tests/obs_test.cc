@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <limits>
@@ -184,6 +185,34 @@ TEST(MetricsRegistryTest, JsonExportRoundTripsThroughParser) {
   EXPECT_EQ(buckets->array()[2].Find("count")->number(), 2.0);
 }
 
+TEST(MetricsRegistryTest, ExportsIterateInSortedNameOrder) {
+  MetricsRegistry registry;
+  // Registered deliberately out of order: every export must sort by name so
+  // two runs' outputs diff cleanly.
+  registry.GetCounter("zz_last")->Increment();
+  registry.GetGauge("aa_first")->Set(1.0);
+  registry.GetCounter("mm_middle")->Increment();
+
+  const std::vector<std::string> names = registry.MetricNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+
+  const std::string prom = registry.ToPrometheusText();
+  EXPECT_LT(prom.find("aa_first"), prom.find("mm_middle"));
+  EXPECT_LT(prom.find("mm_middle"), prom.find("zz_last"));
+
+  const std::string json = registry.ToJson();
+  EXPECT_LT(json.find("mm_middle"), json.find("zz_last"));
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.gauges.size(), 1u);
+  EXPECT_TRUE(std::is_sorted(snap.counters.begin(), snap.counters.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             }));
+}
+
 TEST(MetricsRegistryTest, ResetAllKeepsRegistrations) {
   MetricsRegistry registry;
   registry.GetCounter("a_total")->Increment(5);
@@ -361,6 +390,55 @@ TEST(LoggerTest, StructuredLineContainsFields) {
   EXPECT_NE(line.find("component=test.component"), std::string::npos);
   EXPECT_NE(line.find("msg=\"hello world"), std::string::npos);
   EXPECT_NE(line.find("k=42"), std::string::npos);
+  // Every line carries the monotonic timestamp and the small thread id that
+  // correlates log lines with trace spans.
+  EXPECT_EQ(line.rfind("ts=", 0), 0u) << line;
+  EXPECT_NE(line.find(" tid="), std::string::npos) << line;
+}
+
+TEST(LoggerTest, ConcurrentWritesAreRaceFreeAndLineAtomic) {
+  Logger& logger = Logger::Get();
+  const LogLevel saved = logger.level();
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  logger.set_sink(tmp);
+  logger.set_level(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        BW_LOG(LogLevel::kInfo, "test.race").Field("t", t) << "line";
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  logger.set_level(saved);
+  logger.set_sink(nullptr);
+
+  std::fflush(tmp);
+  std::rewind(tmp);
+  std::string all;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0) all.append(buf, n);
+  std::fclose(tmp);
+  // fprintf is atomic per call (POSIX stdio locking), so every line must be
+  // intact: starts with ts=, contains a tid=, one line per Write.
+  int lines = 0;
+  size_t pos = 0;
+  while (pos < all.size()) {
+    const size_t eol = all.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = all.substr(pos, eol - pos);
+    EXPECT_EQ(line.rfind("ts=", 0), 0u) << line;
+    EXPECT_NE(line.find(" tid="), std::string::npos) << line;
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, kThreads * kLines);
 }
 
 // ---------------------------------------------------------------------------

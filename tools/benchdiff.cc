@@ -1,0 +1,106 @@
+// benchdiff: compares two flight-recorder run reports (BENCH_<name>.json,
+// docs/OBSERVABILITY.md "Run reports & benchdiff") and exits non-zero when
+// the new run regressed. CI runs this as the perf gate against the previous
+// successful run's uploaded artifacts.
+//
+//   benchdiff [flags] <baseline.json> <current.json>
+//
+// Flags:
+//   --threshold=<frac>      relative slowdown that counts as a regression
+//                           (default 0.15 = 15%)
+//   --min-seconds=<s>       noise floor: phases where both runs are below
+//                           this are never flagged (default 0.005)
+//   --fail-on-count-drift   treat logical count/value drift as a failure
+//   --warn-only             print the comparison but always exit 0
+//
+// Exit codes: 0 = no regression, 1 = regression (or drift with
+// --fail-on-count-drift), 2 = usage / parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/report.h"
+
+namespace {
+
+using bellwether::Result;
+using bellwether::obs::BenchDiffOptions;
+using bellwether::obs::BenchDiffResult;
+using bellwether::obs::CompareRunReports;
+using bellwether::obs::RunReport;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: benchdiff [--threshold=F] [--min-seconds=S] "
+               "[--fail-on-count-drift] [--warn-only] "
+               "<baseline.json> <current.json>\n");
+}
+
+Result<RunReport> Load(const char* path) {
+  auto text = bellwether::obs::ReadTextFile(path);
+  if (!text.ok()) return text.status();
+  return RunReport::FromJson(*text);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDiffOptions options;
+  bool warn_only = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threshold=", 12) == 0) {
+      options.threshold = std::atof(arg + 12);
+      if (options.threshold <= 0) {
+        std::fprintf(stderr, "benchdiff: bad --threshold\n");
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--min-seconds=", 14) == 0) {
+      options.min_seconds = std::atof(arg + 14);
+    } else if (std::strcmp(arg, "--fail-on-count-drift") == 0) {
+      options.fail_on_count_drift = true;
+    } else if (std::strcmp(arg, "--warn-only") == 0) {
+      warn_only = true;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "benchdiff: unknown flag %s\n", arg);
+      Usage();
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    Usage();
+    return 2;
+  }
+
+  auto baseline = Load(positional[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", positional[0],
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto current = Load(positional[1]);
+  if (!current.ok()) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", positional[1],
+                 current.status().ToString().c_str());
+    return 2;
+  }
+
+  const BenchDiffResult diff = CompareRunReports(*baseline, *current, options);
+  std::printf("benchdiff %s -> %s (threshold %.0f%%, floor %.3fs)\n",
+              positional[0], positional[1], options.threshold * 100.0,
+              options.min_seconds);
+  std::printf("%s", diff.Summary().c_str());
+
+  if (diff.failed && warn_only) {
+    std::printf("warn-only: regression reported but exit forced to 0\n");
+    return 0;
+  }
+  return diff.failed ? 1 : 0;
+}
