@@ -10,7 +10,9 @@
 
 #include "common/stopwatch.h"
 #include "obs/export.h"
+#include "obs/heap_track.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "robust/fault_injection.h"
@@ -122,13 +124,40 @@ inline void ArmFaultsIfRequested(int argc, char** argv) {
 /// --report-out=<path>; --no-report suppresses it). Setup work (data
 /// generation) must be timed as its own phase, never folded into the
 /// measured build phase.
+///
+/// Profiling: --profile-out=<path> arms the sampling CPU profiler and the
+/// heap tracker for the whole run (--profile-period-us=<n> overrides the
+/// 1 ms sampling period). Finish() writes the folded profile as
+/// flamegraph.pl-compatible collapsed-stack text to <path> (tools/profdump
+/// renders and diffs it) and attaches the top self-time frames plus
+/// per-phase allocation counters to the run report's "profile" section.
+/// Without the flag both facilities stay disarmed and the run and its
+/// report are byte-for-byte what they were before profiling existed.
 class BenchRunner {
  public:
   BenchRunner(int argc, char** argv, const char* name, const char* title)
       : argc_(argc), argv_(argv), report_(name) {
+    obs::SetCurrentThreadName("main");
+    obs::Profiler::RegisterCurrentThread();
     ArmFaultsIfRequested(argc, argv);
     const std::string faults = FlagString(argc, argv, "faults", "");
     if (!faults.empty()) report_.SetText("faults_armed", faults);
+    profile_out_ = FlagString(argc, argv, "profile-out", "");
+    if (!profile_out_.empty()) {
+      obs::ProfilerOptions options;
+      options.period_us = static_cast<int64_t>(
+          FlagDouble(argc, argv, "profile-period-us", 1000));
+      const Status st = obs::Profiler::Default().Start(options);
+      if (!st.ok()) {
+        std::fprintf(stderr, "profiler start failed: %s\n",
+                     st.ToString().c_str());
+        std::exit(2);
+      }
+      obs::HeapTracker::Enable();
+      std::printf("profiling armed: %lldus CPU sampling -> %s\n",
+                  static_cast<long long>(options.period_us),
+                  profile_out_.c_str());
+    }
     Banner(name, title);
   }
 
@@ -157,6 +186,30 @@ class BenchRunner {
     report_.CaptureMetrics();
     report_.CaptureEnvironment();
     int code = 0;
+    if (!profile_out_.empty()) {
+      auto profile = obs::Profiler::Default().Stop();
+      obs::HeapTracker::Disable();
+      if (!profile.ok()) {
+        std::fprintf(stderr, "profiler stop failed: %s\n",
+                     profile.status().ToString().c_str());
+        code = 1;
+      } else {
+        report_.set_profile(obs::SummarizeProfile(
+            *profile, obs::HeapTracker::Snapshot()));
+        const Status st =
+            obs::WriteTextFile(profile_out_, profile->ToCollapsed());
+        if (st.ok()) {
+          std::printf("\ncollapsed-stack profile (%lld samples) written to "
+                      "%s\n",
+                      static_cast<long long>(profile->total_samples()),
+                      profile_out_.c_str());
+        } else {
+          std::fprintf(stderr, "profile write failed: %s\n",
+                       st.ToString().c_str());
+          code = 1;
+        }
+      }
+    }
     if (!FlagBool(argc_, argv_, "no-report")) {
       const std::string path =
           FlagString(argc_, argv_, "report-out",
@@ -181,6 +234,7 @@ class BenchRunner {
   char** argv_;
   obs::RunReport report_;
   std::string default_report_path_;
+  std::string profile_out_;
 };
 
 }  // namespace bellwether::bench

@@ -4,6 +4,8 @@
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 
 namespace bellwether::exec {
 
@@ -38,7 +40,15 @@ ThreadPool::ThreadPool(int32_t num_threads) {
   const int32_t n = std::max<int32_t>(num_threads, 1);
   workers_.reserve(n);
   for (int32_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Label the worker for trace output and register it with the
+      // sampling profiler for the pool's lifetime; unregistration flushes
+      // any buffered samples so they survive the worker thread.
+      obs::SetCurrentThreadName("exec-worker-" + std::to_string(i));
+      obs::Profiler::RegisterCurrentThread();
+      WorkerLoop();
+      obs::Profiler::UnregisterCurrentThread();
+    });
   }
 }
 

@@ -1,0 +1,193 @@
+#include "obs/heap_track.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "obs/profiler.h"
+
+// The interposition replaces the global allocation operators, which is only
+// safe when this build's allocator is the plain libc one: AddressSanitizer
+// and ThreadSanitizer install their own allocator and poisoning logic, so
+// there the tracker compiles down to a permanent no-op.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define BW_HEAP_INTERPOSE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define BW_HEAP_INTERPOSE 0
+#else
+#define BW_HEAP_INTERPOSE 1
+#endif
+#else
+#define BW_HEAP_INTERPOSE 1
+#endif
+
+namespace bellwether::obs {
+
+namespace {
+
+// All state visible from the allocation path is constant-initialized and
+// trivially destructible, so interposed operators are safe at any point of
+// the process lifetime (static init, thread start, teardown).
+std::atomic<bool> g_heap_enabled{false};
+
+struct alignas(64) LabelSlot {
+  std::atomic<int64_t> bytes{0};
+  std::atomic<int64_t> calls{0};
+  std::atomic<int64_t> frees{0};
+};
+LabelSlot g_slots[kMaxProfileLabels];
+
+inline uint32_t CurrentSlot() {
+  const uint32_t id = CurrentProfileLabel();
+  return id < kMaxProfileLabels ? id : kMaxProfileLabels - 1;
+}
+
+inline void CountAlloc(size_t size) {
+  if (!g_heap_enabled.load(std::memory_order_relaxed)) return;
+  LabelSlot& slot = g_slots[CurrentSlot()];
+  slot.bytes.fetch_add(static_cast<int64_t>(size),
+                       std::memory_order_relaxed);
+  slot.calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void CountFree() {
+  if (!g_heap_enabled.load(std::memory_order_relaxed)) return;
+  g_slots[CurrentSlot()].frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void HeapTracker::Enable() {
+  for (LabelSlot& slot : g_slots) {
+    slot.bytes.store(0, std::memory_order_relaxed);
+    slot.calls.store(0, std::memory_order_relaxed);
+    slot.frees.store(0, std::memory_order_relaxed);
+  }
+  g_heap_enabled.store(true, std::memory_order_relaxed);
+  internal::SetCaptureFlag(2, true);
+}
+
+void HeapTracker::Disable() {
+  g_heap_enabled.store(false, std::memory_order_relaxed);
+  internal::SetCaptureFlag(2, false);
+}
+
+bool HeapTracker::enabled() {
+  return g_heap_enabled.load(std::memory_order_relaxed);
+}
+
+bool HeapTracker::interposed() { return BW_HEAP_INTERPOSE != 0; }
+
+std::map<std::string, HeapTracker::LabelStats> HeapTracker::Snapshot() {
+  std::map<std::string, LabelStats> out;
+  for (uint32_t id = 0; id < kMaxProfileLabels; ++id) {
+    LabelStats stats;
+    stats.alloc_bytes = g_slots[id].bytes.load(std::memory_order_relaxed);
+    stats.alloc_calls = g_slots[id].calls.load(std::memory_order_relaxed);
+    stats.free_calls = g_slots[id].frees.load(std::memory_order_relaxed);
+    if (stats.alloc_calls == 0 && stats.free_calls == 0) continue;
+    out[ProfileLabelName(id)] = stats;
+  }
+  return out;
+}
+
+}  // namespace bellwether::obs
+
+#if BW_HEAP_INTERPOSE
+
+namespace {
+
+void* RawAlloc(size_t size, size_t align) {
+  if (size == 0) size = 1;  // operator new must return a unique pointer
+  if (align <= alignof(std::max_align_t)) return std::malloc(size);
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size) != 0) return nullptr;
+  return p;
+}
+
+// Throwing-new contract: retry through the installed new_handler until the
+// allocation succeeds or no handler is left, then throw.
+void* TrackedNewOrThrow(size_t size, size_t align) {
+  for (;;) {
+    void* p = RawAlloc(size, align);
+    if (p != nullptr) {
+      bellwether::obs::CountAlloc(size);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* TrackedNewNoThrow(size_t size, size_t align) noexcept {
+  void* p = RawAlloc(size, align);
+  if (p != nullptr) bellwether::obs::CountAlloc(size);
+  return p;
+}
+
+void TrackedDelete(void* p) noexcept {
+  if (p == nullptr) return;
+  bellwether::obs::CountFree();
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return TrackedNewOrThrow(size, 0); }
+void* operator new[](size_t size) { return TrackedNewOrThrow(size, 0); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return TrackedNewNoThrow(size, 0);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return TrackedNewNoThrow(size, 0);
+}
+void* operator new(size_t size, std::align_val_t align) {
+  return TrackedNewOrThrow(size, static_cast<size_t>(align));
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return TrackedNewOrThrow(size, static_cast<size_t>(align));
+}
+void* operator new(size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return TrackedNewNoThrow(size, static_cast<size_t>(align));
+}
+void* operator new[](size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return TrackedNewNoThrow(size, static_cast<size_t>(align));
+}
+
+void operator delete(void* p) noexcept { TrackedDelete(p); }
+void operator delete[](void* p) noexcept { TrackedDelete(p); }
+void operator delete(void* p, size_t) noexcept { TrackedDelete(p); }
+void operator delete[](void* p, size_t) noexcept { TrackedDelete(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  TrackedDelete(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  TrackedDelete(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { TrackedDelete(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  TrackedDelete(p);
+}
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  TrackedDelete(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  TrackedDelete(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  TrackedDelete(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  TrackedDelete(p);
+}
+
+#endif  // BW_HEAP_INTERPOSE

@@ -1,0 +1,53 @@
+#ifndef BELLWETHER_OBS_HEAP_TRACK_H_
+#define BELLWETHER_OBS_HEAP_TRACK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bellwether::obs {
+
+/// Scoped allocation tracker. When enabled, the global operator new/delete
+/// interposition in heap_track.cc attributes every allocation on every
+/// thread to the innermost live trace-span label (see profiler.h), counting
+/// requested bytes, allocation calls, and deallocation calls per label.
+///
+/// Safety and cost rules:
+///   - Off by default and zero-cost while off: the interposed operators
+///     pay one relaxed atomic load over the stock malloc path.
+///   - The counting path never allocates, locks, or fails — enabling the
+///     tracker cannot perturb allocation outcomes, and builder outputs
+///     stay bit-identical (counters are observation only).
+///   - Counters are fixed-size arrays of atomics indexed by label id, so
+///     the operators stay safe during static init/teardown.
+///   - Under AddressSanitizer/ThreadSanitizer the interposition is compiled
+///     out entirely (the sanitizer owns the allocator); interposed() says
+///     whether this build counts, and Snapshot() is empty when it does not.
+class HeapTracker {
+ public:
+  struct LabelStats {
+    int64_t alloc_bytes = 0;  // sum of requested sizes
+    int64_t alloc_calls = 0;
+    int64_t free_calls = 0;
+    bool operator==(const LabelStats&) const = default;
+  };
+
+  /// Zeroes all counters and starts attributing allocations.
+  static void Enable();
+  static void Disable();
+  static bool enabled();
+
+  /// True when this build interposes operator new/delete (i.e. not a
+  /// sanitizer build); when false the tracker is a no-op.
+  static bool interposed();
+
+  /// Per-label counters accumulated since Enable(), keyed by label name
+  /// (label 0 reports as "(no span)"). Labels with all-zero counters are
+  /// omitted. Safe to call while tracking is live; values are a
+  /// monotonic-read snapshot, not an atomic cut.
+  static std::map<std::string, LabelStats> Snapshot();
+};
+
+}  // namespace bellwether::obs
+
+#endif  // BELLWETHER_OBS_HEAP_TRACK_H_

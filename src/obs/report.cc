@@ -106,6 +106,31 @@ double NumberOr(const JsonValue* node, const char* key, double fallback) {
 
 }  // namespace
 
+ReportProfile SummarizeProfile(
+    const Profile& profile,
+    const std::map<std::string, HeapTracker::LabelStats>& alloc,
+    int top_n) {
+  ReportProfile out;
+  out.period_us = profile.period_us();
+  out.total_samples = profile.total_samples();
+  out.dropped_samples = profile.dropped_samples();
+  const std::vector<Profile::FrameStat> table = profile.SelfTimeTable();
+  const size_t n = std::min<size_t>(table.size(),
+                                    top_n > 0 ? static_cast<size_t>(top_n)
+                                              : table.size());
+  for (size_t i = 0; i < n; ++i) {
+    out.self_samples[table[i].frame] = table[i].self;
+  }
+  for (const auto& [label, stats] : alloc) {
+    ReportAllocPhase phase;
+    phase.bytes = stats.alloc_bytes;
+    phase.calls = stats.alloc_calls;
+    phase.frees = stats.free_calls;
+    out.alloc[label] = phase;
+  }
+  return out;
+}
+
 double EstimateHistogramPercentile(const std::vector<double>& bounds,
                                    const std::vector<int64_t>& bucket_counts,
                                    double quantile) {
@@ -265,6 +290,32 @@ std::string RunReport::ToJson() const {
   metrics.emplace("histograms", JsonValue(std::move(histograms)));
   root.emplace("metrics", JsonValue(std::move(metrics)));
 
+  // Optional hot-path attribution; omitted when profiling was off so such
+  // reports keep their historical shape (and additive-optional for older
+  // readers, which ignore unknown keys — no schema_version bump).
+  if (!profile_.empty()) {
+    JsonValue::Object profile;
+    profile.emplace("period_us",
+                    JsonValue(static_cast<double>(profile_.period_us)));
+    profile.emplace("total_samples",
+                    JsonValue(static_cast<double>(profile_.total_samples)));
+    profile.emplace(
+        "dropped_samples",
+        JsonValue(static_cast<double>(profile_.dropped_samples)));
+    profile.emplace("self_samples",
+                    JsonValue(CountMapJson(profile_.self_samples)));
+    JsonValue::Object alloc;
+    for (const auto& [label, a] : profile_.alloc) {
+      JsonValue::Object entry;
+      entry.emplace("bytes", JsonValue(static_cast<double>(a.bytes)));
+      entry.emplace("calls", JsonValue(static_cast<double>(a.calls)));
+      entry.emplace("frees", JsonValue(static_cast<double>(a.frees)));
+      alloc.emplace(label, JsonValue(std::move(entry)));
+    }
+    profile.emplace("alloc", JsonValue(std::move(alloc)));
+    root.emplace("profile", JsonValue(std::move(profile)));
+  }
+
   root.emplace("environment", JsonValue(StringMapJson(environment_)));
   root.emplace("peak_rss_bytes", JsonValue(peak_rss_bytes_));
   return WriteJson(JsonValue(std::move(root)));
@@ -334,6 +385,27 @@ Result<RunReport> RunReport::FromJson(std::string_view json) {
       }
     }
   }
+  if (const JsonValue* profile = doc.Find("profile");
+      profile != nullptr && profile->is_object()) {
+    out.profile_.period_us =
+        static_cast<int64_t>(NumberOr(profile, "period_us", 0.0));
+    out.profile_.total_samples =
+        static_cast<int64_t>(NumberOr(profile, "total_samples", 0.0));
+    out.profile_.dropped_samples =
+        static_cast<int64_t>(NumberOr(profile, "dropped_samples", 0.0));
+    ParseCountMap(profile->Find("self_samples"), &out.profile_.self_samples);
+    if (const JsonValue* alloc = profile->Find("alloc");
+        alloc != nullptr && alloc->is_object()) {
+      for (const auto& [label, a] : alloc->object()) {
+        if (!a.is_object()) continue;
+        ReportAllocPhase phase;
+        phase.bytes = static_cast<int64_t>(NumberOr(&a, "bytes", 0.0));
+        phase.calls = static_cast<int64_t>(NumberOr(&a, "calls", 0.0));
+        phase.frees = static_cast<int64_t>(NumberOr(&a, "frees", 0.0));
+        out.profile_.alloc.emplace(label, phase);
+      }
+    }
+  }
   ParseStringMap(doc.Find("environment"), &out.environment_);
   if (const JsonValue* rss = doc.Find("peak_rss_bytes");
       rss != nullptr && rss->is_number()) {
@@ -354,6 +426,7 @@ const char* KindName(BenchDiffKind kind) {
     case BenchDiffKind::kImprovement: return "improvement";
     case BenchDiffKind::kCountDrift: return "count-drift";
     case BenchDiffKind::kPhaseOnlyInOne: return "phase-only-in-one";
+    case BenchDiffKind::kAllocDrift: return "alloc-drift";
   }
   return "?";
 }
@@ -375,6 +448,11 @@ std::string BenchDiffResult::Summary() const {
                     "%-18s %-40s %12.6fs -> %12.6fs (%+.1f%%)\n",
                     KindName(e.kind), e.key.c_str(), e.old_value, e.new_value,
                     (e.ratio - 1.0) * 100.0);
+    } else if (e.kind == BenchDiffKind::kAllocDrift) {
+      std::snprintf(line, sizeof(line),
+                    "%-18s %-40s %.0f -> %.0f allocs (%+.1f%%)\n",
+                    KindName(e.kind), e.key.c_str(), e.old_value, e.new_value,
+                    (e.ratio - 1.0) * 100.0);
     } else {
       std::snprintf(line, sizeof(line), "%-18s %-40s %g -> %g\n",
                     KindName(e.kind), e.key.c_str(), e.old_value, e.new_value);
@@ -383,6 +461,27 @@ std::string BenchDiffResult::Summary() const {
   }
   out += failed ? "verdict: FAIL\n" : "verdict: OK\n";
   return out;
+}
+
+std::string BenchDiffResult::ToJson() const {
+  JsonValue::Object root;
+  root.emplace("schema_mismatch", JsonValue(schema_mismatch));
+  root.emplace("name_mismatch", JsonValue(name_mismatch));
+  root.emplace("config_changed", JsonValue(config_changed));
+  root.emplace("failed", JsonValue(failed));
+  JsonValue::Array items;
+  items.reserve(entries.size());
+  for (const BenchDiffEntry& e : entries) {
+    JsonValue::Object entry;
+    entry.emplace("kind", JsonValue(std::string(KindName(e.kind))));
+    entry.emplace("key", JsonValue(e.key));
+    entry.emplace("old", JsonValue(e.old_value));
+    entry.emplace("new", JsonValue(e.new_value));
+    entry.emplace("ratio", JsonValue(e.ratio));
+    items.push_back(JsonValue(std::move(entry)));
+  }
+  root.emplace("entries", JsonValue(std::move(items)));
+  return WriteJson(JsonValue(std::move(root)));
 }
 
 BenchDiffResult CompareRunReports(const RunReport& baseline,
@@ -422,6 +521,33 @@ BenchDiffResult CompareRunReports(const RunReport& baseline,
     if (baseline.phases().find(key) == baseline.phases().end()) {
       result.entries.push_back({BenchDiffKind::kPhaseOnlyInOne, key, 0.0,
                                 new_phase.wall_seconds, 0.0});
+    }
+  }
+
+  // Allocation drift: when both runs carried per-phase heap-tracker
+  // counters, a phase whose allocation-call count moved by more than the
+  // alloc threshold is flagged — malloc churn creeping into a hot loop is
+  // a perf smell even before it shows up in wall time. Tiny phases (below
+  // the absolute call floor in both runs) are never flagged.
+  for (const auto& [phase, old_alloc] : baseline.profile().alloc) {
+    auto it = current.profile().alloc.find(phase);
+    if (it == current.profile().alloc.end()) continue;
+    const int64_t old_calls = old_alloc.calls;
+    const int64_t new_calls = it->second.calls;
+    if (old_calls < kAllocDriftFloorCalls &&
+        new_calls < kAllocDriftFloorCalls) {
+      continue;
+    }
+    const double ratio =
+        old_calls > 0 ? static_cast<double>(new_calls) /
+                            static_cast<double>(old_calls)
+                      : std::numeric_limits<double>::infinity();
+    if (ratio > 1.0 + options.alloc_drift_threshold ||
+        ratio < 1.0 / (1.0 + options.alloc_drift_threshold)) {
+      result.entries.push_back({BenchDiffKind::kAllocDrift, phase,
+                                static_cast<double>(old_calls),
+                                static_cast<double>(new_calls), ratio});
+      if (options.fail_on_alloc_drift) result.failed = true;
     }
   }
 

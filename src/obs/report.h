@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/heap_track.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace bellwether::obs {
@@ -50,6 +52,44 @@ struct ReportPhase {
   int64_t count = 0;
   bool operator==(const ReportPhase&) const = default;
 };
+
+/// Allocation counters for one phase (trace-span label) from the heap
+/// tracker: requested bytes, operator-new calls, operator-delete calls.
+struct ReportAllocPhase {
+  int64_t bytes = 0;
+  int64_t calls = 0;
+  int64_t frees = 0;
+  bool operator==(const ReportAllocPhase&) const = default;
+};
+
+/// Optional hot-path attribution section of a run report, filled when a
+/// bench ran with --profile-out (or a builder armed the profiler): the
+/// top-N self-time frames of the sampling profiler and the per-phase
+/// allocation counters of the heap tracker. Excluded from LogicalJson()
+/// — sample counts are timing, not logical identity — and omitted from
+/// ToJson() entirely when empty, so reports written with profiling
+/// disabled are unchanged. Additive-optional, so the schema version
+/// stays put and older readers simply ignore the key.
+struct ReportProfile {
+  int64_t period_us = 0;
+  int64_t total_samples = 0;
+  int64_t dropped_samples = 0;
+  /// Frame -> self samples, the top-N rows of Profile::SelfTimeTable().
+  std::map<std::string, int64_t> self_samples;
+  /// Phase label -> allocation counters.
+  std::map<std::string, ReportAllocPhase> alloc;
+  bool empty() const {
+    return total_samples == 0 && self_samples.empty() && alloc.empty();
+  }
+  bool operator==(const ReportProfile&) const = default;
+};
+
+/// Builds a report profile section: the top `top_n` self-time frames of
+/// `profile` plus the per-phase counters of a HeapTracker snapshot.
+ReportProfile SummarizeProfile(
+    const Profile& profile,
+    const std::map<std::string, HeapTracker::LabelStats>& alloc,
+    int top_n = 20);
 
 /// Flight recorder for one builder or bench run: aggregates configuration,
 /// logical telemetry, per-phase wall times, a metrics snapshot, robustness
@@ -105,6 +145,10 @@ class RunReport {
   /// "span/<name>": durations sum across spans (and across threads, so a
   /// parallel phase may exceed wall time), `count` is the span count.
   void CapturePhasesFromTrace(const Trace& trace = DefaultTrace());
+
+  /// Attaches the hot-path attribution section (see ReportProfile).
+  void set_profile(ReportProfile profile) { profile_ = std::move(profile); }
+  const ReportProfile& profile() const { return profile_; }
 
   // ---- snapshots (excluded from the logical identity) ----
 
@@ -163,6 +207,7 @@ class RunReport {
   std::map<std::string, int64_t> metric_counters_;
   std::map<std::string, double> metric_gauges_;
   std::map<std::string, ReportHistogram> metric_histograms_;
+  ReportProfile profile_;
   double peak_rss_bytes_ = 0.0;
 };
 
@@ -180,13 +225,24 @@ struct BenchDiffOptions {
   /// When true, differing logical counts/values fail the diff instead of
   /// only being reported.
   bool fail_on_count_drift = false;
+  /// Relative change in a phase's allocation-call count (profile section)
+  /// that is flagged as drift. Compared only when both reports carry
+  /// allocation counters for the phase, and only above an absolute floor
+  /// of kAllocDriftFloorCalls calls so tiny phases don't jitter.
+  double alloc_drift_threshold = 0.10;
+  /// When true, allocation-count drift fails the diff instead of only
+  /// being reported.
+  bool fail_on_alloc_drift = false;
 };
+
+inline constexpr int64_t kAllocDriftFloorCalls = 64;
 
 enum class BenchDiffKind {
   kRegression,      // phase slowed beyond the threshold
   kImprovement,     // phase sped up beyond the threshold
   kCountDrift,      // logical count or value changed between runs
   kPhaseOnlyInOne,  // phase present in exactly one report
+  kAllocDrift,      // per-phase allocation-call count drifted
 };
 
 struct BenchDiffEntry {
@@ -206,6 +262,11 @@ struct BenchDiffResult {
 
   /// Human-readable multi-line summary of every entry and verdict.
   std::string Summary() const;
+
+  /// Machine-readable form (benchdiff --json): compact JSON with the
+  /// verdict flags and one comparison object per entry
+  /// ({"kind","key","old","new","ratio"}), keys sorted.
+  std::string ToJson() const;
 };
 
 /// Compares `current` against `baseline` phase by phase with the relative

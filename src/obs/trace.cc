@@ -1,8 +1,10 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <map>
 
 #include "obs/json.h"
+#include "obs/profiler.h"
 
 namespace bellwether::obs {
 
@@ -17,12 +19,36 @@ std::vector<uint64_t>& ThisThreadSpanStack() {
   return stack;
 }
 
+// Process-wide thread-id -> display-name registry, like the ids themselves.
+struct ThreadNameTable {
+  std::mutex mu;
+  std::map<uint32_t, std::string> names;
+};
+
+ThreadNameTable& ThreadNames() {
+  static ThreadNameTable* table = new ThreadNameTable();
+  return *table;
+}
+
 }  // namespace
 
 uint32_t CurrentThreadId() {
   thread_local const uint32_t id =
       g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+void SetCurrentThreadName(std::string_view name) {
+  ThreadNameTable& table = ThreadNames();
+  std::lock_guard<std::mutex> lock(table.mu);
+  table.names[CurrentThreadId()] = std::string(name);
+}
+
+std::string ThreadName(uint32_t thread_id) {
+  ThreadNameTable& table = ThreadNames();
+  std::lock_guard<std::mutex> lock(table.mu);
+  auto it = table.names.find(thread_id);
+  return it == table.names.end() ? std::string() : it->second;
 }
 
 Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
@@ -69,6 +95,19 @@ std::string Trace::ToChromeTraceJson() const {
             });
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  // "M" thread_name metadata events label every named thread in the
+  // viewer; tids without a registered name keep their bare number.
+  {
+    ThreadNameTable& table = ThreadNames();
+    std::lock_guard<std::mutex> lock(table.mu);
+    for (const auto& [tid, name] : table.names) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+             std::to_string(tid) + ",\"args\":{\"name\":\"" +
+             JsonEscape(name) + "\"}}";
+    }
+  }
   for (const TraceEvent& e : events) {
     if (!first) out += ",";
     first = false;
@@ -92,6 +131,13 @@ Trace& DefaultTrace() {
 
 TraceSpan::TraceSpan(std::string_view name, std::string_view category,
                      Trace* trace) {
+  // Tag CPU samples and allocations with this span while the profiler or
+  // heap tracker is armed — one relaxed load when they are not. The label
+  // is pushed even when the trace buffer is disabled, so profiles keep
+  // their phase attribution either way.
+  if (ProfileLabelCaptureEnabled()) {
+    label_pushed_ = PushProfileLabel(InternProfileLabel(name));
+  }
   trace_ = trace != nullptr ? trace : &DefaultTrace();
   if (!trace_->enabled()) {
     trace_ = nullptr;
@@ -111,6 +157,10 @@ TraceSpan::TraceSpan(std::string_view name, std::string_view category,
 TraceSpan::~TraceSpan() { End(); }
 
 void TraceSpan::End() {
+  if (label_pushed_) {
+    PopProfileLabel();
+    label_pushed_ = false;
+  }
   if (trace_ == nullptr) return;
   auto& stack = ThisThreadSpanStack();
   // Spans close in LIFO order per thread; tolerate out-of-order teardown.

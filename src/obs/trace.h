@@ -70,6 +70,16 @@ Trace& DefaultTrace();
 /// parallel-exec output is attributable across both streams.
 uint32_t CurrentThreadId();
 
+/// Names the calling thread for trace output ("main", "exec-worker-3").
+/// ToChromeTraceJson emits the names as Chrome-trace "M" thread_name
+/// metadata events, so pool threads are labeled in the trace viewer
+/// instead of showing bare tids. Renaming overwrites; names are
+/// process-wide like the thread ids themselves.
+void SetCurrentThreadName(std::string_view name);
+
+/// Registered name of a thread id; empty when the thread was never named.
+std::string ThreadName(uint32_t thread_id);
+
 /// RAII scoped span: records wall time from construction to destruction
 /// into a Trace. Spans nest: each thread keeps a span stack, and a span
 /// opened while another is live on the same thread records it as parent.
@@ -92,6 +102,11 @@ class TraceSpan {
  private:
   Trace* trace_;  // nullptr when tracing was disabled at construction
   TraceEvent event_;
+  // True when this span pushed its name onto the thread's profile-label
+  // stack (only while the profiler or heap tracker is armed), so CPU
+  // samples and allocations attribute to the innermost span. See
+  // profiler.h.
+  bool label_pushed_ = false;
 };
 
 }  // namespace bellwether::obs

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 
 #include "common/check.h"
 #include "obs/metrics.h"
@@ -59,11 +60,23 @@ Status ReadPod(std::FILE* f, T* v) {
   return ReadRaw(f, v, sizeof(T));
 }
 
-void BusyWaitMicros(int64_t micros) {
+// Models the device wait as blocked time, not CPU time: a real disk read
+// parks the thread off-CPU, so a spin loop here would both distort CPU
+// profiles (ITIMER_PROF samples the spin, not the kernels) and steal cores
+// from compute threads in the parallel-scaling benchmarks. Absolute
+// deadline so EINTR retries do not accumulate drift.
+void SimulatedDeviceWaitMicros(int64_t micros) {
   if (micros <= 0) return;
-  const auto end = std::chrono::steady_clock::now() +
-                   std::chrono::microseconds(micros);
-  while (std::chrono::steady_clock::now() < end) {
+  timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_sec += micros / 1000000;
+  deadline.tv_nsec += (micros % 1000000) * 1000;
+  if (deadline.tv_nsec >= 1000000000L) {
+    deadline.tv_nsec -= 1000000000L;
+    ++deadline.tv_sec;
+  }
+  while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline,
+                         nullptr) == EINTR) {
   }
 }
 
@@ -287,7 +300,7 @@ Status SpilledTrainingData::ReadRecord(size_t index, RegionTrainingSet* out) {
   if (has_weights) {
     consume(out->weights.data(), out->weights.size() * sizeof(double));
   }
-  BusyWaitMicros(simulated_latency_micros_);
+  SimulatedDeviceWaitMicros(simulated_latency_micros_);
   ++io_stats_.region_reads;
   io_stats_.bytes_read += static_cast<int64_t>(out->ByteSize());
   Metrics().reads->Increment();

@@ -319,23 +319,53 @@ TEST(TraceTest, ChromeTraceJsonRoundTripsThroughParser) {
   }
   auto parsed = ParseJson(trace.ToChromeTraceJson());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
-  const JsonValue* events = parsed->Find("traceEvents");
-  ASSERT_NE(events, nullptr);
-  ASSERT_TRUE(events->is_array());
-  ASSERT_EQ(events->array().size(), 2u);
+  const JsonValue* all = parsed->Find("traceEvents");
+  ASSERT_NE(all, nullptr);
+  ASSERT_TRUE(all->is_array());
+  // Ignore "M" thread_name metadata (covered separately): only span events.
+  std::vector<const JsonValue*> spans;
+  for (const JsonValue& e : all->array()) {
+    if (e.Find("ph")->str() == "X") spans.push_back(&e);
+  }
+  ASSERT_EQ(spans.size(), 2u);
   // Emitted sorted by start time: outer first despite closing last.
-  const JsonValue& first = events->array()[0];
+  const JsonValue& first = *spans[0];
   EXPECT_EQ(first.Find("name")->str(), "outer \"quoted\"");
   EXPECT_EQ(first.Find("ph")->str(), "X");
   EXPECT_TRUE(first.Find("ts")->is_number());
   EXPECT_TRUE(first.Find("dur")->is_number());
-  const JsonValue& second = events->array()[1];
+  const JsonValue& second = *spans[1];
   EXPECT_EQ(second.Find("name")->str(), "inner");
   const JsonValue* args = second.Find("args");
   ASSERT_NE(args, nullptr);
   EXPECT_EQ(args->Find("parent_span_id")->number(),
             first.Find("args")->Find("span_id")->number());
   EXPECT_EQ(args->Find("depth")->number(), 1.0);
+}
+
+TEST(TraceTest, NamedThreadsEmitChromeMetadataEvents) {
+  SetCurrentThreadName("obs-test-main");
+  EXPECT_EQ(ThreadName(CurrentThreadId()), "obs-test-main");
+  EXPECT_TRUE(ThreadName(0xfffffff0u).empty()) << "unnamed tids stay bare";
+
+  Trace trace;
+  { TraceSpan span("work", "cat", &trace); }
+  auto parsed = ParseJson(trace.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const JsonValue& e : events->array()) {
+    if (e.Find("ph")->str() != "M") continue;
+    EXPECT_EQ(e.Find("name")->str(), "thread_name");
+    const JsonValue* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    if (args->Find("name")->str() == "obs-test-main" &&
+        e.Find("tid")->number() == static_cast<double>(CurrentThreadId())) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "metadata event for the named thread is missing";
 }
 
 // ---------------------------------------------------------------------------

@@ -71,6 +71,28 @@ TEST(HistogramPercentileTest, QuantileIsClamped) {
             EstimateHistogramPercentile(bounds, counts, 1.0));
 }
 
+TEST(HistogramPercentileTest, SingleBucketHistogramInterpolatesFromZero) {
+  // Degenerate histogram with one finite bucket [0, 5]: estimates
+  // interpolate linearly from the implicit 0 lower edge.
+  const std::vector<double> bounds{5.0};
+  const std::vector<int64_t> counts{4, 0};
+  EXPECT_EQ(EstimateHistogramPercentile(bounds, counts, 0.0), 0.0);
+  EXPECT_NEAR(EstimateHistogramPercentile(bounds, counts, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(EstimateHistogramPercentile(bounds, counts, 1.0), 5.0, 1e-12);
+}
+
+TEST(HistogramPercentileTest, SingleBucketOverflowOnlyClampsToTheBound) {
+  EXPECT_EQ(EstimateHistogramPercentile({5.0}, {0, 9}, 0.5), 5.0);
+  EXPECT_EQ(EstimateHistogramPercentile({5.0}, {0, 9}, 0.99), 5.0);
+}
+
+TEST(HistogramPercentileTest, MalformedShapesReturnZero) {
+  // No finite buckets, or a count vector that does not match bounds+1.
+  EXPECT_EQ(EstimateHistogramPercentile({}, {7}, 0.5), 0.0);
+  EXPECT_EQ(EstimateHistogramPercentile({1.0}, {7}, 0.5), 0.0);
+  EXPECT_EQ(EstimateHistogramPercentile({1.0}, {1, 2, 3}, 0.5), 0.0);
+}
+
 TEST(HistogramPercentileTest, InterpolatesAcrossBuckets) {
   // 10 samples in (0,1], 10 in (1,2]: the median sits at the bucket edge
   // and p95 inside the second bucket.
@@ -249,6 +271,111 @@ TEST(BenchDiffTest, PhasePresentInOnlyOneRunIsReported) {
   ASSERT_EQ(diff.entries.size(), 1u);
   EXPECT_EQ(diff.entries[0].kind, BenchDiffKind::kPhaseOnlyInOne);
   EXPECT_EQ(diff.entries[0].key, "extra");
+}
+
+// ---------------------------------------------------------------------------
+// Profile section and allocation drift
+// ---------------------------------------------------------------------------
+
+ReportProfile MakeProfileSection(int64_t build_calls) {
+  ReportProfile p;
+  p.period_us = 1000;
+  p.total_samples = 10;
+  p.dropped_samples = 1;
+  p.self_samples = {{"hot_loop", 6}, {"other", 4}};
+  p.alloc["build"] = {1 << 20, build_calls, build_calls};
+  return p;
+}
+
+TEST(RunReportTest, ProfileSectionRoundTripsAndStaysOutOfLogicalJson) {
+  RunReport r = MakeFullReport();
+  r.set_profile(MakeProfileSection(1000));
+
+  const std::string json = r.ToJson();
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  auto parsed = RunReport::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->ToJson(), json);
+  EXPECT_EQ(parsed->profile(), r.profile());
+
+  // Sample counts are timing, not logical identity.
+  EXPECT_EQ(r.LogicalJson().find("profile"), std::string::npos);
+  EXPECT_EQ(r.LogicalJson(), MakeFullReport().LogicalJson());
+}
+
+TEST(RunReportTest, EmptyProfileSectionIsOmittedFromToJson) {
+  // A report written with profiling disabled keeps its historical shape.
+  RunReport r = MakeFullReport();
+  ASSERT_TRUE(r.profile().empty());
+  EXPECT_EQ(r.ToJson().find("\"profile\""), std::string::npos);
+}
+
+TEST(RunReportTest, SummarizeProfileTakesTopNFramesAndAllocCounters) {
+  Profile p;
+  p.AddStack("phase;a", 5);
+  p.AddStack("phase;b", 3);
+  p.AddStack("phase;c", 1);
+  p.set_period_us(2000);
+  p.add_dropped_samples(4);
+  std::map<std::string, HeapTracker::LabelStats> alloc;
+  alloc["phase"] = {4096, 100, 90};
+
+  const ReportProfile summary = SummarizeProfile(p, alloc, /*top_n=*/2);
+  EXPECT_EQ(summary.period_us, 2000);
+  EXPECT_EQ(summary.total_samples, 9);
+  EXPECT_EQ(summary.dropped_samples, 4);
+  ASSERT_EQ(summary.self_samples.size(), 2u) << "top_n must cap the table";
+  EXPECT_EQ(summary.self_samples.at("a"), 5);
+  EXPECT_EQ(summary.self_samples.at("b"), 3);
+  ASSERT_TRUE(summary.alloc.count("phase"));
+  EXPECT_EQ(summary.alloc.at("phase").bytes, 4096);
+  EXPECT_EQ(summary.alloc.at("phase").calls, 100);
+  EXPECT_EQ(summary.alloc.at("phase").frees, 90);
+}
+
+TEST(BenchDiffTest, AllocDriftIsReportedAndFailsOnlyWithTheOption) {
+  RunReport old_run = TimedReport(1.0);
+  old_run.set_profile(MakeProfileSection(1000));
+  RunReport new_run = TimedReport(1.0);
+  new_run.set_profile(MakeProfileSection(2000));
+
+  const BenchDiffResult soft = CompareRunReports(old_run, new_run);
+  EXPECT_FALSE(soft.failed);
+  ASSERT_EQ(soft.entries.size(), 1u) << soft.Summary();
+  EXPECT_EQ(soft.entries[0].kind, BenchDiffKind::kAllocDrift);
+  EXPECT_EQ(soft.entries[0].key, "build");
+  EXPECT_NEAR(soft.entries[0].ratio, 2.0, 1e-9);
+  EXPECT_NE(soft.Summary().find("allocs"), std::string::npos);
+
+  BenchDiffOptions strict;
+  strict.fail_on_alloc_drift = true;
+  EXPECT_TRUE(CompareRunReports(old_run, new_run, strict).failed);
+}
+
+TEST(BenchDiffTest, AllocDriftBelowTheCallFloorIsIgnored) {
+  // 10 -> 30 calls is 3x but both sit under kAllocDriftFloorCalls; phases
+  // that barely allocate must not jitter the gate.
+  RunReport old_run = TimedReport(1.0);
+  old_run.set_profile(MakeProfileSection(10));
+  RunReport new_run = TimedReport(1.0);
+  new_run.set_profile(MakeProfileSection(30));
+  const BenchDiffResult diff = CompareRunReports(old_run, new_run);
+  EXPECT_TRUE(diff.entries.empty()) << diff.Summary();
+}
+
+TEST(BenchDiffTest, ToJsonCarriesVerdictAndEntries) {
+  RunReport old_run = TimedReport(1.0);
+  RunReport new_run = TimedReport(2.0);
+  new_run.SetCount("rows", 99);
+  const BenchDiffResult diff = CompareRunReports(old_run, new_run);
+  ASSERT_TRUE(diff.failed);
+
+  const std::string json = diff.ToJson();
+  EXPECT_NE(json.find("\"failed\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_mismatch\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"REGRESSION\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\":\"count-drift\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"key\":\"build\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

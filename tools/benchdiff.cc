@@ -11,10 +11,18 @@
 //   --min-seconds=<s>       noise floor: phases where both runs are below
 //                           this are never flagged (default 0.005)
 //   --fail-on-count-drift   treat logical count/value drift as a failure
+//   --fail-on-alloc-drift   treat per-phase allocation-count drift (from
+//                           the reports' profile sections) as a failure
+//   --alloc-threshold=<f>   relative allocation-call change flagged as
+//                           drift (default 0.10)
+//   --json[=<path>]         also emit the comparison as machine-readable
+//                           JSON (one object per compared phase) to <path>,
+//                           or to stdout after the human report when bare;
+//                           exit codes are unchanged
 //   --warn-only             print the comparison but always exit 0
 //
 // Exit codes: 0 = no regression, 1 = regression (or drift with
-// --fail-on-count-drift), 2 = usage / parse error.
+// --fail-on-count-drift / --fail-on-alloc-drift), 2 = usage / parse error.
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,7 +44,8 @@ using bellwether::obs::RunReport;
 void Usage() {
   std::fprintf(stderr,
                "usage: benchdiff [--threshold=F] [--min-seconds=S] "
-               "[--fail-on-count-drift] [--warn-only] "
+               "[--fail-on-count-drift] [--fail-on-alloc-drift] "
+               "[--alloc-threshold=F] [--json[=PATH]] [--warn-only] "
                "<baseline.json> <current.json>\n");
 }
 
@@ -51,6 +60,8 @@ Result<RunReport> Load(const char* path) {
 int main(int argc, char** argv) {
   BenchDiffOptions options;
   bool warn_only = false;
+  bool json_requested = false;
+  std::string json_path;  // empty = stdout
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -64,6 +75,19 @@ int main(int argc, char** argv) {
       options.min_seconds = std::atof(arg + 14);
     } else if (std::strcmp(arg, "--fail-on-count-drift") == 0) {
       options.fail_on_count_drift = true;
+    } else if (std::strcmp(arg, "--fail-on-alloc-drift") == 0) {
+      options.fail_on_alloc_drift = true;
+    } else if (std::strncmp(arg, "--alloc-threshold=", 18) == 0) {
+      options.alloc_drift_threshold = std::atof(arg + 18);
+      if (options.alloc_drift_threshold <= 0) {
+        std::fprintf(stderr, "benchdiff: bad --alloc-threshold\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json_requested = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_requested = true;
+      json_path = arg + 7;
     } else if (std::strcmp(arg, "--warn-only") == 0) {
       warn_only = true;
     } else if (std::strncmp(arg, "--", 2) == 0) {
@@ -97,6 +121,21 @@ int main(int argc, char** argv) {
               positional[0], positional[1], options.threshold * 100.0,
               options.min_seconds);
   std::printf("%s", diff.Summary().c_str());
+
+  if (json_requested) {
+    const std::string json = diff.ToJson() + "\n";
+    if (json_path.empty()) {
+      std::printf("%s", json.c_str());
+    } else {
+      const bellwether::Status st =
+          bellwether::obs::WriteTextFile(json_path, json);
+      if (!st.ok()) {
+        std::fprintf(stderr, "benchdiff: %s: %s\n", json_path.c_str(),
+                     st.ToString().c_str());
+        return 2;
+      }
+    }
+  }
 
   if (diff.failed && warn_only) {
     std::printf("warn-only: regression reported but exit forced to 0\n");
