@@ -23,35 +23,98 @@ namespace {
 
 using namespace bellwether;  // NOLINT
 
+// Rows cycled by the accumulation benchmarks: a pool large enough to defeat
+// a single cached row (realistic cache behavior, varying values) but small
+// enough to pregenerate cheaply.
+constexpr size_t kRowPool = 1024;
+
+std::vector<double> MakeRowPool(size_t p, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> rows(kRowPool * p);
+  for (auto& v : rows) v = rng.NextDouble(-1, 1);
+  return rows;
+}
+
+// Bytes a single Add touches: the example row plus the packed X'WX
+// triangle and X'WY accumulators (read + write).
+int64_t AddBytesPerItem(size_t p) {
+  return static_cast<int64_t>(
+      8 * (p + 2 * (regression::RegressionSuffStats::PackedSize(p) + p)));
+}
+
 void BM_SuffStatsAdd(benchmark::State& state) {
   const size_t p = state.range(0);
-  Rng rng(1);
-  std::vector<double> x(p);
-  for (auto& v : x) v = rng.NextDouble(-1, 1);
+  const std::vector<double> rows = MakeRowPool(p, 1);
   regression::RegressionSuffStats stats(p);
+  size_t i = 0;
   for (auto _ : state) {
-    stats.Add(x.data(), 1.5);
+    stats.Add(rows.data() + i * p, 1.5);
+    i = (i + 1) % kRowPool;
     benchmark::DoNotOptimize(stats);
   }
   state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * AddBytesPerItem(p));
 }
 BENCHMARK(BM_SuffStatsAdd)->Arg(3)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_SuffStatsAddBatch(benchmark::State& state) {
+  const size_t p = state.range(0);
+  const std::vector<double> rows = MakeRowPool(p, 1);
+  std::vector<double> ys(kRowPool);
+  {
+    Rng rng(9);
+    for (auto& y : ys) y = rng.NextDouble();
+  }
+  regression::RegressionSuffStats stats(p);
+  for (auto _ : state) {
+    stats.AddBatch(rows.data(), ys.data(), nullptr, kRowPool);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRowPool));
+  // Row reads per example; accumulator read+write amortized over the
+  // rank-4 register blocking.
+  const int64_t batch_bytes = static_cast<int64_t>(
+      8 * (kRowPool * p +
+           2 * (regression::RegressionSuffStats::PackedSize(p) + p) *
+               (kRowPool / 4)));
+  state.SetBytesProcessed(state.iterations() * batch_bytes);
+}
+BENCHMARK(BM_SuffStatsAddBatch)->Arg(3)->Arg(6)->Arg(12)->Arg(24);
 
 void BM_SuffStatsMerge(benchmark::State& state) {
   const size_t p = state.range(0);
   Rng rng(2);
-  regression::RegressionSuffStats a(p), b(p);
+  // A pool of pregenerated statistics merged into one accumulator — the
+  // tree/cube builders' actual pattern (many children folded into a parent),
+  // with no per-iteration deep copy polluting the measurement. The values
+  // grow across iterations but stay finite; Merge's cost is value-oblivious.
+  constexpr size_t kPool = 64;
+  std::vector<regression::RegressionSuffStats> pool;
+  pool.reserve(kPool);
   std::vector<double> x(p);
-  for (int i = 0; i < 16; ++i) {
-    for (auto& v : x) v = rng.NextDouble(-1, 1);
-    a.Add(x.data(), rng.NextDouble());
-    b.Add(x.data(), rng.NextDouble());
+  for (size_t s = 0; s < kPool; ++s) {
+    regression::RegressionSuffStats stats(p);
+    for (int i = 0; i < 16; ++i) {
+      for (auto& v : x) v = rng.NextDouble(-1, 1);
+      stats.Add(x.data(), rng.NextDouble());
+    }
+    pool.push_back(std::move(stats));
   }
+  regression::RegressionSuffStats acc(p);
+  size_t i = 0;
   for (auto _ : state) {
-    regression::RegressionSuffStats c = a;
-    c.Merge(b);
-    benchmark::DoNotOptimize(c);
+    acc.Merge(pool[i]);
+    i = (i + 1) % kPool;
+    benchmark::DoNotOptimize(acc);
   }
+  state.SetItemsProcessed(state.iterations());
+  // One merge reads the source's packed triangle + X'WY and read-writes the
+  // accumulator's.
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(
+          8 * 3 * (regression::RegressionSuffStats::PackedSize(p) + p)));
 }
 BENCHMARK(BM_SuffStatsMerge)->Arg(3)->Arg(6)->Arg(12)->Arg(24);
 

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "robust/fault_injection.h"
+#include "storage/arena.h"
 #include "table/ops.h"
 
 namespace bellwether::core {
@@ -129,6 +130,53 @@ double AggregateValues(AggFn fn, const std::vector<double>& vals) {
   auto r = agg.Finish(fn);
   return r.value_or(0.0);
 }
+
+// Columnar views over fact columns, decoded ONCE before the fill loop.
+// The scan previously paid a virtual-shaped type switch (Column::NumericAt /
+// Int64At) plus a std::vector<bool> bit probe per cell access per row; the
+// views batch that down to a byte-mask load and a raw array load. Double
+// columns are aliased zero-copy (null slots hold a 0.0 placeholder, see
+// Column::AppendNull); int64 columns read numerically are widened in one
+// contiguous pass.
+struct NumericColumnView {
+  std::vector<uint8_t> nulls;  // 1 = null
+  std::vector<double> widened;
+  const double* vals = nullptr;
+
+  explicit NumericColumnView(const table::Column& col) {
+    const size_t n = col.size();
+    nulls.resize(n);
+    for (size_t r = 0; r < n; ++r) nulls[r] = col.IsNull(r) ? 1 : 0;
+    if (col.type() == DataType::kDouble) {
+      vals = col.doubles().data();
+    } else {
+      BW_CHECK(col.type() == DataType::kInt64);
+      widened.resize(n);
+      const int64_t* src = col.ints().data();
+      for (size_t r = 0; r < n; ++r) {
+        widened[r] = static_cast<double>(src[r]);
+      }
+      vals = widened.data();
+    }
+  }
+  bool IsNull(size_t r) const { return nulls[r] != 0; }
+  double At(size_t r) const { return vals[r]; }
+};
+
+struct Int64ColumnView {
+  std::vector<uint8_t> nulls;  // 1 = null
+  const int64_t* vals = nullptr;
+
+  explicit Int64ColumnView(const table::Column& col) {
+    BW_CHECK(col.type() == DataType::kInt64);
+    const size_t n = col.size();
+    nulls.resize(n);
+    for (size_t r = 0; r < n; ++r) nulls[r] = col.IsNull(r) ? 1 : 0;
+    vals = col.ints().data();
+  }
+  bool IsNull(size_t r) const { return nulls[r] != 0; }
+  int64_t At(size_t r) const { return vals[r]; }
+};
 
 // The §4.2 single-OLAP-query pipeline, decomposed into named stages that
 // each carry their own trace span. All state accumulated across stages
@@ -259,27 +307,57 @@ class TrainingDataGenerator {
         ->Increment(static_cast<int64_t>(fact_.num_rows()));
     obs::Counter* quarantined_counter =
         obs::DefaultMetrics().GetCounter(obs::kMDatagenRowsQuarantined);
+
+    // Decode every column the fill loop touches into a columnar batch view
+    // up front (one pass per column) instead of paying the per-row type
+    // switch inside the hot loop.
+    const NumericColumnView target_view(fact_.column(target_col_));
+    const Int64ColumnView item_view(fact_.column(fact_item_col_));
+    std::vector<Int64ColumnView> dim_views;
+    dim_views.reserve(dim_cols_.size());
+    for (size_t c : dim_cols_) dim_views.emplace_back(fact_.column(c));
+    // Parallel to numeric_features_: the measure view for fact-measure
+    // features, the FK view for reference-measure features.
+    std::vector<std::optional<NumericColumnView>> measure_views(
+        numeric_features_.size());
+    std::vector<std::optional<Int64ColumnView>> nf_fk_views(
+        numeric_features_.size());
+    for (size_t k = 0; k < numeric_features_.size(); ++k) {
+      if (numeric_features_[k].ref_index == nullptr) {
+        measure_views[k].emplace(
+            fact_.column(numeric_features_[k].value_col));
+      } else {
+        nf_fk_views[k].emplace(fact_.column(numeric_features_[k].fk_col));
+      }
+    }
+    std::vector<Int64ColumnView> ff_fk_views;
+    ff_fk_views.reserve(fk_features_.size());
+    for (const auto& ff : fk_features_) {
+      ff_fk_views.emplace_back(fact_.column(ff.fk_col));
+    }
+
     olap::PointCoords point(space_.num_dims());
     for (size_t r = 0; r < fact_.num_rows(); ++r) {
       ++profile_.row_quarantine.rows_seen;
       // Row validation happens before any accumulation, so a quarantined
       // row contributes to no aggregate. On clean data no check fires and
       // the generated training data is bit-identical to the unhardened
-      // path.
+      // path. Fault injection stays per-row, in row order.
       Status row_st = Status::OK();
       if (robust::ShouldCorrupt(robust::kFaultDatagenRow)) {
         row_st = Status::InvalidArgument("injected corrupt row");
-      } else if (!fact_.column(target_col_).IsNull(r) &&
-                 !std::isfinite(fact_.column(target_col_).NumericAt(r))) {
+      } else if (!target_view.IsNull(r) &&
+                 !std::isfinite(target_view.At(r))) {
         row_st = Status::InvalidArgument("non-finite target value");
       } else {
-        for (const auto& nf : numeric_features_) {
-          if (nf.ref_index != nullptr) continue;
-          const auto& col = fact_.column(nf.value_col);
-          if (!col.IsNull(r) && !std::isfinite(col.NumericAt(r))) {
+        for (size_t k = 0; k < numeric_features_.size(); ++k) {
+          if (numeric_features_[k].ref_index != nullptr) continue;
+          const NumericColumnView& mv = *measure_views[k];
+          if (!mv.IsNull(r) && !std::isfinite(mv.At(r))) {
             row_st = Status::InvalidArgument(
                 "non-finite measure in column '" +
-                fact_.schema().field(nf.value_col).name + "'");
+                fact_.schema().field(numeric_features_[k].value_col).name +
+                "'");
             break;
           }
         }
@@ -295,49 +373,50 @@ class TrainingDataGenerator {
         BW_LOG(obs::LogLevel::kWarn, "datagen") << "quarantined " << context;
         continue;
       }
-      const auto& idc = fact_.column(fact_item_col_);
-      if (idc.IsNull(r)) continue;
-      const int32_t item = profile_.items.Find(idc.Int64At(r));
+      if (item_view.IsNull(r)) continue;
+      const int32_t item = profile_.items.Find(item_view.At(r));
       if (item < 0) continue;  // transaction of an item outside I
       bool coords_ok = true;
-      for (size_t d = 0; d < dim_cols_.size(); ++d) {
-        const auto& col = fact_.column(dim_cols_[d]);
-        if (col.IsNull(r)) {
+      for (size_t d = 0; d < dim_views.size(); ++d) {
+        if (dim_views[d].IsNull(r)) {
           coords_ok = false;
           break;
         }
-        point[d] = static_cast<int32_t>(col.Int64At(r));
+        point[d] = static_cast<int32_t>(dim_views[d].At(r));
       }
       if (!coords_ok) continue;
       // Target accumulates over the whole space.
-      if (!fact_.column(target_col_).IsNull(r)) {
-        target_agg_[item].Add(fact_.column(target_col_).NumericAt(r));
+      if (!target_view.IsNull(r)) {
+        target_agg_[item].Add(target_view.At(r));
       }
-      count_cube_->BaseCell(point, item).Add(1.0);
-      for (auto& nf : numeric_features_) {
+      // The base-cell region id is the same for every cube; encode once per
+      // row instead of once per cube per row.
+      const RegionId base = space_.Encode(space_.BaseCellOf(point));
+      count_cube_->Cell(base, item).Add(1.0);
+      for (size_t k = 0; k < numeric_features_.size(); ++k) {
+        auto& nf = numeric_features_[k];
         if (nf.ref_index == nullptr) {
-          const auto& col = fact_.column(nf.value_col);
-          if (!col.IsNull(r)) {
-            nf.cube.BaseCell(point, item).Add(col.NumericAt(r));
+          const NumericColumnView& mv = *measure_views[k];
+          if (!mv.IsNull(r)) {
+            nf.cube.Cell(base, item).Add(mv.At(r));
           }
         } else {
-          const auto& fkc = fact_.column(nf.fk_col);
-          if (fkc.IsNull(r)) continue;
-          auto it = nf.ref_index->find(fkc.Int64At(r));
+          const Int64ColumnView& fkv = *nf_fk_views[k];
+          if (fkv.IsNull(r)) continue;
+          auto it = nf.ref_index->find(fkv.At(r));
           if (it == nf.ref_index->end() ||
               nf.ref_measure->IsNull(it->second)) {
             continue;
           }
-          nf.cube.BaseCell(point, item).Add(
-              nf.ref_measure->NumericAt(it->second));
+          nf.cube.Cell(base, item).Add(nf.ref_measure->NumericAt(it->second));
         }
       }
-      for (auto& ff : fk_features_) {
-        const auto& fkc = fact_.column(ff.fk_col);
-        if (fkc.IsNull(r)) continue;
-        const int64_t fk = fkc.Int64At(r);
-        if (ff.ref_index->count(fk) == 0) continue;
-        ff.cube.BaseCell(point, item).Add(fk);
+      for (size_t k = 0; k < fk_features_.size(); ++k) {
+        const Int64ColumnView& fkv = ff_fk_views[k];
+        if (fkv.IsNull(r)) continue;
+        const int64_t fk = fkv.At(r);
+        if (fk_features_[k].ref_index->count(fk) == 0) continue;
+        fk_features_[k].cube.Cell(base, item).Add(fk);
       }
     }
     return Status::OK();
@@ -404,9 +483,22 @@ class TrainingDataGenerator {
   // workers.
   RegionTrainingSet BuildRegionSet(RegionId reg) const {
     const int32_t p = static_cast<int32_t>(profile_.feature_names.size());
-    RegionTrainingSet set;
+    // Shells come from the arena (the spill sinks recycle them after the
+    // write), so steady-state emission does no buffer allocation at all.
+    RegionTrainingSet set = storage::RegionSetArena::Default().Acquire();
     set.region = reg;
     set.num_features = p;
+    // Exact reserves: count the region's rows first so a cold shell sizes
+    // each buffer exactly once instead of growing geometrically.
+    size_t rows = 0;
+    for (int32_t i = 0; i < num_items_; ++i) {
+      if (std::isnan(profile_.targets[i])) continue;
+      if (count_cube_->Cell(reg, i).count > 0) ++rows;
+    }
+    set.items.reserve(rows);
+    set.targets.reserve(rows);
+    if (spec_.weight_by_support) set.weights.reserve(rows);
+    set.features.reserve(rows * static_cast<size_t>(p));
     std::vector<double> fk_vals;  // per-call scratch
     for (int32_t i = 0; i < num_items_; ++i) {
       if (std::isnan(profile_.targets[i])) continue;

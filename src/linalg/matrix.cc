@@ -93,11 +93,27 @@ bool operator==(const Matrix& a, const Matrix& b) {
   return a.rows() == b.rows() && a.cols() == b.cols() && a.data() == b.data();
 }
 
+double Dot(const double* a, const double* b, size_t n) {
+  const double* __restrict pa = a;
+  const double* __restrict pb = b;
+  // Four independent accumulators break the add-latency dependency chain and
+  // let the autovectorizer use full-width FMA lanes.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += pa[i] * pb[i];
+    s1 += pa[i + 1] * pb[i + 1];
+    s2 += pa[i + 2] * pb[i + 2];
+    s3 += pa[i + 3] * pb[i + 3];
+  }
+  double acc = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
 double Dot(const Vector& a, const Vector& b) {
   BW_CHECK(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return Dot(a.data(), b.data(), a.size());
 }
 
 void AddScaledOuterProduct(const Vector& x, double w, Matrix* accum) {

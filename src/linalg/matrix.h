@@ -73,6 +73,11 @@ class Matrix {
 
 bool operator==(const Matrix& a, const Matrix& b);
 
+/// Dot product over raw arrays (multi-accumulator, autovectorizable). The
+/// serving hot path (LinearModel::Predict) and the suff-stats kernels share
+/// this one implementation.
+double Dot(const double* a, const double* b, size_t n);
+
 /// Dot product. Precondition: equal sizes.
 double Dot(const Vector& a, const Vector& b);
 

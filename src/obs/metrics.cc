@@ -273,6 +273,12 @@ void RegisterStandardMetrics(MetricsRegistry* registry) {
   registry->GetCounter(kMStorageRowsScanned,
                        "training rows delivered by storage reads and scans");
   registry->GetCounter(kMStorageBytesRead, "bytes read from training sources");
+  registry->GetCounter(kMArenaAcquires,
+                       "RegionTrainingSet shells handed out by RegionSetArena");
+  registry->GetCounter(kMArenaReuses,
+                       "arena acquires satisfied from the free list");
+  registry->GetCounter(kMArenaReleases,
+                       "RegionTrainingSet shells returned to RegionSetArena");
   registry->GetCounter(kMFaultInjections,
                        "faults fired by the fault-injection registry");
   registry->GetCounter(kMStorageRetries,

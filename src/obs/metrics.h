@@ -222,9 +222,18 @@ inline constexpr std::string_view kMExecQueueDepth =
 inline constexpr std::string_view kMExecWorkerBusySeconds =
     "bellwether_exec_worker_busy_seconds_total";
 
-// Storage layer (storage/training_data.cc).
+// Storage layer (storage/training_data.cc, storage/arena.cc).
 inline constexpr std::string_view kMStorageScans =
     "bellwether_storage_sequential_scans_total";
+/// RegionSetArena traffic: shells handed out, shells handed out with
+/// recycled buffers (a reuse avoids the four vector allocations of a cold
+/// RegionTrainingSet), and shells returned to the pool.
+inline constexpr std::string_view kMArenaAcquires =
+    "bellwether_storage_arena_acquires_total";
+inline constexpr std::string_view kMArenaReuses =
+    "bellwether_storage_arena_reuses_total";
+inline constexpr std::string_view kMArenaReleases =
+    "bellwether_storage_arena_releases_total";
 inline constexpr std::string_view kMStorageRegionReads =
     "bellwether_storage_region_reads_total";
 inline constexpr std::string_view kMStorageRowsScanned =

@@ -547,7 +547,14 @@ BenchDiffResult CompareRunReports(const RunReport& baseline,
       result.entries.push_back({BenchDiffKind::kAllocDrift, phase,
                                 static_cast<double>(old_calls),
                                 static_cast<double>(new_calls), ratio});
-      if (options.fail_on_alloc_drift) result.failed = true;
+      // One-sided gate: only an *increase* fails. A drop is an intentional
+      // improvement (arena reuse, batching) that should re-baseline on the
+      // next artifact upload, not block the PR that delivered it; it is
+      // still reported above so the improvement is visible in the diff.
+      if (options.fail_on_alloc_drift &&
+          ratio > 1.0 + options.alloc_drift_threshold) {
+        result.failed = true;
+      }
     }
   }
 

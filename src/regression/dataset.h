@@ -46,12 +46,19 @@ class Dataset {
   /// Weight of example i (1.0 when unweighted).
   double w(size_t i) const { return w_.empty() ? 1.0 : w_[i]; }
 
+  /// Raw columnar views for batched kernels: row-major n x p features,
+  /// n targets, and n weights or nullptr when unweighted.
+  const double* x_data() const { return x_.data(); }
+  const double* y_data() const { return y_.data(); }
+  const double* w_data() const { return w_.empty() ? nullptr : w_.data(); }
+
   /// Sub-dataset containing the listed examples.
   Dataset Subset(const std::vector<size_t>& indices) const;
 
   void Reserve(size_t n) {
     x_.reserve(n * num_features_);
     y_.reserve(n);
+    w_.reserve(n);
   }
 
  private:

@@ -21,10 +21,10 @@ class LinearModel {
   size_t num_features() const { return beta_.size(); }
 
   /// Prediction for one feature row (x must have num_features() entries).
+  /// Delegates to linalg::Dot so the serving hot path shares the one
+  /// optimized dot-product kernel.
   double Predict(const double* x) const {
-    double acc = 0.0;
-    for (size_t j = 0; j < beta_.size(); ++j) acc += x[j] * beta_[j];
-    return acc;
+    return linalg::Dot(x, beta_.data(), beta_.size());
   }
   double Predict(const std::vector<double>& x) const {
     BW_DCHECK(x.size() == beta_.size());
@@ -54,10 +54,17 @@ struct RobustFit {
 };
 
 /// The sufficient statistic of Theorem 1: g(S) = <Y'WY, X'WX, X'WY> plus the
-/// example count. Fixed size (1 + p*p + p values), independent of |S|;
+/// example count. Fixed size (1 + p*(p+1)/2 + p values), independent of |S|;
 /// merging two statistics is element-wise addition, which makes the weighted
 /// SSE of a WLS linear model an *algebraic* aggregate function and powers
 /// the optimized bellwether-cube algorithm (paper §6.4).
+///
+/// X'WX is symmetric, so it is stored in *packed* upper-triangular layout
+/// (row-major, row r holding columns r..p-1): half the arithmetic and half
+/// the memory traffic of the naive p x p rank-1 update, and Merge collapses
+/// to one flat sum over a contiguous array. Serialized artifact formats are
+/// unchanged — checkpoint/model I/O go through the xtwx() unpack shim and
+/// FromComponents() packs a full matrix back down.
 class RegressionSuffStats {
  public:
   RegressionSuffStats() : p_(0), ytwy_(0.0), n_(0), sum_w_(0.0) {}
@@ -68,17 +75,37 @@ class RegressionSuffStats {
   double sum_weights() const { return sum_w_; }
   bool empty() const { return n_ == 0; }
 
+  /// Packed upper-triangular length for arity p.
+  static constexpr size_t PackedSize(size_t p) { return p * (p + 1) / 2; }
+  /// Index of (r, c), r <= c, in the packed upper-triangular layout.
+  static constexpr size_t PackedIndex(size_t p, size_t r, size_t c) {
+    return r * p - r * (r - 1) / 2 + (c - r);
+  }
+
   /// Clears the accumulated values, keeping the feature arity.
   void Reset();
 
-  /// Accumulates one example (weight w > 0; pass 1.0 for OLS).
+  /// Accumulates one example (weight w > 0; pass 1.0 for OLS). Defined
+  /// inline below — this is the single hottest call in the tree/cube
+  /// builders, and inlining lets the per-arity unrolled kernel fuse into
+  /// the caller's loop.
   void Add(const double* x, double y, double w = 1.0);
 
-  /// Accumulates a whole dataset.
+  /// Accumulates `n` examples at once: `xs` is row-major n x p, `ys` length
+  /// n, `ws` length n or null for OLS. Register-blocked rank-k update over
+  /// the packed layout — one pass that amortizes the accumulator loads and
+  /// stores over four rows. Equivalent to n Add() calls up to floating-point
+  /// contraction (same left-to-right summation order per element; see
+  /// tests/kernel_equivalence_test.cc for the pinned bound).
+  void AddBatch(const double* xs, const double* ys, const double* ws,
+                size_t n);
+
+  /// Accumulates a whole dataset (batched).
   void AddDataset(const Dataset& data);
 
-  /// The q-combine of Theorem 1: element-wise sum of the statistics. The
-  /// other statistic must have the same feature arity (or be empty).
+  /// The q-combine of Theorem 1: element-wise sum of the statistics — a
+  /// single flat pass over the packed array. The other statistic must have
+  /// the same feature arity (or be empty).
   void Merge(const RegressionSuffStats& other);
 
   /// Fits the WLS model beta = (X'WX)^-1 (X'WY). Fails if there are no
@@ -93,7 +120,8 @@ class RegressionSuffStats {
   Result<RobustFit> FitWithFallback(double heavy_ridge = 1e2) const;
 
   /// Reassembles a statistic from its components (checkpoint restore and
-  /// tests). `xtwx` must be p x p, `xtwy` length p.
+  /// tests). `xtwx` must be p x p, `xtwy` length p. Only the upper triangle
+  /// of `xtwx` is read (the statistic is symmetric by construction).
   static RegressionSuffStats FromComponents(linalg::Matrix xtwx,
                                             linalg::Vector xtwy, double ytwy,
                                             int64_t n, double sum_w);
@@ -111,21 +139,118 @@ class RegressionSuffStats {
   /// sqrt(TrainingMse()).
   Result<double> TrainingRmse() const;
 
-  const linalg::Matrix& xtwx() const { return xtwx_; }
+  /// Full p x p X'WX, unpacked from the packed triangle (the shim that
+  /// keeps checkpoint/model artifact formats and the linalg solvers
+  /// unchanged). Returns by value — unpack once, not per element.
+  linalg::Matrix xtwx() const;
+  /// The packed upper triangle itself (row-major, PackedSize(p) values).
+  const std::vector<double>& packed_xtwx() const { return xtwx_packed_; }
   const linalg::Vector& xtwy() const { return xtwy_; }
   double ytwy() const { return ytwy_; }
 
  private:
   size_t p_;
-  linalg::Matrix xtwx_;   // X'WX, p x p
-  linalg::Vector xtwy_;   // X'WY, p
-  double ytwy_;           // Y'WY
+  std::vector<double> xtwx_packed_;  // X'WX upper triangle, p*(p+1)/2
+  linalg::Vector xtwy_;              // X'WY, p
+  double ytwy_;                      // Y'WY
   int64_t n_;
   double sum_w_;
 };
 
 /// Convenience: fit a (W)LS model on a dataset via the sufficient statistic.
 Result<LinearModel> FitLeastSquares(const Dataset& data);
+
+namespace detail {
+
+/// Packed symmetric rank-1 update: tri += w * upper(x x'), xy += (w*x) * y.
+/// The inner loop runs over the contiguous packed row r (columns r..p-1 of
+/// both the triangle and x), so the autovectorizer can lift it to FMA
+/// vector code; restrict qualifiers tell it the accumulators never alias x.
+inline void PackedRank1(double* __restrict tri, double* __restrict xy,
+                        const double* __restrict x, double y, double w,
+                        size_t p) {
+  size_t idx = 0;
+  for (size_t r = 0; r < p; ++r) {
+    const double wr = w * x[r];
+    double* __restrict trow = tri + idx;
+    const double* __restrict xc = x + r;
+    const size_t len = p - r;
+    for (size_t c = 0; c < len; ++c) trow[c] += wr * xc[c];
+    idx += len;
+    xy[r] += wr * y;
+  }
+}
+
+/// Fully unrolled variant for a compile-time arity (the common small p of
+/// regression designs): no loop-carried index arithmetic, every accumulator
+/// slot addressed statically.
+template <size_t P>
+inline void PackedRank1Fixed(double* __restrict tri, double* __restrict xy,
+                             const double* __restrict x, double y, double w) {
+  size_t idx = 0;
+  for (size_t r = 0; r < P; ++r) {
+    const double wr = w * x[r];
+    for (size_t c = r; c < P; ++c) tri[idx++] += wr * x[c];
+    xy[r] += wr * y;
+  }
+}
+
+}  // namespace detail
+
+inline void RegressionSuffStats::Add(const double* x, double y, double w) {
+  BW_DCHECK(w > 0.0);
+  double* tri = xtwx_packed_.data();
+  double* xy = xtwy_.data();
+  switch (p_) {
+    case 1:
+      detail::PackedRank1Fixed<1>(tri, xy, x, y, w);
+      break;
+    case 2:
+      detail::PackedRank1Fixed<2>(tri, xy, x, y, w);
+      break;
+    case 3:
+      detail::PackedRank1Fixed<3>(tri, xy, x, y, w);
+      break;
+    case 4:
+      detail::PackedRank1Fixed<4>(tri, xy, x, y, w);
+      break;
+    case 5:
+      detail::PackedRank1Fixed<5>(tri, xy, x, y, w);
+      break;
+    case 6:
+      detail::PackedRank1Fixed<6>(tri, xy, x, y, w);
+      break;
+    case 7:
+      detail::PackedRank1Fixed<7>(tri, xy, x, y, w);
+      break;
+    case 8:
+      detail::PackedRank1Fixed<8>(tri, xy, x, y, w);
+      break;
+    default:
+      detail::PackedRank1(tri, xy, x, y, w, p_);
+      break;
+  }
+  ytwy_ += w * y * y;
+  ++n_;
+  sum_w_ += w;
+}
+
+inline void RegressionSuffStats::Merge(const RegressionSuffStats& other) {
+  if (other.empty()) return;
+  if (empty() && p_ == 0) {
+    *this = other;
+    return;
+  }
+  BW_CHECK(p_ == other.p_);
+  const double* __restrict o = other.xtwx_packed_.data();
+  double* __restrict t = xtwx_packed_.data();
+  const size_t tn = xtwx_packed_.size();
+  for (size_t i = 0; i < tn; ++i) t[i] += o[i];
+  for (size_t j = 0; j < p_; ++j) xtwy_[j] += other.xtwy_[j];
+  ytwy_ += other.ytwy_;
+  n_ += other.n_;
+  sum_w_ += other.sum_w_;
+}
 
 }  // namespace bellwether::regression
 

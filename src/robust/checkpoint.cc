@@ -42,10 +42,11 @@ void WriteStats(std::ostream& out,
   WriteDouble(out, s.sum_weights());
   out << ' ';
   WriteDouble(out, s.ytwy());
+  const linalg::Matrix xtwx = s.xtwx();  // unpack once, not per element
   for (size_t r = 0; r < p; ++r) {
     for (size_t c = 0; c < p; ++c) {
       out << ' ';
-      WriteDouble(out, s.xtwx()(r, c));
+      WriteDouble(out, xtwx(r, c));
     }
   }
   for (size_t j = 0; j < p; ++j) {

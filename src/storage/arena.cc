@@ -1,0 +1,50 @@
+#include "storage/arena.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace bellwether::storage {
+
+RegionSetArena& RegionSetArena::Default() {
+  static RegionSetArena* arena = new RegionSetArena();
+  return *arena;
+}
+
+RegionTrainingSet RegionSetArena::Acquire() {
+  obs::DefaultMetrics().GetCounter(obs::kMArenaAcquires)->Increment();
+  RegionTrainingSet set;
+  bool reused = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      set = std::move(free_.back());
+      free_.pop_back();
+      reused = true;
+    }
+  }
+  if (reused) {
+    obs::DefaultMetrics().GetCounter(obs::kMArenaReuses)->Increment();
+  }
+  return set;
+}
+
+void RegionSetArena::Release(RegionTrainingSet&& set) {
+  obs::DefaultMetrics().GetCounter(obs::kMArenaReleases)->Increment();
+  set.region = olap::kInvalidRegion;
+  set.num_features = 0;
+  set.items.clear();
+  set.features.clear();
+  set.targets.clear();
+  set.weights.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() >= max_pooled_) return;  // beyond the bound: just free
+  free_.push_back(std::move(set));
+}
+
+size_t RegionSetArena::pooled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+}  // namespace bellwether::storage

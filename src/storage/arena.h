@@ -1,0 +1,52 @@
+#ifndef BELLWETHER_STORAGE_ARENA_H_
+#define BELLWETHER_STORAGE_ARENA_H_
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "storage/training_data.h"
+
+namespace bellwether::storage {
+
+/// A freelist of RegionTrainingSet shells that recycles their vector
+/// buffers across the datagen emit loop. Streaming generation builds one
+/// RegionTrainingSet per feasible region and the spill sinks drop it right
+/// after writing it to disk, so without reuse every region pays four heap
+/// allocations (items/features/targets/weights) that the very next region
+/// re-requests at roughly the same size — the malloc churn the per-phase
+/// allocation tracker attributes to EmitRegionSets. Acquire() hands out a
+/// cleared shell whose buffers keep their capacity; Release() returns a
+/// shell to the pool.
+///
+/// Thread-safe: producers Acquire() on pool workers while the scan thread
+/// Release()s behind the in-order reducer. The pool is bounded; releases
+/// beyond the bound simply free the shell. Traffic is mirrored to the
+/// bellwether_storage_arena_* counters so the reuse rate is observable.
+class RegionSetArena {
+ public:
+  /// Process-wide arena shared by datagen producers and sinks.
+  static RegionSetArena& Default();
+
+  explicit RegionSetArena(size_t max_pooled = 256)
+      : max_pooled_(max_pooled) {}
+
+  /// A recycled shell (empty, capacity retained) or a fresh one.
+  RegionTrainingSet Acquire();
+
+  /// Returns a shell's buffers to the pool for reuse. The set's contents
+  /// are discarded; only the vector capacities survive.
+  void Release(RegionTrainingSet&& set);
+
+  /// Shells currently pooled (tests/diagnostics).
+  size_t pooled() const;
+
+ private:
+  const size_t max_pooled_;
+  mutable std::mutex mu_;
+  std::vector<RegionTrainingSet> free_;
+};
+
+}  // namespace bellwether::storage
+
+#endif  // BELLWETHER_STORAGE_ARENA_H_

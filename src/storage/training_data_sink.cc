@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/arena.h"
 
 namespace bellwether::storage {
 
@@ -61,7 +62,11 @@ Result<std::unique_ptr<SpillSink>> SpillSink::Create(const std::string& path) {
 
 Status SpillSink::Append(RegionTrainingSet&& set) {
   NoteAppend(set, set.ByteSize());
-  return writer_->Append(set);
+  const Status st = writer_->Append(set);
+  // The set is on disk (or the sink failed); its buffers go back to the
+  // arena so the producer's next BuildRegionSet reuses them.
+  RegionSetArena::Default().Release(std::move(set));
+  return st;
 }
 
 Result<std::unique_ptr<TrainingDataSource>> SpillSink::Finish() {
@@ -105,7 +110,9 @@ Status BudgetedSink::Append(RegionTrainingSet&& set) {
   if (writer_ == nullptr) {
     BW_RETURN_IF_ERROR(MigrateToSpill());
   }
-  return writer_->Append(set);
+  const Status st = writer_->Append(set);
+  RegionSetArena::Default().Release(std::move(set));
+  return st;
 }
 
 Result<std::unique_ptr<TrainingDataSource>> BudgetedSink::Finish() {

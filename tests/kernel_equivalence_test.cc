@@ -1,0 +1,341 @@
+// Randomized property tests pinning the optimized kernels of the SIMD/
+// cache-conscious pass to retained reference implementations:
+//
+//  * RegressionSuffStats packed Add / batched AddBatch vs a naive full-
+//    matrix reference. The packed kernels keep the per-element left-to-
+//    right summation order of the scalar path, but the compiler is free to
+//    contract a*b+c into FMA differently per loop (-ffp-contract), so the
+//    comparison uses a small documented relative bound rather than bit
+//    equality.
+//  * Merge and the flat NumericAgg MergeSlice run: pure same-order
+//    additions, compared exactly.
+//  * FromComponents / xtwx() unpack-pack round trips: exact.
+//
+// Determinism of *one binary* across thread counts and checkpoint resume is
+// covered by parallel_determinism_test and robust_test; these tests pin the
+// numerics of the kernels themselves.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/hierarchy_util.h"
+#include "linalg/matrix.h"
+#include "olap/cube.h"
+#include "olap/region.h"
+#include "regression/linear_model.h"
+
+namespace bellwether {
+namespace {
+
+using regression::RegressionSuffStats;
+
+// Relative bound for values that may differ only by FMA contraction
+// choices: a handful of ULPs. 64 * eps is ~1.4e-14 relative — far below
+// any tolerance the consumers use, far above real contraction drift.
+constexpr double kContractionRelBound = 64 * 1e-16;
+
+void ExpectClose(double a, double b, const char* what) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  EXPECT_LE(std::abs(a - b), kContractionRelBound * scale)
+      << what << ": " << a << " vs " << b;
+}
+
+// Reference accumulator: the pre-packing implementation — full p x p
+// matrix, scalar rank-1 updates.
+struct RefSuffStats {
+  explicit RefSuffStats(size_t p)
+      : p(p), xtwx(p, p), xtwy(p, 0.0), ytwy(0.0), n(0), sum_w(0.0) {}
+
+  void Add(const double* x, double y, double w) {
+    for (size_t r = 0; r < p; ++r) {
+      const double wr = w * x[r];
+      for (size_t c = 0; c < p; ++c) xtwx(r, c) += wr * x[c];
+      xtwy[r] += wr * y;
+    }
+    ytwy += w * y * y;
+    ++n;
+    sum_w += w;
+  }
+
+  void Merge(const RefSuffStats& o) {
+    xtwx += o.xtwx;
+    for (size_t j = 0; j < p; ++j) xtwy[j] += o.xtwy[j];
+    ytwy += o.ytwy;
+    n += o.n;
+    sum_w += o.sum_w;
+  }
+
+  size_t p;
+  linalg::Matrix xtwx;
+  linalg::Vector xtwy;
+  double ytwy;
+  int64_t n;
+  double sum_w;
+};
+
+std::vector<double> RandomRows(Rng& rng, size_t n, size_t p) {
+  std::vector<double> rows(n * p);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i * p] = 1.0;  // intercept, like real designs
+    for (size_t j = 1; j < p; ++j) {
+      rows[i * p + j] = rng.NextDouble(-10, 10);
+    }
+  }
+  return rows;
+}
+
+void CompareToRef(const RegressionSuffStats& s, const RefSuffStats& ref) {
+  ASSERT_EQ(s.num_features(), ref.p);
+  EXPECT_EQ(s.num_examples(), ref.n);
+  ExpectClose(s.sum_weights(), ref.sum_w, "sum_w");
+  ExpectClose(s.ytwy(), ref.ytwy, "ytwy");
+  const linalg::Matrix full = s.xtwx();
+  for (size_t r = 0; r < ref.p; ++r) {
+    ExpectClose(s.xtwy()[r], ref.xtwy[r], "xtwy");
+    // The packed kernel computes the upper triangle; the reference fills
+    // both halves with (potentially ulp-asymmetric) products. Compare
+    // against the upper-triangle entry.
+    for (size_t c = r; c < ref.p; ++c) {
+      ExpectClose(full(r, c), ref.xtwx(r, c), "xtwx");
+      EXPECT_EQ(full(r, c), full(c, r)) << "unpack must be symmetric";
+    }
+  }
+}
+
+class SuffStatsEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SuffStatsEquivalenceTest, PackedAddMatchesReference) {
+  const size_t p = GetParam();
+  Rng rng(100 + p);
+  const size_t n = 257;
+  const auto rows = RandomRows(rng, n, p);
+  RegressionSuffStats packed(p);
+  RefSuffStats ref(p);
+  for (size_t i = 0; i < n; ++i) {
+    const double y = rng.NextDouble(-5, 5);
+    const double w = rng.NextDouble(0.1, 2.0);
+    packed.Add(rows.data() + i * p, y, w);
+    ref.Add(rows.data() + i * p, y, w);
+  }
+  CompareToRef(packed, ref);
+}
+
+TEST_P(SuffStatsEquivalenceTest, AddBatchMatchesSequentialAdds) {
+  const size_t p = GetParam();
+  Rng rng(200 + p);
+  // Deliberately not a multiple of 4: exercises the blocked body + tail.
+  const size_t n = 123;
+  const auto rows = RandomRows(rng, n, p);
+  std::vector<double> ys(n), ws(n);
+  for (size_t i = 0; i < n; ++i) {
+    ys[i] = rng.NextDouble(-5, 5);
+    ws[i] = rng.NextDouble(0.1, 2.0);
+  }
+
+  RegressionSuffStats batched(p);
+  batched.AddBatch(rows.data(), ys.data(), ws.data(), n);
+  RegressionSuffStats sequential(p);
+  for (size_t i = 0; i < n; ++i) {
+    sequential.Add(rows.data() + i * p, ys[i], ws[i]);
+  }
+
+  EXPECT_EQ(batched.num_examples(), sequential.num_examples());
+  ExpectClose(batched.sum_weights(), sequential.sum_weights(), "sum_w");
+  ExpectClose(batched.ytwy(), sequential.ytwy(), "ytwy");
+  for (size_t j = 0; j < p; ++j) {
+    ExpectClose(batched.xtwy()[j], sequential.xtwy()[j], "xtwy");
+  }
+  const auto& bp = batched.packed_xtwx();
+  const auto& sp = sequential.packed_xtwx();
+  ASSERT_EQ(bp.size(), sp.size());
+  for (size_t i = 0; i < bp.size(); ++i) {
+    ExpectClose(bp[i], sp[i], "packed xtwx");
+  }
+
+  // Null weights == all-ones weights, bit-exact.
+  RegressionSuffStats ols_null(p), ols_ones(p);
+  std::vector<double> ones(n, 1.0);
+  ols_null.AddBatch(rows.data(), ys.data(), nullptr, n);
+  ols_ones.AddBatch(rows.data(), ys.data(), ones.data(), n);
+  EXPECT_EQ(ols_null.packed_xtwx(), ols_ones.packed_xtwx());
+  EXPECT_EQ(ols_null.xtwy(), ols_ones.xtwy());
+  EXPECT_EQ(ols_null.ytwy(), ols_ones.ytwy());
+}
+
+TEST_P(SuffStatsEquivalenceTest, MergeIsExactFlatSum) {
+  const size_t p = GetParam();
+  Rng rng(300 + p);
+  const size_t n = 64;
+  const auto rows_a = RandomRows(rng, n, p);
+  const auto rows_b = RandomRows(rng, n, p);
+  RegressionSuffStats a(p), b(p);
+  RefSuffStats ra(p), rb(p);
+  for (size_t i = 0; i < n; ++i) {
+    const double ya = rng.NextDouble(), yb = rng.NextDouble();
+    a.Add(rows_a.data() + i * p, ya);
+    ra.Add(rows_a.data() + i * p, ya, 1.0);
+    b.Add(rows_b.data() + i * p, yb);
+    rb.Add(rows_b.data() + i * p, yb, 1.0);
+  }
+  // Exactness of the flat sum: merging packed stats must equal element-wise
+  // addition of the individual packed arrays, bit for bit.
+  std::vector<double> expect = a.packed_xtwx();
+  for (size_t i = 0; i < expect.size(); ++i) {
+    expect[i] += b.packed_xtwx()[i];
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.packed_xtwx(), expect);
+  // And it still agrees with the reference merge up to contraction drift.
+  ra.Merge(rb);
+  CompareToRef(a, ra);
+}
+
+TEST_P(SuffStatsEquivalenceTest, FromComponentsRoundTripsExactly) {
+  const size_t p = GetParam();
+  Rng rng(400 + p);
+  const size_t n = 50;
+  const auto rows = RandomRows(rng, n, p);
+  RegressionSuffStats s(p);
+  for (size_t i = 0; i < n; ++i) {
+    s.Add(rows.data() + i * p, rng.NextDouble(), rng.NextDouble(0.5, 1.5));
+  }
+  const RegressionSuffStats back = RegressionSuffStats::FromComponents(
+      s.xtwx(), s.xtwy(), s.ytwy(), s.num_examples(), s.sum_weights());
+  EXPECT_EQ(back.packed_xtwx(), s.packed_xtwx());
+  EXPECT_EQ(back.xtwy(), s.xtwy());
+  EXPECT_EQ(back.ytwy(), s.ytwy());
+  EXPECT_EQ(back.num_examples(), s.num_examples());
+  EXPECT_EQ(back.sum_weights(), s.sum_weights());
+}
+
+TEST_P(SuffStatsEquivalenceTest, PackedIndexMatchesUnpackedLayout) {
+  const size_t p = GetParam();
+  Rng rng(500 + p);
+  RegressionSuffStats s(p);
+  std::vector<double> x(p);
+  for (int i = 0; i < 20; ++i) {
+    for (auto& v : x) v = rng.NextDouble(-3, 3);
+    s.Add(x.data(), rng.NextDouble());
+  }
+  const linalg::Matrix full = s.xtwx();
+  ASSERT_EQ(s.packed_xtwx().size(), RegressionSuffStats::PackedSize(p));
+  for (size_t r = 0; r < p; ++r) {
+    for (size_t c = r; c < p; ++c) {
+      EXPECT_EQ(s.packed_xtwx()[RegressionSuffStats::PackedIndex(p, r, c)],
+                full(r, c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SuffStatsEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 13, 24));
+
+// ---- Flat CUBE rollup ----
+
+// Reference for the NumericAgg run specialization: the generic per-cell
+// skip-empty merge (identical to the pre-flattening MergeSlice body).
+void RefMergeRun(olap::NumericAgg* dst, const olap::NumericAgg* src,
+                 size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!src[i].empty()) dst[i].Merge(src[i]);
+  }
+}
+
+TEST(FlatMergeRunTest, NumericAggRunMatchesPerCellReferenceExactly) {
+  Rng rng(42);
+  // Sizes around the chunk boundary (32) plus a big sparse run.
+  for (size_t n : {0ul, 1ul, 31ul, 32ul, 33ul, 64ul, 100ul, 1000ul}) {
+    for (double density : {0.0, 0.05, 0.5, 1.0}) {
+      std::vector<olap::NumericAgg> src(n), dst(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.NextDouble() < density) {
+          const int k = 1 + static_cast<int>(rng.NextUint64(3));
+          for (int j = 0; j < k; ++j) src[i].Add(rng.NextDouble(-100, 100));
+        }
+        if (rng.NextDouble() < density) {
+          dst[i].Add(rng.NextDouble(-100, 100));
+        }
+      }
+      std::vector<olap::NumericAgg> expect = dst;
+      RefMergeRun(expect.data(), src.data(), n);
+      olap::detail::MergeAccRun(dst.data(), src.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(dst[i].sum, expect[i].sum);
+        EXPECT_EQ(dst[i].count, expect[i].count);
+        EXPECT_EQ(dst[i].min, expect[i].min);
+        EXPECT_EQ(dst[i].max, expect[i].max);
+      }
+    }
+  }
+}
+
+TEST(FlatMergeRunTest, FkSetAggRunMatchesReference) {
+  Rng rng(43);
+  const size_t n = 100;
+  std::vector<olap::FkSetAgg> src(n), dst(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int k = static_cast<int>(rng.NextUint64(5));
+    for (int j = 0; j < k; ++j) {
+      src[i].Add(static_cast<int64_t>(rng.NextUint64(20)));
+    }
+    if (rng.NextDouble() < 0.5) {
+      dst[i].Add(static_cast<int64_t>(rng.NextUint64(20)));
+    }
+  }
+  std::vector<olap::FkSetAgg> expect = dst;
+  for (size_t i = 0; i < n; ++i) {
+    if (!src[i].empty()) expect[i].Merge(src[i]);
+  }
+  olap::detail::MergeAccRun(dst.data(), src.data(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(dst[i].keys, expect[i].keys);
+}
+
+// End-to-end rollup oracle: aggregate every draw directly into every
+// containing region and compare against the cube after Rollup(). count/min/
+// max are exact (order-independent); sum is compared within the
+// contraction/reassociation bound because the rollup tree adds partial sums
+// in a different order than direct accumulation.
+TEST(FlatRollupTest, RollupMatchesContainingRegionOracle) {
+  std::vector<olap::Dimension> dims;
+  dims.emplace_back(olap::IntervalDimension("Time", 6));
+  dims.emplace_back(
+      datagen::BuildBalancedHierarchy("Loc", "All", {3, 3}, "L"));
+  olap::RegionSpace space(std::move(dims));
+  const auto& loc = std::get<olap::HierarchicalDimension>(space.dim(1));
+  const auto& leaves = loc.leaves();
+
+  const int32_t items = 7;
+  olap::RegionItemCube<olap::NumericAgg> cube(&space, items);
+  std::vector<std::vector<olap::NumericAgg>> oracle(
+      space.NumRegions(), std::vector<olap::NumericAgg>(items));
+  Rng rng(44);
+  for (int draw = 0; draw < 500; ++draw) {
+    const int32_t item = static_cast<int32_t>(rng.NextUint64(items));
+    const olap::PointCoords point{
+        static_cast<int32_t>(1 + rng.NextUint64(6)),
+        leaves[rng.NextUint64(leaves.size())]};
+    const double v = rng.NextDouble(-50, 50);
+    cube.BaseCell(point, item).Add(v);
+    space.ForEachContainingRegion(
+        point, [&](olap::RegionId r) { oracle[r][item].Add(v); });
+  }
+  cube.Rollup();
+  for (olap::RegionId r = 0; r < space.NumRegions(); ++r) {
+    for (int32_t i = 0; i < items; ++i) {
+      const auto& got = cube.Cell(r, i);
+      const auto& want = oracle[r][i];
+      EXPECT_EQ(got.count, want.count) << "region " << r << " item " << i;
+      EXPECT_EQ(got.min, want.min);
+      EXPECT_EQ(got.max, want.max);
+      const double scale =
+          std::max({std::abs(got.sum), std::abs(want.sum), 1.0});
+      EXPECT_LE(std::abs(got.sum - want.sum), 1e-10 * scale);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bellwether

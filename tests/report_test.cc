@@ -352,6 +352,24 @@ TEST(BenchDiffTest, AllocDriftIsReportedAndFailsOnlyWithTheOption) {
   EXPECT_TRUE(CompareRunReports(old_run, new_run, strict).failed);
 }
 
+TEST(BenchDiffTest, AllocDecreaseIsReportedButNeverFails) {
+  // The gate is one-sided: an intentional alloc-count improvement (arena
+  // reuse, batching) is reported for visibility but must not fail even
+  // with fail_on_alloc_drift, so it re-baselines on the next upload.
+  RunReport old_run = TimedReport(1.0);
+  old_run.set_profile(MakeProfileSection(2000));
+  RunReport new_run = TimedReport(1.0);
+  new_run.set_profile(MakeProfileSection(500));
+
+  BenchDiffOptions strict;
+  strict.fail_on_alloc_drift = true;
+  const BenchDiffResult diff = CompareRunReports(old_run, new_run, strict);
+  ASSERT_EQ(diff.entries.size(), 1u) << diff.Summary();
+  EXPECT_EQ(diff.entries[0].kind, BenchDiffKind::kAllocDrift);
+  EXPECT_NEAR(diff.entries[0].ratio, 0.25, 1e-9);
+  EXPECT_FALSE(diff.failed) << diff.Summary();
+}
+
 TEST(BenchDiffTest, AllocDriftBelowTheCallFloorIsIgnored) {
   // 10 -> 30 calls is 3x but both sit under kAllocDriftFloorCalls; phases
   // that barely allocate must not jitter the gate.
