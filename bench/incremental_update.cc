@@ -1,0 +1,244 @@
+// Incremental-maintenance bench: builds a bellwether cube once through the
+// BellwetherState delta path, then folds in a small batch of late-arriving
+// fact rows — all rows of a few items, well under 1% of the data, the
+// "corrected facts for these products" workload — with ApplyDelta +
+// Finalize, and compares that against a from-scratch single-scan rebuild
+// over the same rows. Reports the delta-vs-rebuild speedup and the
+// dirty-cell reuse counters, and exits non-zero unless the maintained cube
+// is bit-identical to the rebuild — the same determinism contract
+// tests/state_delta_test.cc enforces.
+//
+//   ./build/bench/incremental_update --scale=0.25 \
+//       --report-out=BENCH_incremental_update.json
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/bellwether_cube.h"
+#include "core/bellwether_state.h"
+#include "core/model_io.h"
+#include "datagen/simulation.h"
+#include "obs/metrics.h"
+#include "storage/training_data.h"
+
+namespace {
+
+using namespace bellwether;         // NOLINT
+using namespace bellwether::bench;  // NOLINT
+
+storage::RegionTrainingSet SliceRows(const storage::RegionTrainingSet& set,
+                                     size_t begin, size_t end) {
+  storage::RegionTrainingSet out;
+  out.region = set.region;
+  out.num_features = set.num_features;
+  const size_t p = static_cast<size_t>(set.num_features);
+  for (size_t i = begin; i < end; ++i) {
+    out.items.push_back(set.items[i]);
+    out.targets.push_back(set.targets[i]);
+    for (size_t j = 0; j < p; ++j) {
+      out.features.push_back(set.features[i * p + j]);
+    }
+    if (!set.weights.empty()) out.weights.push_back(set.weights[i]);
+  }
+  return out;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::string out;
+  if (FILE* f = std::fopen(path.c_str(), "rb")) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    std::fclose(f);
+  }
+  return out;
+}
+
+/// Saves the cube and returns the artifact bytes (the comparison the
+/// determinism tests make).
+std::string ArtifactBytes(const core::BellwetherCube& cube,
+                          const std::string& path) {
+  const Status st = core::SaveBellwetherCube(cube, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cube save failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  std::string bytes = ReadAll(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchRunner runner(argc, argv, "incremental_update",
+                     "ApplyDelta maintenance vs a from-scratch rebuild");
+  const double scale = FlagDouble(argc, argv, "scale", 1.0);
+  const auto delta_items = static_cast<int32_t>(
+      FlagDouble(argc, argv, "delta-items", 2.0));
+  runner.report().SetConfig("scale", scale);
+  runner.report().SetConfig("delta_items", static_cast<int64_t>(delta_items));
+
+  datagen::SimulationConfig sim_config;
+  sim_config.num_items = static_cast<int32_t>(1200 * scale);
+  sim_config.generator_tree_nodes = 15;
+  sim_config.noise = 0.3;
+  sim_config.num_windows = 4;
+  sim_config.location_fanouts = {3, 3};
+  sim_config.seed = 2006;
+  runner.report().SetConfig("seed", static_cast<int64_t>(sim_config.seed));
+  datagen::SimulationDataset sim;
+  runner.TimePhase("datagen", [&] {
+    sim = datagen::GenerateSimulation(sim_config);
+  });
+
+  // Split out the rows of the first `delta_items` items as the late batch.
+  // Dirty-cell reuse depends on the delta being localized in the item
+  // lattice — only the subsets containing these items need re-derivation.
+  // Relative row order is preserved on both sides of the split, so a
+  // single-scan rebuild over base-then-delta per region is the exact
+  // ground truth for the maintained state.
+  std::vector<storage::RegionTrainingSet> base, delta, rebuilt_sets;
+  size_t total_rows = 0, delta_rows = 0;
+  for (const auto& set : sim.sets) {
+    const size_t n = set.targets.size();
+    storage::RegionTrainingSet head = SliceRows(set, 0, 0);
+    storage::RegionTrainingSet tail = SliceRows(set, 0, 0);
+    const size_t p = static_cast<size_t>(set.num_features);
+    for (size_t i = 0; i < n; ++i) {
+      storage::RegionTrainingSet& side =
+          set.items[i] < delta_items ? tail : head;
+      side.items.push_back(set.items[i]);
+      side.targets.push_back(set.targets[i]);
+      for (size_t j = 0; j < p; ++j) {
+        side.features.push_back(set.features[i * p + j]);
+      }
+      if (!set.weights.empty()) side.weights.push_back(set.weights[i]);
+    }
+    storage::RegionTrainingSet both = head;
+    both.items.insert(both.items.end(), tail.items.begin(), tail.items.end());
+    both.targets.insert(both.targets.end(), tail.targets.begin(),
+                        tail.targets.end());
+    both.features.insert(both.features.end(), tail.features.begin(),
+                         tail.features.end());
+    both.weights.insert(both.weights.end(), tail.weights.begin(),
+                        tail.weights.end());
+    rebuilt_sets.push_back(std::move(both));
+    delta_rows += tail.targets.size();
+    total_rows += n;
+    if (!head.targets.empty()) base.push_back(std::move(head));
+    if (!tail.targets.empty()) delta.push_back(std::move(tail));
+  }
+  runner.report().SetCount("rows_total", static_cast<int64_t>(total_rows));
+  runner.report().SetCount("rows_delta", static_cast<int64_t>(delta_rows));
+
+  auto subsets = core::ItemSubsetSpace::Create(sim.items,
+                                               sim.item_hierarchies);
+  if (!subsets.ok()) {
+    std::fprintf(stderr, "%s\n", subsets.status().ToString().c_str());
+    return 1;
+  }
+  core::CubeBuildConfig config;
+  config.min_subset_size = 20;
+  config.min_examples_per_model = 8;
+
+  // ---- Base build through the state (the "build once" half) ----
+  core::BellwetherState::Options options;
+  options.config = config;
+  auto state = core::BellwetherState::Init(*subsets, options);
+  if (!state.ok()) {
+    std::fprintf(stderr, "%s\n", state.status().ToString().c_str());
+    return 1;
+  }
+  Result<core::BellwetherCube> base_cube = Status::OK();
+  runner.TimePhase("base_build", [&] {
+    Status st = (*state)->ApplyDelta(base);
+    if (st.ok()) {
+      base_cube = (*state)->Finalize();
+    } else {
+      base_cube = st;
+    }
+  });
+  if (!base_cube.ok()) {
+    std::fprintf(stderr, "%s\n", base_cube.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- From-scratch rebuild over all rows (what the delta path replaces) --
+  storage::MemoryTrainingData full_source(std::move(rebuilt_sets));
+  Result<core::BellwetherCube> rebuilt = Status::OK();
+  const double rebuild_seconds = runner.TimePhase("full_rebuild", [&] {
+    rebuilt = core::BuildBellwetherCubeSingleScan(&full_source, *subsets,
+                                                  config);
+  });
+  if (!rebuilt.ok()) {
+    std::fprintf(stderr, "%s\n", rebuilt.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- Incremental maintenance: fold in the delta, re-finalize ----
+  auto* rederived =
+      obs::DefaultMetrics().GetCounter(obs::kMStateCellsRederived);
+  auto* reused = obs::DefaultMetrics().GetCounter(obs::kMStateCellsReused);
+  const int64_t rederived_before = rederived->Value();
+  const int64_t reused_before = reused->Value();
+  Result<core::BellwetherCube> maintained = Status::OK();
+  const double apply_seconds = runner.TimePhase("delta_apply", [&] {
+    const Status st = (*state)->ApplyDelta(std::move(delta));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  });
+  const double finalize_seconds = runner.TimePhase("delta_finalize", [&] {
+    maintained = (*state)->Finalize();
+  });
+  if (!maintained.ok()) {
+    std::fprintf(stderr, "%s\n", maintained.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t cells_rederived = rederived->Value() - rederived_before;
+  const int64_t cells_reused = reused->Value() - reused_before;
+
+  // ---- Bit-identity: maintained artifact == rebuilt artifact ----
+  // The saved cube carries every cell (subset, region, error, model, CV
+  // stats), so byte equality is the full content contract. The reports'
+  // logical sections differ only in the builder name ("cube_state" vs
+  // "cube_single_scan"); their state-vs-state equality is covered by
+  // tests/state_delta_test.cc.
+  const std::string tmp = "/tmp/bw_incremental_update.bwc";
+  const bool identical =
+      ArtifactBytes(*maintained, tmp) == ArtifactBytes(*rebuilt, tmp);
+
+  const double delta_seconds = apply_seconds + finalize_seconds;
+  const double speedup =
+      delta_seconds > 0 ? rebuild_seconds / delta_seconds : 0.0;
+  Row({"Path", "Time(s)", "Cells", "Rows"});
+  Row({"rebuild", Fmt(rebuild_seconds, "%.3f"),
+       Fmt(static_cast<double>(rebuilt->cells().size()), "%.0f"),
+       Fmt(static_cast<double>(total_rows), "%.0f")});
+  Row({"delta", Fmt(delta_seconds, "%.3f"),
+       Fmt(static_cast<double>(cells_rederived), "%.0f"),
+       Fmt(static_cast<double>(delta_rows), "%.0f")});
+  std::printf("\ndelta rows=%zu/%zu, cells rederived=%lld reused=%lld, "
+              "speedup=%.1fx, identical=%s\n",
+              delta_rows, total_rows, static_cast<long long>(cells_rederived),
+              static_cast<long long>(cells_reused), speedup,
+              identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "determinism violation: ApplyDelta-maintained cube differs "
+                 "from the from-scratch rebuild\n");
+    return 1;
+  }
+
+  runner.report().SetCount("cells_rederived", cells_rederived);
+  runner.report().SetCount("cells_reused", cells_reused);
+  runner.report().SetCount("identical_to_rebuild", identical ? 1 : 0);
+  runner.report().SetValue("delta_speedup", speedup);
+  return runner.Finish();
+}

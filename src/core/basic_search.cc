@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/eval_util.h"
+#include "core/search_internal.h"
 #include "exec/parallel.h"
 #include "obs/logger.h"
 #include "obs/metrics.h"
@@ -39,9 +40,8 @@ double BasicSearchResult::FractionIndistinguishable(double confidence) const {
                    : 0.0;
 }
 
-namespace {
+namespace internal {
 
-// Scores one region's training set; sets `score->usable`.
 void ScoreRegion(const storage::RegionTrainingSet& set,
                  const BasicSearchOptions& options,
                  const std::vector<uint8_t>* item_mask, RegionScore* score) {
@@ -61,14 +61,9 @@ void ScoreRegion(const storage::RegionTrainingSet& set,
   score->usable = true;
 }
 
-// Refits the winning model from its training set through the graceful-
-// degradation chain: a healthy fit is bit-identical to the historical
-// FitLeastSquares path, and an ill-conditioned one yields a flagged
-// degraded model instead of failing the whole search.
-Status RefitModel(storage::TrainingDataSource* source, size_t index,
-                  const std::vector<uint8_t>* item_mask,
-                  BasicSearchResult* result) {
-  BW_ASSIGN_OR_RETURN(storage::RegionTrainingSet set, source->Read(index));
+Status RefitModelFromSet(const storage::RegionTrainingSet& set,
+                         const std::vector<uint8_t>* item_mask,
+                         BasicSearchResult* result) {
   const regression::Dataset data = ToDataset(set, item_mask);
   regression::RegressionSuffStats stats(data.num_features());
   stats.AddDataset(data);
@@ -87,6 +82,19 @@ Status RefitModel(storage::TrainingDataSource* source, size_t index,
         << set.region;
   }
   return Status::OK();
+}
+
+}  // namespace internal
+
+namespace {
+
+// Refits the winning model by reading its training set back from the
+// source, then delegating to the shared degradation chain.
+Status RefitModel(storage::TrainingDataSource* source, size_t index,
+                  const std::vector<uint8_t>* item_mask,
+                  BasicSearchResult* result) {
+  BW_ASSIGN_OR_RETURN(storage::RegionTrainingSet set, source->Read(index));
+  return internal::RefitModelFromSet(set, item_mask, result);
 }
 
 // Registry counters mirrored alongside the per-search SearchTelemetry;
@@ -112,10 +120,10 @@ const SearchMetrics& Metrics() {
   return m;
 }
 
-// Fills the flight-recorder document on a finished search result. The
-// config section deliberately omits options.exec.num_threads: logical
-// sections (and the fingerprint) must match between serial and parallel
-// runs of the same search.
+}  // namespace
+
+namespace internal {
+
 void FillSearchReport(std::string_view name,
                       const BasicSearchOptions& options,
                       BasicSearchResult* result) {
@@ -145,7 +153,7 @@ void FillSearchReport(std::string_view name,
   r.AddPhase("search.scan", t.scan_seconds);
 }
 
-}  // namespace
+}  // namespace internal
 
 Result<BasicSearchResult> RunBasicBellwetherSearch(
     storage::TrainingDataSource* source, const BasicSearchOptions& options,
@@ -183,7 +191,7 @@ Result<BasicSearchResult> RunBasicBellwetherSearch(
                 RegionScore score;
                 score.source_index = source_index;
                 Stopwatch fit_watch;
-                ScoreRegion(s, options, item_mask, &score);
+                internal::ScoreRegion(s, options, item_mask, &score);
                 Metrics().fit_seconds->Observe(fit_watch.ElapsedSeconds());
                 return score;
               };
@@ -235,7 +243,7 @@ Result<BasicSearchResult> RunBasicBellwetherSearch(
         source, result.scores[result.bellwether_index].source_index,
         item_mask, &result));
   }
-  FillSearchReport("basic_search", options, &result);
+  internal::FillSearchReport("basic_search", options, &result);
   return result;
 }
 

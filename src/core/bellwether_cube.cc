@@ -7,13 +7,11 @@
 
 #include "common/check.h"
 #include "common/random.h"
-#include "common/stopwatch.h"
-#include "exec/parallel.h"
+#include "core/bellwether_state.h"
+#include "core/cube_build_internal.h"
 #include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "robust/checkpoint.h"
-#include "robust/fault_injection.h"
 
 namespace bellwether::core {
 
@@ -25,68 +23,6 @@ using olap::HierarchicalDimension;
 using olap::NodeId;
 using regression::RegressionSuffStats;
 using storage::RegionTrainingSet;
-
-// Best region tracked across regions for one subset. Besides the min-error
-// candidate, tracks a *fallback* candidate — the region with the most
-// examples for the subset (ties to the earliest region) — so a subset where
-// every region's error is infinite can still get a flagged degraded cell.
-// Both candidates depend only on the sequence of Offer() calls, which all
-// three builders issue in ascending region order, so cube equivalence
-// (Lemma 2 / Theorem 1) is preserved.
-struct Pick {
-  double error = kInf;
-  olap::RegionId region = olap::kInvalidRegion;
-  RegressionSuffStats stats;
-  olap::RegionId fallback_region = olap::kInvalidRegion;
-  int64_t fallback_examples = -1;
-  RegressionSuffStats fallback_stats;
-
-  void Offer(double err, olap::RegionId r, const RegressionSuffStats& s) {
-    if (err < error) {
-      error = err;
-      region = r;
-      stats = s;
-    }
-    if (s.num_examples() > fallback_examples) {
-      fallback_examples = s.num_examples();
-      fallback_region = r;
-      fallback_stats = s;
-    }
-  }
-};
-
-// Sizes |S| of all cube subsets, counting masked items only.
-std::vector<int32_t> SubsetSizes(const ItemSubsetSpace& subsets,
-                                 const std::vector<uint8_t>* item_mask) {
-  std::vector<int32_t> sizes(subsets.NumSubsets(), 0);
-  for (int32_t i = 0; i < subsets.num_items(); ++i) {
-    if (item_mask != nullptr && (static_cast<size_t>(i) >= item_mask->size() ||
-                                 (*item_mask)[i] == 0)) {
-      continue;
-    }
-    subsets.ForEachContainingSubset(i, [&](SubsetId s) { ++sizes[s]; });
-  }
-  return sizes;
-}
-
-// Significant subsets (|S| >= K), ascending SubsetId — the iceberg cube
-// query over the item table (§6.3).
-std::vector<SubsetId> SignificantSubsets(const std::vector<int32_t>& sizes,
-                                         int32_t min_size) {
-  std::vector<SubsetId> out;
-  for (size_t s = 0; s < sizes.size(); ++s) {
-    if (sizes[s] >= std::max(min_size, 1)) {
-      out.push_back(static_cast<SubsetId>(s));
-    }
-  }
-  return out;
-}
-
-bool ItemMasked(const std::vector<uint8_t>* item_mask, int32_t item) {
-  return item_mask != nullptr &&
-         (static_cast<size_t>(item) >= item_mask->size() ||
-          (*item_mask)[item] == 0);
-}
 
 // Registry counters mirrored alongside the per-build CubeBuildTelemetry;
 // resolved once and cached (registry pointers are stable).
@@ -108,102 +44,186 @@ const CubeMetrics& Metrics() {
   return m;
 }
 
-// Converts per-subset picks into the final cube, optionally attaching
-// cross-validated error statistics for the confidence-bound prediction rule.
-// Completes and attaches `telemetry` (cells, wall time from `build_watch`)
-// and the flight-recorder report (named after `builder_name`).
-Result<BellwetherCube> FinalizeCube(
-    std::string_view builder_name, storage::TrainingDataSource* source,
+// In-place lattice rollup of per-subset sufficient statistics: child node
+// merges into parent, one hierarchy at a time (the data-cube computation of
+// Observation 1 / Theorem 1).
+void RollupSubsetStats(const olap::RegionSpace& space,
+                       std::vector<RegressionSuffStats>* stats) {
+  const size_t nd = space.num_dims();
+  std::vector<int32_t> cards(nd);
+  std::vector<int64_t> strides(nd, 1);
+  for (size_t d = 0; d < nd; ++d) {
+    cards[d] = olap::DimensionCardinality(space.dim(d));
+  }
+  for (size_t d = nd - 1; d-- > 0;) strides[d] = strides[d + 1] * cards[d + 1];
+  const int64_t total = space.NumRegions();
+  for (size_t d = 0; d < nd; ++d) {
+    const auto& h = std::get<HierarchicalDimension>(space.dim(d));
+    const int64_t stride = strides[d];
+    const int64_t block = stride * cards[d];
+    for (NodeId n : h.NodesBottomUp()) {
+      if (n == h.root()) continue;
+      const NodeId parent = h.parent(n);
+      for (int64_t hi = 0; hi < total; hi += block) {
+        for (int64_t lo = 0; lo < stride; ++lo) {
+          RegressionSuffStats& src = (*stats)[hi + n * stride + lo];
+          if (src.empty()) continue;
+          (*stats)[hi + parent * stride + lo].Merge(src);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+std::vector<int32_t> SubsetSizes(const ItemSubsetSpace& subsets,
+                                 const std::vector<uint8_t>* item_mask) {
+  std::vector<int32_t> sizes(subsets.NumSubsets(), 0);
+  for (int32_t i = 0; i < subsets.num_items(); ++i) {
+    if (item_mask != nullptr && (static_cast<size_t>(i) >= item_mask->size() ||
+                                 (*item_mask)[i] == 0)) {
+      continue;
+    }
+    subsets.ForEachContainingSubset(i, [&](SubsetId s) { ++sizes[s]; });
+  }
+  return sizes;
+}
+
+std::vector<SubsetId> SignificantSubsets(const std::vector<int32_t>& sizes,
+                                         int32_t min_size) {
+  std::vector<SubsetId> out;
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    if (sizes[s] >= std::max(min_size, 1)) {
+      out.push_back(static_cast<SubsetId>(s));
+    }
+  }
+  return out;
+}
+
+bool ItemMasked(const std::vector<uint8_t>* item_mask, int32_t item) {
+  return item_mask != nullptr &&
+         (static_cast<size_t>(item) >= item_mask->size() ||
+          (*item_mask)[item] == 0);
+}
+
+RegionRowsVisitor SourceRowsVisitor(storage::TrainingDataSource* source) {
+  // region -> source index, sorted once; shared so the visitor is copyable.
+  auto region_index =
+      std::make_shared<std::vector<std::pair<olap::RegionId, size_t>>>();
+  const auto ids = source->RegionIds();
+  region_index->reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    region_index->emplace_back(ids[i], i);
+  }
+  std::sort(region_index->begin(), region_index->end());
+  return [source, region_index](
+             olap::RegionId region,
+             const std::function<Status(const RegionTrainingSet&)>& fn)
+             -> Status {
+    auto it = std::lower_bound(region_index->begin(), region_index->end(),
+                               std::make_pair(region, size_t{0}));
+    if (it == region_index->end() || it->first != region) {
+      return Status::OK();  // region not materialized: cell goes without CV
+    }
+    BW_ASSIGN_OR_RETURN(RegionTrainingSet set, source->Read(it->second));
+    return fn(set);
+  };
+}
+
+Result<CubeCell> BuildCubeCell(SubsetId sid, int32_t subset_size,
+                               const Pick& pick, const CubeBuildConfig& config,
+                               const std::vector<uint8_t>* item_mask,
+                               const ItemSubsetSpace& subsets,
+                               const RegionRowsVisitor& rows) {
+  CubeCell cell;
+  cell.subset = sid;
+  cell.subset_size = subset_size;
+  if (pick.region != olap::kInvalidRegion && pick.error < kCubeInf) {
+    // Graceful degradation: a healthy fit is bit-identical to the plain
+    // Fit() path; an ill-conditioned pick yields a flagged degraded model
+    // instead of a model-less cell.
+    auto fit = pick.stats.FitWithFallback();
+    if (fit.ok()) {
+      cell.has_model = true;
+      cell.region = pick.region;
+      cell.error = pick.error;
+      cell.model = std::move(fit.value().model);
+      cell.degradation = fit.value().degradation;
+    }
+  }
+  if (!cell.has_model && pick.fallback_region != olap::kInvalidRegion &&
+      pick.fallback_examples > 0) {
+    // No region produced a finite error for this subset; fall back to the
+    // region with the most examples so the cell still answers queries,
+    // clearly flagged (error = inf, fallback_pick = true).
+    auto fit = pick.fallback_stats.FitWithFallback();
+    if (fit.ok()) {
+      cell.has_model = true;
+      cell.fallback_pick = true;
+      cell.region = pick.fallback_region;
+      cell.error = kCubeInf;
+      cell.model = std::move(fit.value().model);
+      cell.degradation = fit.value().degradation;
+    }
+  }
+  if (cell.has_model && config.compute_cv_stats && rows != nullptr) {
+    BW_RETURN_IF_ERROR(
+        rows(cell.region, [&](const RegionTrainingSet& set) -> Status {
+          regression::Dataset data(set.num_features);
+          std::vector<double> row(set.num_features);
+          for (size_t r = 0; r < set.num_examples(); ++r) {
+            const int32_t item = set.items[r];
+            if (ItemMasked(item_mask, item)) continue;
+            if (!subsets.SubsetContainsItem(sid, item)) continue;
+            row.assign(set.row(r), set.row(r) + set.num_features);
+            if (set.weighted()) {
+              data.AddWeighted(row, set.targets[r], set.weight(r));
+            } else {
+              data.Add(row, set.targets[r]);
+            }
+          }
+          Rng rng(RegionSeed(config.seed ^ static_cast<uint64_t>(sid),
+                             cell.region));
+          auto cv =
+              regression::CrossValidationError(data, config.cv_folds, &rng);
+          if (cv.ok()) {
+            cell.cv = *cv;
+            cell.has_cv = true;
+          }
+          return Status::OK();
+        }));
+  }
+  return cell;
+}
+
+Result<BellwetherCube> AssembleCube(
+    std::string_view builder_name,
     std::shared_ptr<const ItemSubsetSpace> subsets,
-    const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask,
-    const std::vector<int32_t>& sizes,
-    const std::vector<SubsetId>& significant, std::vector<Pick> picks,
+    const CubeBuildConfig& config, std::vector<CubeCell> cells,
     CubeBuildTelemetry telemetry, const Stopwatch& build_watch) {
   std::vector<int64_t> cell_of(subsets->NumSubsets(), -1);
-  std::vector<CubeCell> cells;
-  cells.reserve(significant.size());
-
-  // region -> source index, for the CV post-pass.
-  std::vector<std::pair<olap::RegionId, size_t>> region_index;
-  if (config.compute_cv_stats) {
-    const auto ids = source->RegionIds();
-    for (size_t i = 0; i < ids.size(); ++i) {
-      region_index.emplace_back(ids[i], i);
-    }
-    std::sort(region_index.begin(), region_index.end());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    cell_of[cells[i].subset] = static_cast<int64_t>(i);
   }
-
-  for (size_t k = 0; k < significant.size(); ++k) {
-    const SubsetId sid = significant[k];
-    CubeCell cell;
-    cell.subset = sid;
-    cell.subset_size = sizes[sid];
-    Pick& pick = picks[k];
-    if (pick.region != olap::kInvalidRegion && pick.error < kInf) {
-      // Graceful degradation: a healthy fit is bit-identical to the plain
-      // Fit() path; an ill-conditioned pick yields a flagged degraded model
-      // instead of a model-less cell.
-      auto fit = pick.stats.FitWithFallback();
-      if (fit.ok()) {
-        cell.has_model = true;
-        cell.region = pick.region;
-        cell.error = pick.error;
-        cell.model = std::move(fit.value().model);
-        cell.degradation = fit.value().degradation;
-      }
-    }
-    if (!cell.has_model && pick.fallback_region != olap::kInvalidRegion &&
-        pick.fallback_examples > 0) {
-      // No region produced a finite error for this subset; fall back to the
-      // region with the most examples so the cell still answers queries,
-      // clearly flagged (error = inf, fallback_pick = true).
-      auto fit = pick.fallback_stats.FitWithFallback();
-      if (fit.ok()) {
-        cell.has_model = true;
-        cell.fallback_pick = true;
-        cell.region = pick.fallback_region;
-        cell.error = kInf;
-        cell.model = std::move(fit.value().model);
-        cell.degradation = fit.value().degradation;
-        ++telemetry.fallback_picks;
-      }
-    }
+  // The degradation counters are a pure function of the finished cells, so
+  // recounting here keeps them correct no matter how the cells were derived
+  // (fresh scan, or a mix of re-derived and cached cells on the incremental
+  // path).
+  telemetry.ridge_refits = 0;
+  telemetry.mean_fallbacks = 0;
+  telemetry.fallback_picks = 0;
+  for (const CubeCell& cell : cells) {
+    if (cell.fallback_pick) ++telemetry.fallback_picks;
     if (cell.degradation == regression::FitDegradation::kRidge) {
       ++telemetry.ridge_refits;
     } else if (cell.degradation == regression::FitDegradation::kMeanFallback) {
       ++telemetry.mean_fallbacks;
     }
-    if (cell.has_model && config.compute_cv_stats) {
-      auto it = std::lower_bound(region_index.begin(), region_index.end(),
-                                 std::make_pair(cell.region, size_t{0}));
-      if (it != region_index.end() && it->first == cell.region) {
-        BW_ASSIGN_OR_RETURN(RegionTrainingSet set, source->Read(it->second));
-        regression::Dataset data(set.num_features);
-        std::vector<double> row(set.num_features);
-        for (size_t r = 0; r < set.num_examples(); ++r) {
-          const int32_t item = set.items[r];
-          if (ItemMasked(item_mask, item)) continue;
-          if (!subsets->SubsetContainsItem(sid, item)) continue;
-          row.assign(set.row(r), set.row(r) + set.num_features);
-          if (set.weighted()) {
-            data.AddWeighted(row, set.targets[r], set.weight(r));
-          } else {
-            data.Add(row, set.targets[r]);
-          }
-        }
-        Rng rng(RegionSeed(config.seed ^ static_cast<uint64_t>(sid),
-                           cell.region));
-        auto cv = regression::CrossValidationError(data, config.cv_folds, &rng);
-        if (cv.ok()) {
-          cell.cv = *cv;
-          cell.has_cv = true;
-        }
-      }
-    }
-    cell_of[sid] = static_cast<int64_t>(cells.size());
-    cells.push_back(std::move(cell));
   }
-  telemetry.significant_subsets = static_cast<int64_t>(significant.size());
+  telemetry.significant_subsets = static_cast<int64_t>(cells.size());
   telemetry.cells_materialized = static_cast<int64_t>(cells.size());
   telemetry.build_seconds = build_watch.ElapsedSeconds();
   Metrics().significant->Increment(telemetry.significant_subsets);
@@ -243,35 +263,37 @@ Result<BellwetherCube> FinalizeCube(
   return cube;
 }
 
-// In-place lattice rollup of per-subset sufficient statistics: child node
-// merges into parent, one hierarchy at a time (the data-cube computation of
-// Observation 1 / Theorem 1).
-void RollupSubsetStats(const olap::RegionSpace& space,
-                       std::vector<RegressionSuffStats>* stats) {
-  const size_t nd = space.num_dims();
-  std::vector<int32_t> cards(nd);
-  std::vector<int64_t> strides(nd, 1);
-  for (size_t d = 0; d < nd; ++d) {
-    cards[d] = olap::DimensionCardinality(space.dim(d));
+}  // namespace internal
+
+namespace {
+
+// Converts per-subset picks into the final cube: the cell-derivation and
+// assembly phases back-to-back, for the one-shot builders that still hold
+// their picks in a local vector.
+Result<BellwetherCube> FinalizeCube(
+    std::string_view builder_name, storage::TrainingDataSource* source,
+    std::shared_ptr<const ItemSubsetSpace> subsets,
+    const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask,
+    const std::vector<int32_t>& sizes,
+    const std::vector<SubsetId>& significant,
+    std::vector<internal::Pick> picks, CubeBuildTelemetry telemetry,
+    const Stopwatch& build_watch) {
+  internal::RegionRowsVisitor rows;
+  if (config.compute_cv_stats) {
+    rows = internal::SourceRowsVisitor(source);
   }
-  for (size_t d = nd - 1; d-- > 0;) strides[d] = strides[d + 1] * cards[d + 1];
-  const int64_t total = space.NumRegions();
-  for (size_t d = 0; d < nd; ++d) {
-    const auto& h = std::get<HierarchicalDimension>(space.dim(d));
-    const int64_t stride = strides[d];
-    const int64_t block = stride * cards[d];
-    for (NodeId n : h.NodesBottomUp()) {
-      if (n == h.root()) continue;
-      const NodeId parent = h.parent(n);
-      for (int64_t hi = 0; hi < total; hi += block) {
-        for (int64_t lo = 0; lo < stride; ++lo) {
-          RegressionSuffStats& src = (*stats)[hi + n * stride + lo];
-          if (src.empty()) continue;
-          (*stats)[hi + parent * stride + lo].Merge(src);
-        }
-      }
-    }
+  std::vector<CubeCell> cells;
+  cells.reserve(significant.size());
+  for (size_t k = 0; k < significant.size(); ++k) {
+    const SubsetId sid = significant[k];
+    BW_ASSIGN_OR_RETURN(
+        CubeCell cell,
+        internal::BuildCubeCell(sid, sizes[sid], picks[k], config, item_mask,
+                                *subsets, rows));
+    cells.push_back(std::move(cell));
   }
+  return internal::AssembleCube(builder_name, std::move(subsets), config,
+                                std::move(cells), telemetry, build_watch);
 }
 
 }  // namespace
@@ -397,10 +419,11 @@ Result<BellwetherCube> BuildBellwetherCubeNaive(
   obs::TraceSpan span("BuildBellwetherCubeNaive", "cube");
   Stopwatch build_watch;
   CubeBuildTelemetry telemetry;
-  const std::vector<int32_t> sizes = SubsetSizes(*subsets, item_mask);
+  const std::vector<int32_t> sizes =
+      internal::SubsetSizes(*subsets, item_mask);
   const std::vector<SubsetId> significant =
-      SignificantSubsets(sizes, config.min_subset_size);
-  std::vector<Pick> picks(significant.size());
+      internal::SignificantSubsets(sizes, config.min_subset_size);
+  std::vector<internal::Pick> picks(significant.size());
   const size_t num_sets = source->num_region_sets();
 
   std::vector<uint8_t> member(subsets->num_items(), 0);
@@ -408,7 +431,7 @@ Result<BellwetherCube> BuildBellwetherCubeNaive(
     const SubsetId sid = significant[k];
     ++telemetry.data_passes;
     for (int32_t i = 0; i < subsets->num_items(); ++i) {
-      member[i] = !ItemMasked(item_mask, i) &&
+      member[i] = !internal::ItemMasked(item_mask, i) &&
                   subsets->SubsetContainsItem(sid, i);
     }
     // One basic bellwether search for this subset: read every region.
@@ -435,206 +458,21 @@ Result<BellwetherCube> BuildBellwetherCubeSingleScan(
     std::shared_ptr<const ItemSubsetSpace> subsets,
     const CubeBuildConfig& config, const std::vector<uint8_t>* item_mask) {
   obs::TraceSpan span("BuildBellwetherCubeSingleScan", "cube");
-  Stopwatch build_watch;
-  CubeBuildTelemetry telemetry;
-  const std::vector<int32_t> sizes = SubsetSizes(*subsets, item_mask);
-  const std::vector<SubsetId> significant =
-      SignificantSubsets(sizes, config.min_subset_size);
-  std::vector<Pick> picks(significant.size());
-
-  // Dense SubsetId -> significant index (or -1).
-  std::vector<int64_t> sig_index(subsets->NumSubsets(), -1);
-  for (size_t k = 0; k < significant.size(); ++k) {
-    sig_index[significant[k]] = static_cast<int64_t>(k);
-  }
-  // Per item: the significant subsets containing it, ascending.
-  std::vector<std::vector<int32_t>> containing(subsets->num_items());
-  for (int32_t i = 0; i < subsets->num_items(); ++i) {
-    if (ItemMasked(item_mask, i)) continue;
-    subsets->ForEachContainingSubset(i, [&](SubsetId s) {
-      if (sig_index[s] >= 0) {
-        containing[i].push_back(static_cast<int32_t>(sig_index[s]));
-      }
-    });
-    std::sort(containing[i].begin(), containing[i].end());
-  }
-
-  // ---- Checkpoint/resume (docs/ROBUSTNESS.md) ----
-  // The build fingerprint ties a checkpoint to this exact build: subset
-  // space, significant-subset list, pick-relevant config, and source shape.
-  uint64_t fingerprint = 0;
-  int64_t resume_from = 0;
-  const bool checkpointing = !config.checkpoint_path.empty();
-  if (checkpointing) {
-    robust::FingerprintBuilder fp;
-    fp.Add(static_cast<uint64_t>(subsets->NumSubsets()))
-        .Add(static_cast<uint64_t>(source->num_region_sets()))
-        .Add(static_cast<uint64_t>(config.min_subset_size))
-        .Add(static_cast<uint64_t>(config.min_examples_per_model));
-    for (SubsetId sid : significant) fp.Add(static_cast<uint64_t>(sid));
-    fingerprint = fp.value();
-    auto ckpt = robust::LoadCubeCheckpoint(config.checkpoint_path);
-    if (ckpt.ok() && ckpt.value().fingerprint == fingerprint &&
-        ckpt.value().picks.size() == significant.size()) {
-      for (size_t k = 0; k < picks.size(); ++k) {
-        robust::PickCheckpoint& pk = ckpt.value().picks[k];
-        picks[k].error = pk.error;
-        picks[k].region = pk.region;
-        picks[k].stats = std::move(pk.stats);
-        picks[k].fallback_region = pk.fallback_region;
-        picks[k].fallback_examples = pk.fallback_examples;
-        picks[k].fallback_stats = std::move(pk.fallback_stats);
-      }
-      resume_from = ckpt.value().regions_processed;
-      telemetry.resumed_regions = resume_from;
-      obs::DefaultMetrics()
-          .GetCounter(obs::kMCubeCheckpointResumes)
-          ->Increment();
-      BW_LOG(obs::LogLevel::kInfo, "cube")
-          << "resuming cube build from checkpoint at region " << resume_from;
-    }
-  }
-  auto save_checkpoint = [&](int64_t regions_processed) -> Status {
-    robust::CubeBuildCheckpoint ckpt;
-    ckpt.fingerprint = fingerprint;
-    ckpt.regions_processed = regions_processed;
-    ckpt.picks.resize(picks.size());
-    for (size_t k = 0; k < picks.size(); ++k) {
-      robust::PickCheckpoint& pk = ckpt.picks[k];
-      pk.error = picks[k].error;
-      pk.region = picks[k].region;
-      pk.stats = picks[k].stats;
-      pk.fallback_region = picks[k].fallback_region;
-      pk.fallback_examples = picks[k].fallback_examples;
-      pk.fallback_stats = picks[k].fallback_stats;
-    }
-    BW_RETURN_IF_ERROR(
-        robust::SaveCubeCheckpoint(ckpt, config.checkpoint_path));
-    ++telemetry.checkpoints_saved;
-    obs::DefaultMetrics()
-        .GetCounter(obs::kMCubeCheckpointsSaved)
-        ->Increment();
-    return Status::OK();
-  };
-
-  std::vector<RegressionSuffStats> stats;
-  int64_t region_pos = 0;
-
-  // Tail work of one *merged* region, shared by the serial and parallel
-  // paths: count it, save a checkpoint on the configured cadence, and honor
-  // the injected-crash fault. In the parallel build this runs in ascending
-  // region order on the scan thread, so checkpoint contents and crash
-  // arrival counts are bit-identical to the serial build.
-  auto finish_region = [&]() -> Status {
-    ++region_pos;
-    if (checkpointing &&
-        region_pos % std::max(config.checkpoint_every, 1) == 0) {
-      BW_RETURN_IF_ERROR(save_checkpoint(region_pos));
-    }
-    // Crash injection sits after the checkpoint write, modeling a process
-    // killed between completing a region and starting the next one.
-    if (robust::ShouldCrash(robust::kFaultCubeScan)) {
-      return Status::IoError(
-          "injected crash during cube scan (simulated kill)");
-    }
-    return Status::OK();
-  };
-
-  const int32_t num_threads = exec::ResolveNumThreads(config.exec.num_threads);
-  std::unique_ptr<exec::ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<exec::ThreadPool>(num_threads);
-  Status scan_status;
-  if (pool == nullptr) {
-    scan_status = source->Scan([&](const RegionTrainingSet& set) -> Status {
-      // Fast-forward past regions a resumed checkpoint already accounts for
-      // (the physical scan still delivers them; their compute is skipped).
-      if (region_pos < resume_from) {
-        ++region_pos;
-        return Status::OK();
-      }
-      if (stats.empty()) {
-        stats.assign(significant.size(),
-                     RegressionSuffStats(set.num_features));
-      } else {
-        for (auto& s : stats) s.Reset();
-      }
-      // "Build a model h_r on r for S" for every significant subset S: each
-      // row contributes to every containing subset's statistics directly.
-      for (size_t row = 0; row < set.num_examples(); ++row) {
-        for (int32_t k : containing[set.items[row]]) {
-          stats[k].Add(set.row(row), set.targets[row], set.weight(row));
-        }
-      }
-      for (size_t k = 0; k < significant.size(); ++k) {
-        picks[k].Offer(
-            TrainingErrorOfStats(stats[k], config.min_examples_per_model),
-            set.region, stats[k]);
-      }
-      return finish_region();
-    });
-  } else {
-    // Parallel path: each region's per-subset <MinError, Size> accumulators
-    // are computed on a worker from a private copy of the training set (row
-    // order, and hence every floating-point accumulation, matches the serial
-    // loop exactly), then offered to the shared picks in scan order — the
-    // same Offer() sequence the serial loop performs, so cube cells,
-    // checkpoints, and crash points are bit-identical for any thread count.
-    struct RegionCubeStats {
-      olap::RegionId region = olap::kInvalidRegion;
-      std::vector<RegressionSuffStats> stats;  // per significant subset
-      std::vector<double> error;
-    };
-    int64_t scan_pos = 0;
-    exec::MergeInSubmissionOrder<RegionCubeStats> reducer(
-        pool.get(), /*max_outstanding=*/2 * static_cast<size_t>(num_threads),
-        "cube.scan_merge", [&](size_t, RegionCubeStats r) -> Status {
-          for (size_t k = 0; k < significant.size(); ++k) {
-            picks[k].Offer(r.error[k], r.region, r.stats[k]);
-          }
-          return finish_region();
-        });
-    scan_status = source->Scan([&](const RegionTrainingSet& set) -> Status {
-      if (scan_pos < resume_from) {
-        // The resume skip is a strict prefix of the scan, before anything
-        // was submitted to the pool, so the merge-side region counter can
-        // be advanced inline.
-        ++scan_pos;
-        ++region_pos;
-        return Status::OK();
-      }
-      ++scan_pos;
-      return reducer.Submit(
-          [&significant, &containing, &config, set = set]() {
-            RegionCubeStats r;
-            r.region = set.region;
-            r.stats.assign(significant.size(),
-                           RegressionSuffStats(set.num_features));
-            for (size_t row = 0; row < set.num_examples(); ++row) {
-              for (int32_t k : containing[set.items[row]]) {
-                r.stats[k].Add(set.row(row), set.targets[row],
-                               set.weight(row));
-              }
-            }
-            r.error.resize(significant.size());
-            for (size_t k = 0; k < significant.size(); ++k) {
-              r.error[k] = TrainingErrorOfStats(
-                  r.stats[k], config.min_examples_per_model);
-            }
-            return r;
-          });
-    });
-    if (scan_status.ok()) scan_status = reducer.Finish();
-  }
-  BW_RETURN_IF_ERROR(scan_status);
-  if (checkpointing) {
-    // Final state, in case the region count is not a multiple of the
-    // checkpoint interval.
-    BW_RETURN_IF_ERROR(save_checkpoint(region_pos));
-  }
-  telemetry.data_passes = 1;
+  // Re-expressed over the algebraic state core: Init captures the subset
+  // lattice, IngestScan performs the historical single scan (with its
+  // checkpoint/resume and parallel merge machinery), Finalize derives the
+  // cells. Artifacts are bit-identical to the pre-refactor builder.
+  BellwetherState::Options options;
+  options.config = config;
+  options.incremental = false;
+  options.report_name = "cube_single_scan";
+  BW_ASSIGN_OR_RETURN(
+      std::unique_ptr<BellwetherState> state,
+      BellwetherState::Init(std::move(subsets), std::move(options),
+                            item_mask));
+  BW_RETURN_IF_ERROR(state->IngestScan(source));
   Metrics().single_scan_passes->Increment(1);
-  return FinalizeCube("cube_single_scan", source, std::move(subsets), config, item_mask, sizes,
-                      significant, std::move(picks), telemetry, build_watch);
+  return state->Finalize();
 }
 
 Result<BellwetherCube> BuildBellwetherCubeOptimized(
@@ -644,10 +482,11 @@ Result<BellwetherCube> BuildBellwetherCubeOptimized(
   obs::TraceSpan span("BuildBellwetherCubeOptimized", "cube");
   Stopwatch build_watch;
   CubeBuildTelemetry telemetry;
-  const std::vector<int32_t> sizes = SubsetSizes(*subsets, item_mask);
+  const std::vector<int32_t> sizes =
+      internal::SubsetSizes(*subsets, item_mask);
   const std::vector<SubsetId> significant =
-      SignificantSubsets(sizes, config.min_subset_size);
-  std::vector<Pick> picks(significant.size());
+      internal::SignificantSubsets(sizes, config.min_subset_size);
+  std::vector<internal::Pick> picks(significant.size());
 
   // Per item: its base subset (leaf coordinate combination).
   std::vector<SubsetId> base_of(subsets->num_items());
@@ -665,7 +504,7 @@ Result<BellwetherCube> BuildBellwetherCubeOptimized(
     // Theorem 1: accumulate g(.) at the base subsets only...
     for (size_t row = 0; row < set.num_examples(); ++row) {
       const int32_t item = set.items[row];
-      if (ItemMasked(item_mask, item)) continue;
+      if (internal::ItemMasked(item_mask, item)) continue;
       RegressionSuffStats& s = lattice[base_of[item]];
       if (s.num_features() == 0) {
         s = RegressionSuffStats(set.num_features);

@@ -1,0 +1,947 @@
+#include "core/bellwether_state.h"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/eval_util.h"
+#include "core/model_io.h"
+#include "core/search_internal.h"
+#include "exec/parallel.h"
+#include "obs/logger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "regression/suff_stats_io.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injection.h"
+#include "storage/arena.h"
+
+namespace bellwether::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Bound on serialized counts (mask entries, retained rows per region), in
+// line with the other model_io sections: a corrupt count fails cleanly
+// instead of turning into a gigantic allocation.
+constexpr int64_t kMaxStateCount = int64_t{1} << 26;
+
+using regression::RegressionSuffStats;
+using storage::RegionTrainingSet;
+
+// Registry counters for the incremental-maintenance path; resolved once and
+// cached (registry pointers are stable).
+struct StateMetrics {
+  obs::Counter* delta_batches;
+  obs::Counter* delta_rows;
+  obs::Counter* rederived;
+  obs::Counter* reused;
+  obs::Counter* saves;
+  obs::Counter* opens;
+};
+
+const StateMetrics& Metrics() {
+  static const StateMetrics m{
+      obs::DefaultMetrics().GetCounter(obs::kMStateDeltaBatches),
+      obs::DefaultMetrics().GetCounter(obs::kMStateDeltaRows),
+      obs::DefaultMetrics().GetCounter(obs::kMStateCellsRederived),
+      obs::DefaultMetrics().GetCounter(obs::kMStateCellsReused),
+      obs::DefaultMetrics().GetCounter(obs::kMStateSaves),
+      obs::DefaultMetrics().GetCounter(obs::kMStateOpens)};
+  return m;
+}
+
+// Appends src's rows to dst in ingest order. When exactly one side carries
+// explicit weights, the other side's implicit 1.0 weights are materialized
+// so RegionTrainingSet::weight(i) returns the same value either way — the
+// accumulators already folded these rows with those exact weights.
+void AppendRows(RegionTrainingSet* dst, const RegionTrainingSet& src) {
+  const size_t old_n = dst->num_examples();
+  const size_t add_n = src.num_examples();
+  const bool need_weights = dst->weighted() || src.weighted();
+  dst->items.insert(dst->items.end(), src.items.begin(), src.items.end());
+  dst->features.insert(dst->features.end(), src.features.begin(),
+                       src.features.end());
+  dst->targets.insert(dst->targets.end(), src.targets.begin(),
+                      src.targets.end());
+  if (need_weights) {
+    if (dst->weights.size() != old_n) dst->weights.assign(old_n, 1.0);
+    if (src.weighted()) {
+      dst->weights.insert(dst->weights.end(), src.weights.begin(),
+                          src.weights.end());
+    } else {
+      dst->weights.insert(dst->weights.end(), add_n, 1.0);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BellwetherState>> BellwetherState::Init(
+    std::shared_ptr<const ItemSubsetSpace> subsets, Options options,
+    const std::vector<uint8_t>* item_mask) {
+  if (subsets == nullptr) {
+    return Status::InvalidArgument("null item subset space");
+  }
+  auto state = std::unique_ptr<BellwetherState>(new BellwetherState());
+  state->subsets_ = std::move(subsets);
+  state->options_ = std::move(options);
+  if (item_mask != nullptr) {
+    state->has_mask_ = true;
+    state->item_mask_ = *item_mask;
+  }
+  const ItemSubsetSpace& space = *state->subsets_;
+  const CubeBuildConfig& config = state->options_.config;
+  const std::vector<uint8_t>* mask =
+      state->has_mask_ ? &state->item_mask_ : nullptr;
+  state->sizes_ = internal::SubsetSizes(space, mask);
+  state->significant_ =
+      internal::SignificantSubsets(state->sizes_, config.min_subset_size);
+  // Dense SubsetId -> significant index (or -1).
+  state->sig_index_.assign(space.NumSubsets(), -1);
+  for (size_t k = 0; k < state->significant_.size(); ++k) {
+    state->sig_index_[state->significant_[k]] = static_cast<int64_t>(k);
+  }
+  // Per item: the significant subsets containing it, ascending.
+  state->containing_.resize(space.num_items());
+  for (int32_t i = 0; i < space.num_items(); ++i) {
+    if (internal::ItemMasked(mask, i)) continue;
+    space.ForEachContainingSubset(i, [&](SubsetId s) {
+      if (state->sig_index_[s] >= 0) {
+        state->containing_[i].push_back(
+            static_cast<int32_t>(state->sig_index_[s]));
+      }
+    });
+    std::sort(state->containing_[i].begin(), state->containing_[i].end());
+  }
+  state->dirty_.Resize(space.NumSubsets());
+  state->cell_cache_.resize(state->significant_.size());
+  // State identity: everything the derived skeleton depends on. Distinct
+  // from the scan checkpoint fingerprint inside IngestScan, which also
+  // covers the source shape (its historical formula, kept bit-compatible).
+  robust::FingerprintBuilder fp;
+  fp.Add(static_cast<uint64_t>(space.NumSubsets()))
+      .Add(static_cast<uint64_t>(config.min_subset_size))
+      .Add(static_cast<uint64_t>(config.min_examples_per_model))
+      .Add(static_cast<uint64_t>(config.compute_cv_stats ? 1 : 0))
+      .Add(static_cast<uint64_t>(config.cv_folds))
+      .Add(config.seed);
+  for (SubsetId sid : state->significant_) {
+    fp.Add(static_cast<uint64_t>(sid));
+  }
+  fp.Add(static_cast<uint64_t>(state->has_mask_ ? 1 : 0));
+  if (state->has_mask_) {
+    fp.Add(static_cast<uint64_t>(state->item_mask_.size()));
+    for (uint8_t m : state->item_mask_) {
+      fp.Add(static_cast<uint64_t>(m != 0 ? 1 : 0));
+    }
+  }
+  state->fingerprint_ = fp.value();
+  return state;
+}
+
+Status BellwetherState::IngestScan(storage::TrainingDataSource* source) {
+  if (options_.incremental) {
+    return Status::FailedPrecondition(
+        "IngestScan is the one-shot path; incremental states take ApplyDelta");
+  }
+  if (scanned_) {
+    return Status::FailedPrecondition("IngestScan already performed");
+  }
+  const CubeBuildConfig& config = options_.config;
+  picks_.assign(significant_.size(), internal::Pick{});
+
+  // ---- Checkpoint/resume (docs/ROBUSTNESS.md) ----
+  // The build fingerprint ties a checkpoint to this exact build: subset
+  // space, significant-subset list, pick-relevant config, and source shape.
+  uint64_t fingerprint = 0;
+  int64_t resume_from = 0;
+  const bool checkpointing = !config.checkpoint_path.empty();
+  if (checkpointing) {
+    robust::FingerprintBuilder fp;
+    fp.Add(static_cast<uint64_t>(subsets_->NumSubsets()))
+        .Add(static_cast<uint64_t>(source->num_region_sets()))
+        .Add(static_cast<uint64_t>(config.min_subset_size))
+        .Add(static_cast<uint64_t>(config.min_examples_per_model));
+    for (SubsetId sid : significant_) fp.Add(static_cast<uint64_t>(sid));
+    fingerprint = fp.value();
+    auto ckpt = robust::LoadCubeCheckpoint(config.checkpoint_path);
+    if (ckpt.ok() && ckpt.value().fingerprint == fingerprint &&
+        ckpt.value().picks.size() == significant_.size()) {
+      for (size_t k = 0; k < picks_.size(); ++k) {
+        robust::PickCheckpoint& pk = ckpt.value().picks[k];
+        picks_[k].error = pk.error;
+        picks_[k].region = pk.region;
+        picks_[k].stats = std::move(pk.stats);
+        picks_[k].fallback_region = pk.fallback_region;
+        picks_[k].fallback_examples = pk.fallback_examples;
+        picks_[k].fallback_stats = std::move(pk.fallback_stats);
+      }
+      resume_from = ckpt.value().regions_processed;
+      telemetry_.resumed_regions = resume_from;
+      obs::DefaultMetrics()
+          .GetCounter(obs::kMCubeCheckpointResumes)
+          ->Increment();
+      BW_LOG(obs::LogLevel::kInfo, "cube")
+          << "resuming cube build from checkpoint at region " << resume_from;
+    }
+  }
+  auto save_checkpoint = [&](int64_t regions_processed) -> Status {
+    robust::CubeBuildCheckpoint ckpt;
+    ckpt.fingerprint = fingerprint;
+    ckpt.regions_processed = regions_processed;
+    ckpt.picks.resize(picks_.size());
+    for (size_t k = 0; k < picks_.size(); ++k) {
+      robust::PickCheckpoint& pk = ckpt.picks[k];
+      pk.error = picks_[k].error;
+      pk.region = picks_[k].region;
+      pk.stats = picks_[k].stats;
+      pk.fallback_region = picks_[k].fallback_region;
+      pk.fallback_examples = picks_[k].fallback_examples;
+      pk.fallback_stats = picks_[k].fallback_stats;
+    }
+    BW_RETURN_IF_ERROR(
+        robust::SaveCubeCheckpoint(ckpt, config.checkpoint_path));
+    ++telemetry_.checkpoints_saved;
+    obs::DefaultMetrics()
+        .GetCounter(obs::kMCubeCheckpointsSaved)
+        ->Increment();
+    return Status::OK();
+  };
+
+  std::vector<RegressionSuffStats> stats;
+  int64_t region_pos = 0;
+
+  // Tail work of one *merged* region, shared by the serial and parallel
+  // paths: count it, save a checkpoint on the configured cadence, and honor
+  // the injected-crash fault. In the parallel build this runs in ascending
+  // region order on the scan thread, so checkpoint contents and crash
+  // arrival counts are bit-identical to the serial build.
+  auto finish_region = [&]() -> Status {
+    ++region_pos;
+    if (checkpointing &&
+        region_pos % std::max(config.checkpoint_every, 1) == 0) {
+      BW_RETURN_IF_ERROR(save_checkpoint(region_pos));
+    }
+    // Crash injection sits after the checkpoint write, modeling a process
+    // killed between completing a region and starting the next one.
+    if (robust::ShouldCrash(robust::kFaultCubeScan)) {
+      return Status::IoError(
+          "injected crash during cube scan (simulated kill)");
+    }
+    return Status::OK();
+  };
+
+  const int32_t num_threads = exec::ResolveNumThreads(config.exec.num_threads);
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<exec::ThreadPool>(num_threads);
+  Status scan_status;
+  if (pool == nullptr) {
+    scan_status = source->Scan([&](const RegionTrainingSet& set) -> Status {
+      // Fast-forward past regions a resumed checkpoint already accounts for
+      // (the physical scan still delivers them; their compute is skipped).
+      if (region_pos < resume_from) {
+        ++region_pos;
+        return Status::OK();
+      }
+      if (stats.empty()) {
+        stats.assign(significant_.size(),
+                     RegressionSuffStats(set.num_features));
+      } else {
+        for (auto& s : stats) s.Reset();
+      }
+      // "Build a model h_r on r for S" for every significant subset S: each
+      // row contributes to every containing subset's statistics directly.
+      for (size_t row = 0; row < set.num_examples(); ++row) {
+        for (int32_t k : containing_[set.items[row]]) {
+          stats[k].Add(set.row(row), set.targets[row], set.weight(row));
+        }
+      }
+      for (size_t k = 0; k < significant_.size(); ++k) {
+        picks_[k].Offer(
+            TrainingErrorOfStats(stats[k], config.min_examples_per_model),
+            set.region, stats[k]);
+      }
+      return finish_region();
+    });
+  } else {
+    // Parallel path: each region's per-subset <MinError, Size> accumulators
+    // are computed on a worker from a private copy of the training set (row
+    // order, and hence every floating-point accumulation, matches the serial
+    // loop exactly), then offered to the shared picks in scan order — the
+    // same Offer() sequence the serial loop performs, so cube cells,
+    // checkpoints, and crash points are bit-identical for any thread count.
+    struct RegionCubeStats {
+      olap::RegionId region = olap::kInvalidRegion;
+      std::vector<RegressionSuffStats> stats;  // per significant subset
+      std::vector<double> error;
+    };
+    int64_t scan_pos = 0;
+    exec::MergeInSubmissionOrder<RegionCubeStats> reducer(
+        pool.get(), /*max_outstanding=*/2 * static_cast<size_t>(num_threads),
+        "cube.scan_merge", [&](size_t, RegionCubeStats r) -> Status {
+          for (size_t k = 0; k < significant_.size(); ++k) {
+            picks_[k].Offer(r.error[k], r.region, r.stats[k]);
+          }
+          return finish_region();
+        });
+    scan_status = source->Scan([&](const RegionTrainingSet& set) -> Status {
+      if (scan_pos < resume_from) {
+        // The resume skip is a strict prefix of the scan, before anything
+        // was submitted to the pool, so the merge-side region counter can
+        // be advanced inline.
+        ++scan_pos;
+        ++region_pos;
+        return Status::OK();
+      }
+      ++scan_pos;
+      return reducer.Submit(
+          [this, &config, set = set]() {
+            RegionCubeStats r;
+            r.region = set.region;
+            r.stats.assign(significant_.size(),
+                           RegressionSuffStats(set.num_features));
+            for (size_t row = 0; row < set.num_examples(); ++row) {
+              for (int32_t k : containing_[set.items[row]]) {
+                r.stats[k].Add(set.row(row), set.targets[row],
+                               set.weight(row));
+              }
+            }
+            r.error.resize(significant_.size());
+            for (size_t k = 0; k < significant_.size(); ++k) {
+              r.error[k] = TrainingErrorOfStats(
+                  r.stats[k], config.min_examples_per_model);
+            }
+            return r;
+          });
+    });
+    if (scan_status.ok()) scan_status = reducer.Finish();
+  }
+  BW_RETURN_IF_ERROR(scan_status);
+  if (checkpointing) {
+    // Final state, in case the region count is not a multiple of the
+    // checkpoint interval.
+    BW_RETURN_IF_ERROR(save_checkpoint(region_pos));
+  }
+  telemetry_.data_passes = 1;
+  scan_source_ = source;
+  scanned_ = true;
+  return Status::OK();
+}
+
+BellwetherState::RegionSlot& BellwetherState::SlotFor(olap::RegionId region,
+                                                     int32_t num_features) {
+  RegionSlot& slot = slots_[region];
+  if (slot.rows.region == olap::kInvalidRegion) {
+    slot.stats.resize(significant_.size());
+    slot.errors.assign(significant_.size(), kInf);
+    slot.rows.region = region;
+    slot.rows.num_features = num_features;
+  }
+  return slot;
+}
+
+Status BellwetherState::ValidateDeltaBatch(
+    const std::vector<RegionTrainingSet>& batch) const {
+  olap::RegionId prev = olap::kInvalidRegion;
+  int32_t arity = num_features_;
+  const int32_t num_items = subsets_->num_items();
+  for (const RegionTrainingSet& set : batch) {
+    if (set.region < 0) {
+      return Status::InvalidArgument("delta set with invalid region id");
+    }
+    if (set.region <= prev) {
+      return Status::InvalidArgument(
+          "delta batch regions must be strictly ascending and distinct");
+    }
+    prev = set.region;
+    if (set.num_examples() == 0) continue;
+    if (set.num_features <= 0) {
+      return Status::InvalidArgument("delta set without feature columns");
+    }
+    if (arity == 0) arity = set.num_features;
+    if (set.num_features != arity) {
+      return Status::InvalidArgument(
+          "delta set feature arity differs from the state's");
+    }
+    if (set.features.size() !=
+        set.num_examples() * static_cast<size_t>(set.num_features)) {
+      return Status::InvalidArgument("delta set features size mismatch");
+    }
+    if (set.targets.size() != set.num_examples()) {
+      return Status::InvalidArgument("delta set targets size mismatch");
+    }
+    if (!set.weights.empty() && set.weights.size() != set.num_examples()) {
+      return Status::InvalidArgument("delta set weights size mismatch");
+    }
+    for (int32_t item : set.items) {
+      if (item < 0 || item >= num_items) {
+        return Status::InvalidArgument("delta row item index out of range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BellwetherState::ApplyDelta(std::vector<RegionTrainingSet> batch) {
+  if (!options_.incremental) {
+    return Status::FailedPrecondition(
+        "ApplyDelta requires an incremental BellwetherState");
+  }
+  // Transactional entry fault: fires before anything is mutated, so a
+  // caller can retry the whole batch.
+  BW_RETURN_IF_ERROR(robust::MaybeInjectIo(robust::kFaultStateDelta));
+  BW_RETURN_IF_ERROR(ValidateDeltaBatch(batch));
+  obs::TraceSpan span("BellwetherState::ApplyDelta", "state");
+  Stopwatch delta_watch;
+  for (const RegionTrainingSet& set : batch) {
+    if (set.num_examples() > 0 && num_features_ == 0) {
+      num_features_ = set.num_features;
+      break;
+    }
+  }
+  const CubeBuildConfig& config = options_.config;
+
+  // One task per region: copy the base accumulators of the touched subsets,
+  // fold the new rows in row order (the exact floating-point sequence a
+  // from-scratch scan of the concatenated rows performs), and compute the
+  // new errors. Commits run in submission order — ascending region — on
+  // this thread, so the state is bit-identical for any thread count.
+  struct RegionDelta {
+    RegionSlot* slot = nullptr;
+    RegionTrainingSet set;
+    std::vector<int32_t> touched;  // significant indices, ascending
+    std::vector<RegressionSuffStats> stats;
+    std::vector<double> errors;
+  };
+  const int32_t num_threads = exec::ResolveNumThreads(config.exec.num_threads);
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<exec::ThreadPool>(num_threads);
+  int64_t rows_committed = 0;
+  Status status;
+  {
+    exec::MergeInSubmissionOrder<RegionDelta> reducer(
+        pool.get(), /*max_outstanding=*/2 * static_cast<size_t>(num_threads),
+        "state.delta_merge", [&](size_t, RegionDelta d) -> Status {
+          RegionSlot& slot = *d.slot;
+          for (size_t t = 0; t < d.touched.size(); ++t) {
+            const int32_t k = d.touched[t];
+            slot.stats[k] = std::move(d.stats[t]);
+            slot.errors[k] = d.errors[t];
+            dirty_.Mark(significant_[k]);
+          }
+          rows_committed += static_cast<int64_t>(d.set.num_examples());
+          AppendRows(&slot.rows, d.set);
+          storage::RegionSetArena::Default().Release(std::move(d.set));
+          slot.score_valid = false;
+          // Crash injection after the region's commit, modeling a process
+          // killed between regions of a batch: the in-memory state holds a
+          // partial batch and must be reopened from its last save.
+          if (robust::ShouldCrash(robust::kFaultStateDelta)) {
+            return Status::IoError(
+                "injected crash during delta apply (simulated kill)");
+          }
+          return Status::OK();
+        });
+    for (RegionTrainingSet& set : batch) {
+      if (set.num_examples() == 0) continue;
+      // Slot creation happens here on the submitting thread; map nodes are
+      // stable, and batch regions are distinct, so in-flight tasks for
+      // other regions never observe their slot mutating.
+      RegionSlot* slot = &SlotFor(set.region, set.num_features);
+      auto owned = std::make_shared<RegionTrainingSet>(std::move(set));
+      status = reducer.Submit([this, &config, slot, owned]() {
+        RegionDelta d;
+        d.slot = slot;
+        d.set = std::move(*owned);
+        const size_t nsig = significant_.size();
+        std::vector<uint8_t> seen(nsig, 0);
+        for (size_t r = 0; r < d.set.num_examples(); ++r) {
+          for (int32_t k : containing_[d.set.items[r]]) {
+            if (!seen[k]) {
+              seen[k] = 1;
+              d.touched.push_back(k);
+            }
+          }
+        }
+        std::sort(d.touched.begin(), d.touched.end());
+        std::vector<int32_t> local(nsig, -1);
+        d.stats.reserve(d.touched.size());
+        for (size_t t = 0; t < d.touched.size(); ++t) {
+          local[d.touched[t]] = static_cast<int32_t>(t);
+          RegressionSuffStats s = slot->stats[d.touched[t]];
+          if (s.num_features() == 0) {
+            s = RegressionSuffStats(d.set.num_features);
+          }
+          d.stats.push_back(std::move(s));
+        }
+        for (size_t r = 0; r < d.set.num_examples(); ++r) {
+          for (int32_t k : containing_[d.set.items[r]]) {
+            d.stats[local[k]].Add(d.set.row(r), d.set.targets[r],
+                                  d.set.weight(r));
+          }
+        }
+        d.errors.reserve(d.touched.size());
+        for (const RegressionSuffStats& s : d.stats) {
+          d.errors.push_back(
+              TrainingErrorOfStats(s, config.min_examples_per_model));
+        }
+        return d;
+      });
+      if (!status.ok()) break;
+    }
+    if (status.ok()) status = reducer.Finish();
+  }
+  BW_RETURN_IF_ERROR(status);
+  ++delta_batches_;
+  delta_seconds_ += delta_watch.ElapsedSeconds();
+  Metrics().delta_batches->Increment(1);
+  Metrics().delta_rows->Increment(rows_committed);
+  BW_LOG(obs::LogLevel::kInfo, "state")
+      .Field("rows", rows_committed)
+      .Field("dirty_cells", dirty_.count())
+      .Field("batches", delta_batches_)
+      << "delta batch applied";
+  if (!config.checkpoint_path.empty()) {
+    // Batch-boundary durability: a crash mid-batch reopens this save and
+    // re-applies the whole batch, converging on the same state bit for bit.
+    BW_RETURN_IF_ERROR(Save(config.checkpoint_path));
+  }
+  return Status::OK();
+}
+
+internal::RegionRowsVisitor BellwetherState::SlotRowsVisitor() const {
+  return [this](olap::RegionId region,
+                const std::function<Status(const RegionTrainingSet&)>& fn)
+             -> Status {
+    auto it = slots_.find(region);
+    if (it == slots_.end()) return Status::OK();
+    return fn(it->second.rows);
+  };
+}
+
+Result<BellwetherCube> BellwetherState::FinalizeOneShot() {
+  if (!scanned_) {
+    return Status::FailedPrecondition(
+        "one-shot Finalize requires a completed IngestScan");
+  }
+  const CubeBuildConfig& config = options_.config;
+  const std::vector<uint8_t>* mask = has_mask_ ? &item_mask_ : nullptr;
+  internal::RegionRowsVisitor rows;
+  if (config.compute_cv_stats) {
+    rows = internal::SourceRowsVisitor(scan_source_);
+  }
+  std::vector<CubeCell> cells;
+  cells.reserve(significant_.size());
+  for (size_t k = 0; k < significant_.size(); ++k) {
+    const SubsetId sid = significant_[k];
+    BW_ASSIGN_OR_RETURN(
+        CubeCell cell,
+        internal::BuildCubeCell(sid, sizes_[sid], picks_[k], config, mask,
+                                *subsets_, rows));
+    cells.push_back(std::move(cell));
+  }
+  return internal::AssembleCube(options_.report_name, subsets_, config,
+                                std::move(cells), telemetry_, build_watch_);
+}
+
+Result<BellwetherCube> BellwetherState::Finalize() {
+  if (!options_.incremental) return FinalizeOneShot();
+  obs::TraceSpan span("BellwetherState::Finalize", "state");
+  Stopwatch finalize_watch;
+  const CubeBuildConfig& config = options_.config;
+  const std::vector<uint8_t>* mask = has_mask_ ? &item_mask_ : nullptr;
+  const size_t nsig = significant_.size();
+  internal::RegionRowsVisitor rows;
+  if (config.compute_cv_stats) rows = SlotRowsVisitor();
+  int64_t rederived = 0;
+  int64_t reused = 0;
+  for (size_t k = 0; k < nsig; ++k) {
+    const SubsetId sid = significant_[k];
+    // A cell's inputs change exactly when a delta row touched its subset:
+    // containing_ enumerates the significant subsets of each (unmasked)
+    // item, and both the accumulators and the CV row filter select rows
+    // through that same membership test.
+    if (finalized_once_ && !dirty_.IsMarked(sid)) {
+      ++reused;
+      continue;
+    }
+    // Derive the pick by offering every region in ascending order — the
+    // same Offer() sequence a from-scratch scan performs.
+    internal::Pick pick;
+    for (const auto& [region, slot] : slots_) {
+      pick.Offer(slot.errors[k], region, slot.stats[k]);
+    }
+    BW_ASSIGN_OR_RETURN(
+        CubeCell cell,
+        internal::BuildCubeCell(sid, sizes_[sid], pick, config, mask,
+                                *subsets_, rows));
+    cell_cache_[k] = std::move(cell);
+    ++rederived;
+  }
+  dirty_.Clear();
+  finalized_once_ = true;
+  Metrics().rederived->Increment(rederived);
+  Metrics().reused->Increment(reused);
+  BW_LOG(obs::LogLevel::kInfo, "state")
+      .Field("rederived", rederived)
+      .Field("reused", reused)
+      << "state finalized";
+  CubeBuildTelemetry telemetry;
+  telemetry.data_passes = 1;
+  std::vector<CubeCell> cells = cell_cache_;
+  BW_ASSIGN_OR_RETURN(
+      BellwetherCube cube,
+      internal::AssembleCube(options_.report_name, subsets_, config,
+                             std::move(cells), telemetry, finalize_watch));
+  // Operational timing phases of the incremental path. Phases are excluded
+  // from the report's logical fingerprint, so delta-maintained and rebuilt
+  // cubes still compare byte-identical on their logical sections.
+  obs::RunReport report = cube.build_report();
+  report.AddPhase("state.apply_delta", delta_seconds_);
+  report.AddPhase("state.finalize", finalize_watch.ElapsedSeconds());
+  cube.set_build_report(std::move(report));
+  return cube;
+}
+
+Result<BasicSearchResult> BellwetherState::FinalizeSearch(
+    const BasicSearchOptions& options) {
+  if (!options_.incremental) {
+    return Status::FailedPrecondition(
+        "FinalizeSearch requires an incremental BellwetherState");
+  }
+  obs::TraceSpan span("BellwetherState::FinalizeSearch", "state");
+  // Cached per-region scores are keyed by the scoring options; a change
+  // invalidates every cache entry (delta rows invalidate per region).
+  robust::FingerprintBuilder fp;
+  fp.Add(static_cast<uint64_t>(options.estimate))
+      .Add(static_cast<uint64_t>(options.cv_folds))
+      .Add(options.seed)
+      .Add(static_cast<uint64_t>(options.min_examples));
+  if (fp.value() != search_options_key_) {
+    for (auto& [region, slot] : slots_) slot.score_valid = false;
+    search_options_key_ = fp.value();
+  }
+  const std::vector<uint8_t>* mask = has_mask_ ? &item_mask_ : nullptr;
+  BasicSearchResult result;
+  SearchTelemetry& t = result.telemetry;
+  Stopwatch scan_watch;
+  result.scores.reserve(slots_.size());
+  obs::Histogram* fit_seconds = obs::DefaultMetrics().GetHistogram(
+      obs::kMSearchRegionFitSeconds, obs::LatencyBucketsSeconds());
+  size_t ordinal = 0;
+  for (auto& [region, slot] : slots_) {
+    ++t.regions_enumerated;
+    t.rows_scanned += static_cast<int64_t>(slot.rows.num_examples());
+    if (!slot.score_valid) {
+      Stopwatch fit_watch;
+      internal::ScoreRegion(slot.rows, options, mask, &slot.score);
+      fit_seconds->Observe(fit_watch.ElapsedSeconds());
+      slot.score_valid = true;
+    }
+    RegionScore score = slot.score;
+    score.source_index = ordinal++;
+    result.scores.push_back(std::move(score));
+  }
+  for (const RegionScore& score : result.scores) {
+    if (score.usable) {
+      ++t.regions_scored;
+    } else if (score.num_examples <
+               static_cast<size_t>(
+                   std::max<int32_t>(options.min_examples, 2))) {
+      ++t.skipped_min_examples;
+    } else {
+      ++t.model_fit_failures;
+    }
+  }
+  t.scan_seconds = scan_watch.ElapsedSeconds();
+  obs::DefaultMetrics()
+      .GetCounter(obs::kMSearchRegionsEnumerated)
+      ->Increment(t.regions_enumerated);
+  obs::DefaultMetrics()
+      .GetCounter(obs::kMSearchRegionsScored)
+      ->Increment(t.regions_scored);
+  obs::DefaultMetrics()
+      .GetCounter(obs::kMSearchFitFailures)
+      ->Increment(t.model_fit_failures);
+  obs::DefaultMetrics()
+      .GetCounter(obs::kMSearchRowsScanned)
+      ->Increment(t.rows_scanned);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < result.scores.size(); ++i) {
+    const RegionScore& s = result.scores[i];
+    if (s.usable && s.error.rmse < best) {
+      best = s.error.rmse;
+      result.bellwether = s.region;
+      result.bellwether_index = i;
+      result.error = s.error;
+    }
+  }
+  if (result.found()) {
+    const RegionSlot& slot = slots_.find(result.bellwether)->second;
+    BW_RETURN_IF_ERROR(internal::RefitModelFromSet(slot.rows, mask, &result));
+  }
+  internal::FillSearchReport("basic_search", options, &result);
+  return result;
+}
+
+Status BellwetherState::Save(const std::string& path) const {
+  BW_RETURN_IF_ERROR(SaveBellwetherState(*this, path));
+  Metrics().saves->Increment(1);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BellwetherState>> BellwetherState::Open(
+    const std::string& path, std::shared_ptr<const ItemSubsetSpace> subsets) {
+  return LoadBellwetherState(path, std::move(subsets));
+}
+
+Status BellwetherState::SerializeTo(std::ostream& out) const {
+  if (!options_.incremental) {
+    return Status::FailedPrecondition(
+        "only incremental states are persistable");
+  }
+  const CubeBuildConfig& c = options_.config;
+  out << "fingerprint " << fingerprint_ << "\n";
+  out << "config " << c.min_subset_size << ' ' << c.min_examples_per_model
+      << ' ' << (c.compute_cv_stats ? 1 : 0) << ' ' << c.cv_folds << ' '
+      << c.seed << "\n";
+  out << "mask " << (has_mask_ ? 1 : 0);
+  if (has_mask_) {
+    out << ' ' << item_mask_.size();
+    for (uint8_t m : item_mask_) out << ' ' << (m != 0 ? 1 : 0);
+  }
+  out << "\n";
+  out << "num_features " << num_features_ << "\n";
+  out << "delta_batches " << delta_batches_ << "\n";
+  out << "regions " << slots_.size() << "\n";
+  for (const auto& [region, slot] : slots_) {
+    // Only touched accumulators hit the wire (arity 0 marks untouched); the
+    // dense remainder is reconstructed on load. Errors are not persisted —
+    // they are recomputed from the statistics, which is deterministic.
+    std::vector<int32_t> touched;
+    for (size_t k = 0; k < slot.stats.size(); ++k) {
+      if (slot.stats[k].num_features() != 0) {
+        touched.push_back(static_cast<int32_t>(k));
+      }
+    }
+    out << "region " << region << ' ' << touched.size() << "\n";
+    for (int32_t k : touched) {
+      out << "slot " << k << "\n";
+      regression::WriteSuffStats(out, slot.stats[k]);
+    }
+    const RegionTrainingSet& rows = slot.rows;
+    out << "rows " << rows.num_examples() << ' ' << (rows.weighted() ? 1 : 0)
+        << "\n";
+    out << "items";
+    for (int32_t item : rows.items) out << ' ' << item;
+    out << "\n";
+    out << "features";
+    for (double v : rows.features) {
+      out << ' ';
+      regression::WriteWireDouble(out, v);
+    }
+    out << "\n";
+    out << "targets";
+    for (double v : rows.targets) {
+      out << ' ';
+      regression::WriteWireDouble(out, v);
+    }
+    out << "\n";
+    if (rows.weighted()) {
+      out << "weights";
+      for (double v : rows.weights) {
+        out << ' ';
+        regression::WriteWireDouble(out, v);
+      }
+      out << "\n";
+    }
+  }
+  out << "end\n";
+  if (!out) return Status::IoError("state write failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BellwetherState>> BellwetherState::DeserializeFrom(
+    std::istream& in, std::shared_ptr<const ItemSubsetSpace> subsets) {
+  std::string tag;
+  uint64_t stored_fp = 0;
+  if (!(in >> tag >> stored_fp) || tag != "fingerprint") {
+    return Status::IoError("truncated state (fingerprint)");
+  }
+  Options options;  // incremental, report_name "cube_state"
+  CubeBuildConfig& c = options.config;
+  int cv = 0;
+  if (!(in >> tag >> c.min_subset_size >> c.min_examples_per_model >> cv >>
+        c.cv_folds >> c.seed) ||
+      tag != "config") {
+    return Status::IoError("truncated state (config)");
+  }
+  c.compute_cv_stats = cv != 0;
+  int has_mask = 0;
+  if (!(in >> tag >> has_mask) || tag != "mask") {
+    return Status::IoError("truncated state (mask)");
+  }
+  std::vector<uint8_t> mask;
+  if (has_mask != 0) {
+    int64_t n = 0;
+    if (!(in >> n) || n < 0 || n > kMaxStateCount) {
+      return Status::IoError("implausible mask size in state");
+    }
+    mask.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      int v = 0;
+      if (!(in >> v)) return Status::IoError("truncated state (mask bits)");
+      mask[i] = v != 0 ? 1 : 0;
+    }
+  }
+  int32_t num_features = 0;
+  if (!(in >> tag >> num_features) || tag != "num_features" ||
+      num_features < 0 || num_features > 4096) {
+    return Status::IoError("bad state num_features");
+  }
+  int64_t delta_batches = 0;
+  if (!(in >> tag >> delta_batches) || tag != "delta_batches" ||
+      delta_batches < 0) {
+    return Status::IoError("bad state delta_batches");
+  }
+  int64_t num_regions = 0;
+  if (!(in >> tag >> num_regions) || tag != "regions" || num_regions < 0 ||
+      num_regions > kMaxStateCount) {
+    return Status::IoError("implausible region count in state");
+  }
+  BW_ASSIGN_OR_RETURN(
+      std::unique_ptr<BellwetherState> state,
+      Init(std::move(subsets), std::move(options),
+           has_mask != 0 ? &mask : nullptr));
+  if (state->fingerprint_ != stored_fp) {
+    return Status::FailedPrecondition(
+        "state fingerprint mismatch (stale or foreign state file)");
+  }
+  state->num_features_ = num_features;
+  state->delta_batches_ = delta_batches;
+  const int64_t nsig = static_cast<int64_t>(state->significant_.size());
+  const int32_t num_items = state->subsets_->num_items();
+  const int32_t min_examples = state->options_.config.min_examples_per_model;
+  olap::RegionId prev_region = olap::kInvalidRegion;
+  for (int64_t i = 0; i < num_regions; ++i) {
+    olap::RegionId region = olap::kInvalidRegion;
+    int64_t nonempty = 0;
+    if (!(in >> tag >> region >> nonempty) || tag != "region") {
+      return Status::IoError("truncated state (region header)");
+    }
+    if (region < 0 || region <= prev_region) {
+      return Status::IoError("state regions out of order");
+    }
+    prev_region = region;
+    if (nonempty < 0 || nonempty > nsig) {
+      return Status::IoError("implausible slot count in state");
+    }
+    RegionSlot& slot = state->SlotFor(region, num_features);
+    int64_t prev_k = -1;
+    for (int64_t j = 0; j < nonempty; ++j) {
+      int64_t k = -1;
+      if (!(in >> tag >> k) || tag != "slot") {
+        return Status::IoError("truncated state (slot header)");
+      }
+      if (k <= prev_k || k >= nsig) {
+        return Status::IoError("state slot index out of range");
+      }
+      prev_k = k;
+      BW_ASSIGN_OR_RETURN(RegressionSuffStats stats,
+                          regression::ReadSuffStats(in));
+      if (stats.num_features() != static_cast<size_t>(num_features)) {
+        return Status::IoError("state slot stats arity mismatch");
+      }
+      slot.errors[k] = TrainingErrorOfStats(stats, min_examples);
+      slot.stats[k] = std::move(stats);
+    }
+    int64_t n = 0;
+    int weighted = 0;
+    if (!(in >> tag >> n >> weighted) || tag != "rows" || n < 0 ||
+        n > kMaxStateCount) {
+      return Status::IoError("implausible row count in state");
+    }
+    RegionTrainingSet& rows = slot.rows;
+    if (!(in >> tag) || tag != "items") {
+      return Status::IoError("truncated state (items)");
+    }
+    rows.items.resize(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) {
+      if (!(in >> rows.items[r])) {
+        return Status::IoError("truncated state (item)");
+      }
+      if (rows.items[r] < 0 || rows.items[r] >= num_items) {
+        return Status::IoError("state row item index out of range");
+      }
+    }
+    if (!(in >> tag) || tag != "features") {
+      return Status::IoError("truncated state (features)");
+    }
+    rows.features.resize(static_cast<size_t>(n) *
+                         static_cast<size_t>(num_features));
+    for (double& v : rows.features) {
+      BW_RETURN_IF_ERROR(regression::ReadWireDouble(in, &v));
+    }
+    if (!(in >> tag) || tag != "targets") {
+      return Status::IoError("truncated state (targets)");
+    }
+    rows.targets.resize(static_cast<size_t>(n));
+    for (double& v : rows.targets) {
+      BW_RETURN_IF_ERROR(regression::ReadWireDouble(in, &v));
+    }
+    if (weighted != 0) {
+      if (!(in >> tag) || tag != "weights") {
+        return Status::IoError("truncated state (weights)");
+      }
+      rows.weights.resize(static_cast<size_t>(n));
+      for (double& v : rows.weights) {
+        BW_RETURN_IF_ERROR(regression::ReadWireDouble(in, &v));
+      }
+    }
+  }
+  if (!(in >> tag) || tag != "end") {
+    return Status::IoError("truncated state (missing end)");
+  }
+  // A reopened state re-derives every cell on its first Finalize
+  // (finalized_once_ is false), which is deterministic from the restored
+  // statistics and rows — so kill/reopen converges bit for bit.
+  Metrics().opens->Increment(1);
+  return state;
+}
+
+StateDeltaSink::StateDeltaSink(BellwetherState* state, size_t sets_per_batch)
+    : state_(state), sets_per_batch_(sets_per_batch < 1 ? 1 : sets_per_batch) {}
+
+Status StateDeltaSink::Append(RegionTrainingSet&& set) {
+  buffered_bytes_ += set.ByteSize();
+  NoteAppend(set, buffered_bytes_);
+  buffer_.push_back(std::move(set));
+  if (buffer_.size() >= sets_per_batch_) return Flush();
+  return Status::OK();
+}
+
+Status StateDeltaSink::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  std::vector<RegionTrainingSet> batch;
+  batch.swap(buffer_);
+  buffered_bytes_ = 0;
+  return state_->ApplyDelta(std::move(batch));
+}
+
+Result<std::unique_ptr<storage::TrainingDataSource>> StateDeltaSink::Finish() {
+  BW_RETURN_IF_ERROR(CheckOrdering());
+  BW_RETURN_IF_ERROR(Flush());
+  std::unique_ptr<storage::TrainingDataSource> empty =
+      std::make_unique<storage::MemoryTrainingData>(
+          std::vector<RegionTrainingSet>{});
+  return empty;
+}
+
+}  // namespace bellwether::core

@@ -1,12 +1,14 @@
 #include "core/model_io.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "common/string_util.h"
+#include "core/bellwether_state.h"
 
 namespace bellwether::core {
 
@@ -15,6 +17,7 @@ namespace {
 constexpr const char* kLinearMagic = "bellwether-linear-v1";
 constexpr const char* kTreeMagic = "bellwether-tree-v2";
 constexpr const char* kCubeMagic = "bellwether-cube-v2";
+constexpr const char* kStateMagic = "bellwether-state-v3";
 
 // Sanity bound on serialized counts (vector lengths, node/cell counts): a
 // corrupt or hostile length field must fail cleanly, not turn into a
@@ -293,6 +296,34 @@ Result<BellwetherCube> LoadBellwetherCube(
   }
   return BellwetherCube(std::move(subsets), std::move(cell_of),
                         std::move(cells));
+}
+
+Status SaveBellwetherState(const BellwetherState& state,
+                           const std::string& path) {
+  // Saves happen repeatedly over an open state's lifetime (batch-boundary
+  // durability), so the write is atomic: a crash mid-save leaves the
+  // previous good file in place.
+  const std::string tmp = path + ".tmp";
+  {
+    BW_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(tmp));
+    out << kStateMagic << '\n';
+    BW_RETURN_IF_ERROR(state.SerializeTo(out));
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp + " to " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BellwetherState>> LoadBellwetherState(
+    const std::string& path, std::shared_ptr<const ItemSubsetSpace> subsets) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read " + path);
+  BW_RETURN_IF_ERROR(CheckMagic(in, kStateMagic, path));
+  return BellwetherState::DeserializeFrom(in, std::move(subsets));
 }
 
 }  // namespace bellwether::core

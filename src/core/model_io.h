@@ -55,6 +55,22 @@ Result<BellwetherCube> LoadBellwetherCube(
     const std::string& path,
     std::shared_ptr<const ItemSubsetSpace> subsets);
 
+/// ---- Bellwether state (incremental maintenance) ----
+
+class BellwetherState;
+
+/// Writes an open incremental BellwetherState (packed-triangle sufficient
+/// statistics plus retained per-region rows) atomically — tmp file, then
+/// rename — so a crash mid-save never clobbers the previous good state.
+Status SaveBellwetherState(const BellwetherState& state,
+                           const std::string& path);
+
+/// Reopens a state saved by SaveBellwetherState against the recreated
+/// subset space. The stored fingerprint must match the one recomputed from
+/// the space, config, and mask (kFailedPrecondition otherwise).
+Result<std::unique_ptr<BellwetherState>> LoadBellwetherState(
+    const std::string& path, std::shared_ptr<const ItemSubsetSpace> subsets);
+
 }  // namespace bellwether::core
 
 #endif  // BELLWETHER_CORE_MODEL_IO_H_

@@ -1,0 +1,43 @@
+#ifndef BELLWETHER_CORE_SEARCH_INTERNAL_H_
+#define BELLWETHER_CORE_SEARCH_INTERNAL_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/basic_search.h"
+#include "storage/training_data.h"
+
+/// Shared internals of the basic bellwether search, used both by
+/// RunBasicBellwetherSearch (one sequential scan over a source) and by
+/// BellwetherState::FinalizeSearch (scoring over retained in-memory rows
+/// with per-region score caching). Keeping scoring, refitting, and report
+/// construction in one place is what makes the two paths produce identical
+/// results over identical rows. Not part of the public API.
+namespace bellwether::core::internal {
+
+/// Scores one region's training set; sets `score->usable`. Deterministic
+/// given (rows, options): the RNG is seeded by RegionSeed(seed, region), so
+/// the score does not depend on evaluation order.
+void ScoreRegion(const storage::RegionTrainingSet& set,
+                 const BasicSearchOptions& options,
+                 const std::vector<uint8_t>* item_mask, RegionScore* score);
+
+/// Refits the winning model from its training set through the graceful-
+/// degradation chain and records the degradation tier in the result
+/// telemetry. A healthy fit is bit-identical to the historical
+/// FitLeastSquares path.
+Status RefitModelFromSet(const storage::RegionTrainingSet& set,
+                         const std::vector<uint8_t>* item_mask,
+                         BasicSearchResult* result);
+
+/// Fills the flight-recorder document on a finished search result. The
+/// config section deliberately omits options.exec.num_threads: logical
+/// sections (and the fingerprint) must match between serial and parallel
+/// runs of the same search.
+void FillSearchReport(std::string_view name, const BasicSearchOptions& options,
+                      BasicSearchResult* result);
+
+}  // namespace bellwether::core::internal
+
+#endif  // BELLWETHER_CORE_SEARCH_INTERNAL_H_

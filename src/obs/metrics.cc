@@ -298,6 +298,16 @@ void RegisterStandardMetrics(MetricsRegistry* registry) {
                        "cube build checkpoints written");
   registry->GetCounter(kMCubeCheckpointResumes,
                        "cube builds resumed from a checkpoint");
+  registry->GetCounter(kMStateDeltaBatches,
+                       "delta batches folded into an open bellwether state");
+  registry->GetCounter(kMStateDeltaRows,
+                       "fact rows ingested through ApplyDelta");
+  registry->GetCounter(kMStateCellsRederived,
+                       "dirty cube cells re-derived by state Finalize");
+  registry->GetCounter(kMStateCellsReused,
+                       "clean cube cells reused by state Finalize");
+  registry->GetCounter(kMStateSaves, "bellwether states saved to disk");
+  registry->GetCounter(kMStateOpens, "bellwether states opened from disk");
 }
 
 }  // namespace bellwether::obs

@@ -261,6 +261,18 @@ inline constexpr std::string_view kMCubeCheckpointsSaved =
     "bellwether_cube_checkpoints_saved_total";
 inline constexpr std::string_view kMCubeCheckpointResumes =
     "bellwether_cube_checkpoint_resumes_total";
+inline constexpr std::string_view kMStateDeltaBatches =
+    "bellwether_state_delta_batches_total";
+inline constexpr std::string_view kMStateDeltaRows =
+    "bellwether_state_delta_rows_total";
+inline constexpr std::string_view kMStateCellsRederived =
+    "bellwether_state_cells_rederived_total";
+inline constexpr std::string_view kMStateCellsReused =
+    "bellwether_state_cells_reused_total";
+inline constexpr std::string_view kMStateSaves =
+    "bellwether_state_saves_total";
+inline constexpr std::string_view kMStateOpens =
+    "bellwether_state_opens_total";
 
 /// Registers every canonical metric above in `registry` (zero-valued when
 /// not yet touched), so exports always contain the full set regardless of

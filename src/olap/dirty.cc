@@ -1,0 +1,11 @@
+#include "olap/dirty.h"
+
+namespace bellwether::olap {
+
+void MarkContainingRegions(const RegionSpace& space, const PointCoords& point,
+                           DirtySet* dirty) {
+  space.ForEachContainingRegion(point,
+                               [dirty](RegionId r) { dirty->Mark(r); });
+}
+
+}  // namespace bellwether::olap

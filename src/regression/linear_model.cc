@@ -155,6 +155,22 @@ RegressionSuffStats RegressionSuffStats::FromComponents(linalg::Matrix xtwx,
   return out;
 }
 
+RegressionSuffStats RegressionSuffStats::FromPacked(size_t p,
+                                                    std::vector<double> packed,
+                                                    linalg::Vector xtwy,
+                                                    double ytwy, int64_t n,
+                                                    double sum_w) {
+  BW_CHECK(packed.size() == PackedSize(p));
+  BW_CHECK(xtwy.size() == p);
+  RegressionSuffStats out(p);
+  out.xtwx_packed_ = std::move(packed);
+  out.xtwy_ = std::move(xtwy);
+  out.ytwy_ = ytwy;
+  out.n_ = n;
+  out.sum_w_ = sum_w;
+  return out;
+}
+
 Result<double> RegressionSuffStats::TrainingSse() const {
   if (n_ == 0) {
     return Status::FailedPrecondition("SSE of an empty training set");

@@ -62,9 +62,10 @@ struct RobustFit {
 /// X'WX is symmetric, so it is stored in *packed* upper-triangular layout
 /// (row-major, row r holding columns r..p-1): half the arithmetic and half
 /// the memory traffic of the naive p x p rank-1 update, and Merge collapses
-/// to one flat sum over a contiguous array. Serialized artifact formats are
-/// unchanged — checkpoint/model I/O go through the xtwx() unpack shim and
-/// FromComponents() packs a full matrix back down.
+/// to one flat sum over a contiguous array. Checkpoint/model I/O serialize
+/// the packed triangle directly (regression/suff_stats_io.h) and restore
+/// through FromPacked(); only the linalg solvers still go through the
+/// xtwx() unpack shim.
 class RegressionSuffStats {
  public:
   RegressionSuffStats() : p_(0), ytwy_(0.0), n_(0), sum_w_(0.0) {}
@@ -125,6 +126,14 @@ class RegressionSuffStats {
   static RegressionSuffStats FromComponents(linalg::Matrix xtwx,
                                             linalg::Vector xtwy, double ytwy,
                                             int64_t n, double sum_w);
+
+  /// Reassembles a statistic directly from its packed upper triangle
+  /// (PackedSize(p) values, row-major) without materializing the full
+  /// matrix — the restore path of the packed wire format
+  /// (regression/suff_stats_io.h).
+  static RegressionSuffStats FromPacked(size_t p, std::vector<double> packed,
+                                        linalg::Vector xtwy, double ytwy,
+                                        int64_t n, double sum_w);
 
   /// Weighted sum of squared errors of the fitted model on the accumulated
   /// data: Y'WY - (X'WY)' (X'WX)^-1 (X'WY), computed directly from the

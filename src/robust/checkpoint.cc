@@ -2,87 +2,27 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
+
+#include "regression/suff_stats_io.h"
 
 namespace bellwether::robust {
 
 namespace {
 
-constexpr const char* kMagic = "bellwether-cube-checkpoint-v1";
+// v2: sufficient statistics carry the packed upper triangle directly
+// (regression/suff_stats_io.h) instead of the full p x p matrix — half the
+// wire size, and no unpack/re-pack hop on either side. v1 checkpoints are
+// simply stale (kFailedPrecondition on load) and the build restarts from
+// scratch, which checkpointing is designed to survive anyway.
+constexpr const char* kMagic = "bellwether-cube-checkpoint-v2";
 // Sanity bound on serialized counts; a corrupt length field must not turn
 // into a multi-gigabyte allocation.
 constexpr int64_t kMaxCount = int64_t{1} << 26;
 
-// Doubles round-trip exactly through %.17g; "inf"/"-inf"/"nan" are written
-// and parsed explicitly (istream's operator>> rejects them).
-void WriteDouble(std::ostream& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out << buf;
-}
-
-Status ReadDouble(std::istream& in, double* v) {
-  std::string tok;
-  if (!(in >> tok)) return Status::IoError("truncated checkpoint (double)");
-  errno = 0;
-  char* end = nullptr;
-  *v = std::strtod(tok.c_str(), &end);
-  if (end == tok.c_str() || *end != '\0') {
-    return Status::IoError("bad double in checkpoint: '" + tok + "'");
-  }
-  return Status::OK();
-}
-
-void WriteStats(std::ostream& out,
-                const regression::RegressionSuffStats& s) {
-  const size_t p = s.num_features();
-  out << "stats " << p << ' ' << s.num_examples() << ' ';
-  WriteDouble(out, s.sum_weights());
-  out << ' ';
-  WriteDouble(out, s.ytwy());
-  const linalg::Matrix xtwx = s.xtwx();  // unpack once, not per element
-  for (size_t r = 0; r < p; ++r) {
-    for (size_t c = 0; c < p; ++c) {
-      out << ' ';
-      WriteDouble(out, xtwx(r, c));
-    }
-  }
-  for (size_t j = 0; j < p; ++j) {
-    out << ' ';
-    WriteDouble(out, s.xtwy()[j]);
-  }
-  out << '\n';
-}
-
-Result<regression::RegressionSuffStats> ReadStats(std::istream& in) {
-  std::string tag;
-  int64_t p = 0;
-  int64_t n = 0;
-  if (!(in >> tag >> p >> n) || tag != "stats") {
-    return Status::IoError("truncated checkpoint (stats header)");
-  }
-  if (p < 0 || p > 4096) {
-    return Status::IoError("implausible feature count in checkpoint");
-  }
-  double sum_w = 0.0;
-  double ytwy = 0.0;
-  BW_RETURN_IF_ERROR(ReadDouble(in, &sum_w));
-  BW_RETURN_IF_ERROR(ReadDouble(in, &ytwy));
-  linalg::Matrix xtwx(p, p);
-  for (int64_t r = 0; r < p; ++r) {
-    for (int64_t c = 0; c < p; ++c) {
-      BW_RETURN_IF_ERROR(ReadDouble(in, &xtwx(r, c)));
-    }
-  }
-  linalg::Vector xtwy(p, 0.0);
-  for (int64_t j = 0; j < p; ++j) {
-    BW_RETURN_IF_ERROR(ReadDouble(in, &xtwy[j]));
-  }
-  return regression::RegressionSuffStats::FromComponents(
-      std::move(xtwx), std::move(xtwy), ytwy, n, sum_w);
-}
+using regression::ReadWireDouble;
+using regression::WriteWireDouble;
 
 }  // namespace
 
@@ -101,11 +41,11 @@ Status SaveCubeCheckpoint(const CubeBuildCheckpoint& ckpt,
     out << "picks " << ckpt.picks.size() << '\n';
     for (const PickCheckpoint& pk : ckpt.picks) {
       out << "pick ";
-      WriteDouble(out, pk.error);
+      WriteWireDouble(out, pk.error);
       out << ' ' << pk.region << ' ' << pk.fallback_region << ' '
           << pk.fallback_examples << '\n';
-      WriteStats(out, pk.stats);
-      WriteStats(out, pk.fallback_stats);
+      regression::WriteSuffStats(out, pk.stats);
+      regression::WriteSuffStats(out, pk.fallback_stats);
     }
     out << "end\n";
     out.flush();
@@ -148,12 +88,12 @@ Result<CubeBuildCheckpoint> LoadCubeCheckpoint(const std::string& path) {
     if (!(in >> tag) || tag != "pick") {
       return Status::IoError("truncated checkpoint (pick)");
     }
-    BW_RETURN_IF_ERROR(ReadDouble(in, &pk.error));
+    BW_RETURN_IF_ERROR(ReadWireDouble(in, &pk.error));
     if (!(in >> pk.region >> pk.fallback_region >> pk.fallback_examples)) {
       return Status::IoError("truncated checkpoint (pick fields)");
     }
-    BW_ASSIGN_OR_RETURN(pk.stats, ReadStats(in));
-    BW_ASSIGN_OR_RETURN(pk.fallback_stats, ReadStats(in));
+    BW_ASSIGN_OR_RETURN(pk.stats, regression::ReadSuffStats(in));
+    BW_ASSIGN_OR_RETURN(pk.fallback_stats, regression::ReadSuffStats(in));
   }
   if (!(in >> tag) || tag != "end") {
     return Status::IoError("truncated checkpoint (missing end marker)");

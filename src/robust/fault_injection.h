@@ -114,9 +114,11 @@ bool ShouldCrash(std::string_view point);
 // instrumented sites agree on spelling.
 inline constexpr std::string_view kFaultStorageScan = "storage.scan";
 inline constexpr std::string_view kFaultStorageRead = "storage.read";
+inline constexpr std::string_view kFaultStorageSpill = "storage.spill";
 inline constexpr std::string_view kFaultCsvRow = "csv.row";
 inline constexpr std::string_view kFaultDatagenRow = "datagen.row";
 inline constexpr std::string_view kFaultCubeScan = "cube.scan";
+inline constexpr std::string_view kFaultStateDelta = "state.delta";
 
 }  // namespace bellwether::robust
 

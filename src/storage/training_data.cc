@@ -158,6 +158,9 @@ SpillFileWriter::~SpillFileWriter() {
 }
 
 Status SpillFileWriter::Append(const RegionTrainingSet& set) {
+  // Injected write failure, before any bytes land: sinks must release the
+  // set's buffers to the arena on this path like on the success path.
+  BW_RETURN_IF_ERROR(robust::MaybeInjectIo(robust::kFaultStorageSpill));
   BW_CHECK(!finished_);
   BW_CHECK(set.targets.size() == set.items.size());
   BW_CHECK(set.features.size() ==

@@ -82,15 +82,37 @@ BudgetedSink::BudgetedSink(size_t memory_budget_bytes, std::string spill_path)
     : memory_budget_bytes_(memory_budget_bytes),
       spill_path_(std::move(spill_path)) {}
 
+// On any migration error the sink is dead; the buffered shells still go
+// back to the arena so producer-side Acquire/Release traffic balances on
+// failure paths too (the shells would otherwise be freed when the
+// abandoned sink is destroyed, silently draining the pool).
+void BudgetedSink::ReleaseBuffered() {
+  for (auto& set : buffered_) {
+    RegionSetArena::Default().Release(std::move(set));
+  }
+  buffered_.clear();
+  buffered_.shrink_to_fit();
+  resident_bytes_ = 0;
+}
+
 Status BudgetedSink::MigrateToSpill() {
   obs::TraceSpan span("BudgetedSink::MigrateToSpill", "storage");
-  BW_ASSIGN_OR_RETURN(writer_, SpillFileWriter::Create(spill_path_));
+  auto writer = SpillFileWriter::Create(spill_path_);
+  if (!writer.ok()) {
+    ReleaseBuffered();
+    return writer.status();
+  }
+  writer_ = std::move(writer).value();
   spilled_ = true;
   for (auto& set : buffered_) {
-    BW_RETURN_IF_ERROR(writer_->Append(set));
+    const Status st = writer_->Append(set);
+    if (!st.ok()) {
+      ReleaseBuffered();
+      return st;
+    }
     // Release each set as soon as it is on disk, so the resident footprint
     // shrinks monotonically during the migration instead of doubling.
-    set = RegionTrainingSet{};
+    RegionSetArena::Default().Release(std::move(set));
   }
   buffered_.clear();
   buffered_.shrink_to_fit();
@@ -108,7 +130,13 @@ Status BudgetedSink::Append(RegionTrainingSet&& set) {
     return Status::OK();
   }
   if (writer_ == nullptr) {
-    BW_RETURN_IF_ERROR(MigrateToSpill());
+    const Status st = MigrateToSpill();
+    if (!st.ok()) {
+      // The incoming set dies with the failed sink; its shell still goes
+      // back to the arena like on the success path.
+      RegionSetArena::Default().Release(std::move(set));
+      return st;
+    }
   }
   const Status st = writer_->Append(set);
   RegionSetArena::Default().Release(std::move(set));

@@ -119,6 +119,9 @@ class BudgetedSink final : public TrainingDataSink {
 
  private:
   Status MigrateToSpill();
+  /// Returns every buffered shell to the RegionSetArena (used on migration
+  /// error paths, so arena traffic balances even when the sink fails).
+  void ReleaseBuffered();
 
   size_t memory_budget_bytes_;
   std::string spill_path_;

@@ -456,5 +456,54 @@ TEST_F(BudgetedPipelineTest, SpilledSourceSurvivesScanFaultsAndResumes) {
   std::remove(path.c_str());
 }
 
+// ---- Arena shell accounting on sink error paths ----
+
+TEST(BudgetedSinkTest, ArenaBalancesAfterInjectedSpillFault) {
+  std::vector<RegionTrainingSet> ref;
+  for (olap::RegionId r = 0; r < 3; ++r) ref.push_back(MakeSet(r, 6));
+  const size_t budget = ref[0].ByteSize() + ref[1].ByteSize();
+
+  auto* releases = obs::DefaultMetrics().GetCounter(obs::kMArenaReleases);
+  const int64_t releases_before = releases->Value();
+
+  const std::string path = ::testing::TempDir() + "/sink_fault.spill";
+  BudgetedSink sink(budget, path);
+  ASSERT_TRUE(sink.Append(RegionTrainingSet(ref[0])).ok());
+  ASSERT_TRUE(sink.Append(RegionTrainingSet(ref[1])).ok());
+  EXPECT_FALSE(sink.spilled());
+  {
+    // The third set exceeds the budget and triggers the migration; its very
+    // first spill write fails. Every shell the sink holds — the two
+    // buffered sets and the incoming one — must go back to the arena, not
+    // die with the abandoned sink.
+    ScopedFaults faults("storage.spill:io@1");
+    const Status st = sink.Append(RegionTrainingSet(ref[2]));
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(sink.resident_bytes(), 0u);
+  EXPECT_EQ(releases->Value() - releases_before, 3);
+  std::remove(path.c_str());
+}
+
+TEST(BudgetedSinkTest, ArenaBalancesWhenSpillFileCannotBeCreated) {
+  std::vector<RegionTrainingSet> ref;
+  for (olap::RegionId r = 0; r < 2; ++r) ref.push_back(MakeSet(r, 6));
+
+  auto* releases = obs::DefaultMetrics().GetCounter(obs::kMArenaReleases);
+  const int64_t releases_before = releases->Value();
+
+  // A spill path inside a directory that does not exist: migration fails at
+  // SpillFileWriter::Create, before any buffered set is written.
+  BudgetedSink sink(/*memory_budget_bytes=*/ref[0].ByteSize(),
+                    ::testing::TempDir() + "/no_such_dir/sink.spill");
+  ASSERT_TRUE(sink.Append(RegionTrainingSet(ref[0])).ok());
+  const Status st = sink.Append(RegionTrainingSet(ref[1]));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(sink.resident_bytes(), 0u);
+  EXPECT_EQ(releases->Value() - releases_before, 2);
+}
+
 }  // namespace
 }  // namespace bellwether::storage
